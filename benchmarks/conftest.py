@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # timings
+    pytest benchmarks/ --benchmark-only -s         # + paper-style tables
+
+Wall-clock numbers are Python-interpreter times, orders of magnitude
+above the paper's Tofino nanoseconds; the claims under reproduction are
+the *relative* shapes (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+# Keep batches small: pytest-benchmark loops the measured callable, so
+# the batch only needs to be large enough to cycle realistic state.
+WORKLOAD_PACKETS = 200
+
+
+@pytest.fixture(scope="session")
+def packet_count():
+    return WORKLOAD_PACKETS

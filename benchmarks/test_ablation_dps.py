@@ -1,0 +1,89 @@
+"""ABL-DPS: core-stateless fair queueing -- fairness and cost.
+
+Reproduces the headline property of the dynamic-packet-state scheme
+(Section 5 opportunity): forwarded shares converge toward the fair
+share regardless of offered load, with zero per-flow state in the core.
+"""
+
+import pytest
+
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.protocols.dps.csfq import CsfqCore, EdgeRateEstimator
+from repro.realize.dps import build_dps_packet
+from repro.realize.ip import build_ipv4_packet
+from repro.workloads.reporting import print_table
+
+DST = 0x0A000001
+CAPACITY = 100_000.0
+
+
+def core_processor(capacity=CAPACITY):
+    state = NodeState(node_id="dps-core")
+    state.fib_v4.insert(0x0A000000, 8, 1)
+    state.csfq = CsfqCore(capacity=capacity)
+    return RouterProcessor(state), state
+
+
+@pytest.mark.parametrize("variant", ["plain-ipv4", "dps"])
+def test_dps_path_cost(benchmark, variant):
+    processor, _state = core_processor(capacity=1e12)  # never drop
+    if variant == "plain-ipv4":
+        packet = build_ipv4_packet(DST, 2, payload=b"x" * 80)
+    else:
+        packet = build_dps_packet(DST, 2, rate_bps=100.0, payload=b"x" * 76)
+    clock = {"now": 0.0}
+
+    def process():
+        clock["now"] += 0.001
+        return processor.process(packet, now=clock["now"])
+
+    assert process().decision is Decision.FORWARD
+    benchmark.group = "ablation dps cost"
+    benchmark(process)
+
+
+def test_report_dps_fairness():
+    processor, state = core_processor()
+    edge = EdgeRateEstimator()
+    flows = {1: (8, 500), 2: (2, 500), 3: (1, 1000)}
+    sent = {f: 0 for f in flows}
+    forwarded = {f: 0 for f in flows}
+    now = 0.0
+    for i in range(12_000):
+        now += 0.0005
+        for flow, (period, size) in flows.items():
+            if i % period:
+                continue
+            sent[flow] += size
+            rate = edge.observe(flow, size, now)
+            packet = build_dps_packet(DST, flow, rate, payload=b"z" * (size - 50))
+            if processor.process(packet, now=now).decision is Decision.FORWARD:
+                forwarded[flow] += size
+    duration = 12_000 * 0.0005
+    rows = [
+        [flow,
+         f"{sent[flow] / duration / 1000:.0f}",
+         f"{forwarded[flow] / duration / 1000:.1f}",
+         f"{forwarded[flow] / sent[flow]:.0%}"]
+        for flow in flows
+    ]
+    rows.append(
+        ["sum", f"{sum(sent.values()) / duration / 1000:.0f}",
+         f"{sum(forwarded.values()) / duration / 1000:.1f}",
+         f"(capacity {CAPACITY / 1000:.0f})"]
+    )
+    print_table(
+        "ABL-DPS: CSFQ fairness at a 100 kB/s bottleneck",
+        ["flow", "offered kB/s", "forwarded kB/s", "kept"],
+        rows,
+    )
+    shares = [forwarded[flow] / duration for flow in flows]
+    assert max(shares) < 3 * min(shares)
+    assert sum(shares) < 1.5 * CAPACITY
+
+
+def test_dps_header_size():
+    """Header arithmetic: 6 + 3*6 + 12 = 36 bytes."""
+    packet = build_dps_packet(DST, 2, rate_bps=1000.0)
+    assert packet.header.header_length == 36

@@ -1,0 +1,71 @@
+"""ABL-FIB: forwarding-table scale sensitivity.
+
+DIP's F_FIB / F_32_match run longest-prefix matches; this sweep grows
+the table from 10^2 to 10^5 routes and measures lookup cost.  The
+binary trie's lookup is bounded by the address width, so cost should
+grow only weakly (not linearly) with table size -- the property that
+makes digest-mode NDN forwarding viable at line rate.
+"""
+
+import random
+
+import pytest
+
+from repro.protocols.ip.fib import LpmTable
+from repro.workloads.reporting import print_table
+from repro.workloads.sweeps import run_sweep, time_callable
+
+ROUTE_COUNTS = (100, 1_000, 10_000, 100_000)
+LOOKUPS = 2_000
+
+
+def build_table(route_count: int, width: int = 32, seed: int = 9):
+    rng = random.Random(seed)
+    table = LpmTable(width)
+    for _ in range(route_count):
+        prefix_len = rng.randint(8, 24)
+        prefix = rng.getrandbits(prefix_len) << (width - prefix_len)
+        table.insert(prefix, prefix_len, rng.randint(0, 15))
+    addresses = [rng.getrandbits(width) for _ in range(LOOKUPS)]
+    return table, addresses
+
+
+@pytest.mark.parametrize("route_count", ROUTE_COUNTS)
+def test_fib_lookup_scale(benchmark, route_count):
+    table, addresses = build_table(route_count)
+    benchmark.group = "ablation fib scale"
+    benchmark.extra_info["routes"] = route_count
+    index = {"i": 0}
+
+    def lookup():
+        index["i"] = (index["i"] + 1) % LOOKUPS
+        return table.lookup(addresses[index["i"]])
+
+    benchmark(lookup)
+
+
+def test_report_fib_scale():
+    def measure(route_count):
+        table, addresses = build_table(route_count)
+
+        def run():
+            for address in addresses:
+                table.lookup(address)
+
+        seconds = time_callable(run, repeats=2)
+        return {"ns_per_lookup": seconds / LOOKUPS * 1e9}
+
+    points = run_sweep({"route_count": ROUTE_COUNTS}, measure)
+    rows = [
+        [p.params["route_count"], f"{p.outputs['ns_per_lookup']:.0f}"]
+        for p in points
+    ]
+    print_table(
+        "ABL-FIB: LPM lookup vs table size",
+        ["routes", "ns/lookup"],
+        rows,
+    )
+    # sub-linear growth: 1000x more routes must NOT cost 100x more.
+    smallest = points[0].outputs["ns_per_lookup"]
+    largest = points[-1].outputs["ns_per_lookup"]
+    assert largest < 100 * smallest

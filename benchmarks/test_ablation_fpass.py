@@ -1,0 +1,96 @@
+"""ABL-PASS: the cost of the F_pass content-poisoning defense.
+
+Section 2.4: "Although enabling F_pass all the time is expensive, DIP
+allows the network operators to dynamically adjust security policies."
+This bench quantifies "expensive": the same NDN data workload with the
+defense disabled (F_pass short-circuits) vs enabled (label MAC checked
+per packet).
+"""
+
+import random
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.operations.fib import digest_name
+from repro.core.operations.passport import passport_tag
+from repro.core.packet import DipPacket
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.workloads.reporting import print_table
+from repro.workloads.sweeps import time_callable
+
+LABEL = b"\x31" * 16
+AS_KEY = b"\x42" * 16
+PACKETS = 200
+
+
+def build_workload(enabled: bool):
+    """NDN data packets carrying F_pass records, PIT pre-armed."""
+    rng = random.Random(11)
+    state = NodeState(node_id="fpass-router")
+    state.passport_enabled = enabled
+    state.passport_keys[LABEL] = AS_KEY
+    packets = []
+    digests = [rng.getrandbits(32) for _ in range(PACKETS)]
+    in_ports = {d: rng.randint(1, 15) for d in digests}
+    for digest in digests:
+        payload = digest.to_bytes(4, "big") * 8
+        header = DipHeader(
+            fns=(
+                FieldOperation(32, 256, OperationKey.PASS),
+                FieldOperation(0, 32, OperationKey.PIT),
+            ),
+            locations=(
+                digest.to_bytes(4, "big")
+                + LABEL
+                + passport_tag(AS_KEY, LABEL, payload)
+            ),
+        )
+        packets.append(DipPacket(header=header, payload=payload))
+    processor = RouterProcessor(state)
+    cursor = {"i": 0}
+
+    def process_next():
+        packet = packets[cursor["i"]]
+        cursor["i"] = (cursor["i"] + 1) % PACKETS
+        digest = int.from_bytes(packet.header.locations[:4], "big")
+        state.pit.insert(digest_name(digest), in_port=in_ports[digest])
+        return processor.process(packet, ingress_port=0)
+
+    return process_next
+
+
+@pytest.mark.parametrize("enabled", [False, True], ids=["off", "on"])
+def test_fpass_bench(benchmark, enabled):
+    process_next = build_workload(enabled)
+    assert process_next().decision is Decision.FORWARD
+    benchmark.group = "ablation fpass"
+    benchmark(process_next)
+
+
+def test_report_fpass_overhead():
+    rows = []
+    cost = {}
+    for enabled in (False, True):
+        process_next = build_workload(enabled)
+
+        def run():
+            for _ in range(PACKETS):
+                result = process_next()
+                assert result.decision is Decision.FORWARD
+
+        seconds = time_callable(run, repeats=2)
+        cost[enabled] = seconds / PACKETS * 1e6
+        rows.append(
+            ["on" if enabled else "off", f"{cost[enabled]:.1f}"]
+        )
+    rows.append(["overhead", f"{cost[True] / cost[False]:.2f}x"])
+    print_table(
+        "ABL-PASS: F_pass defense cost (NDN data path)",
+        ["F_pass", "us/packet"],
+        rows,
+    )
+    # the defense is real work: measurably more expensive when on
+    assert cost[True] > cost[False]

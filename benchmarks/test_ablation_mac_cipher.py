@@ -1,0 +1,95 @@
+"""ABL-MAC: the 2EM-vs-AES design choice (Section 4.1).
+
+The paper picks 2EM over AES because AES needs packet resubmission on
+Tofino.  Three views of that trade-off:
+
+1. wall-clock: one OPT per-hop update under each backend;
+2. cycle model: AES pays the resubmission factor;
+3. compiler: the AES program needs a second pipeline pass, which a
+   no-recirculation Tofino configuration rejects outright.
+"""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.even_mansour import EvenMansour2
+from repro.crypto.mac import CbcMac
+from repro.dataplane.compiler import compile_fn_program
+from repro.dataplane.costs import CycleCostModel
+from repro.dataplane.pipeline import PipelineConfig
+from repro.errors import PipelineConstraintError
+from repro.crypto.keys import RouterKey
+from repro.protocols.opt import negotiate_session
+from repro.realize.opt import build_opt_packet
+from repro.workloads.generators import make_opt_workload
+from repro.workloads.reporting import print_table
+from repro.workloads.sweeps import time_callable
+
+KEY = bytes(range(16))
+MESSAGE = bytes(range(64))
+
+
+@pytest.mark.parametrize("backend", ["2em", "aes"])
+def test_mac_primitive(benchmark, backend):
+    cipher = EvenMansour2(KEY) if backend == "2em" else AES128(KEY)
+    mac = CbcMac(cipher)
+    benchmark.group = "ablation mac primitive"
+    benchmark(lambda: mac.compute(MESSAGE))
+
+
+@pytest.mark.parametrize("backend", ["2em", "aes"])
+def test_opt_hop_update(benchmark, backend, packet_count):
+    workload = make_opt_workload(
+        packet_size=128, packet_count=packet_count, backend=backend
+    )
+    benchmark.group = "ablation mac per-hop"
+    benchmark(workload.process_next)
+
+
+def test_report_mac_ablation():
+    rows = []
+    wall = {}
+    for backend in ("2em", "aes"):
+        workload = make_opt_workload(packet_size=128, packet_count=100,
+                                     backend=backend)
+        seconds = time_callable(workload.run_all, repeats=2)
+        wall[backend] = seconds / 100 * 1e6
+        model = CycleCostModel(mac_backend=backend)
+        cycle_workload = make_opt_workload(
+            packet_size=128, packet_count=10, backend=backend,
+            cost_model=model,
+        )
+        session = negotiate_session(
+            "s", "d", [RouterKey("mac")], RouterKey("d"), nonce=b"m"
+        )
+        fns = build_opt_packet(session, b"p").header.fns
+        if backend == "aes":
+            passes = compile_fn_program(
+                fns, PipelineConfig(allow_recirculation=True),
+                mac_backend=backend,
+            ).passes
+        else:
+            passes = compile_fn_program(fns, mac_backend=backend).passes
+        rows.append([
+            backend,
+            f"{wall[backend]:.1f}",
+            f"{cycle_workload.mean_cycles():.0f}",
+            passes,
+        ])
+    print_table(
+        "ABL-MAC: 2EM vs AES for F_MAC",
+        ["backend", "us/packet (wall)", "cycles/packet (model)",
+         "pipeline passes"],
+        rows,
+    )
+    # the paper's direction: AES is the more expensive backend
+    assert wall["aes"] > wall["2em"]
+
+
+def test_aes_rejected_without_recirculation():
+    session = negotiate_session(
+        "s", "d", [RouterKey("mac2")], RouterKey("d"), nonce=b"m2"
+    )
+    fns = build_opt_packet(session, b"p").header.fns
+    with pytest.raises(PipelineConstraintError):
+        compile_fn_program(fns, mac_backend="aes")

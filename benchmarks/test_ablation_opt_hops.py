@@ -1,0 +1,76 @@
+"""ABL-HOPS: OPT header growth and verification cost vs path length.
+
+Section 4.1: "The header length of OPT packet varies with the path
+length and we use one hop for evaluation."  This sweep extends the
+evaluation the paper truncated: header bytes (exact arithmetic:
+30 + 68 + 16*(hops-1) ... i.e. 98 at one hop) and destination
+verification cost as the path grows to 8 hops.
+"""
+
+import pytest
+
+from repro.crypto.keys import RouterKey
+from repro.protocols.opt import (
+    initialize_header,
+    negotiate_session,
+    process_hop,
+    verify_packet,
+)
+from repro.realize.opt import build_opt_packet
+from repro.workloads.reporting import print_table
+from repro.workloads.sweeps import time_callable
+
+HOPS = (1, 2, 4, 8)
+PAYLOAD = b"multi-hop payload"
+
+
+def session_of(hops: int):
+    routers = [RouterKey(f"hop-{hops}-{i}") for i in range(hops)]
+    return negotiate_session(
+        "s", "d", routers, RouterKey("d"), nonce=bytes([hops])
+    )
+
+
+def walked_header(session):
+    header = initialize_header(session, PAYLOAD, timestamp=2)
+    for index, key in enumerate(session.hop_keys):
+        header = process_hop(
+            header, key, index, session.previous_label_for(index)
+        )
+    return header
+
+
+@pytest.mark.parametrize("hops", HOPS)
+def test_verify_cost_vs_hops(benchmark, hops):
+    session = session_of(hops)
+    header = walked_header(session)
+    benchmark.group = "ablation opt hops"
+    benchmark.extra_info["hops"] = hops
+    result = benchmark(lambda: verify_packet(session, header, PAYLOAD))
+    assert result.ok
+
+
+def test_report_opt_hops():
+    rows = []
+    sizes = {}
+    verify_us = {}
+    for hops in HOPS:
+        session = session_of(hops)
+        packet = build_opt_packet(session, PAYLOAD)
+        sizes[hops] = packet.header.header_length
+        header = walked_header(session)
+        seconds = time_callable(
+            lambda: verify_packet(session, header, PAYLOAD), repeats=3
+        )
+        verify_us[hops] = seconds * 1e6
+        rows.append([hops, sizes[hops], f"{verify_us[hops]:.1f}"])
+    print_table(
+        "ABL-HOPS: OPT vs path length",
+        ["hops", "DIP header bytes", "verify us (host)"],
+        rows,
+    )
+    # exact header arithmetic: Table 2's 98 B at one hop, +16 B per hop
+    for hops in HOPS:
+        assert sizes[hops] == 98 + 16 * (hops - 1)
+    # verification work grows with the path
+    assert verify_us[8] > verify_us[1]

@@ -1,0 +1,75 @@
+"""ABL-TEL: in-band telemetry overhead (Section 5 opportunity).
+
+Measures the cost of composing telemetry onto a forwarding header:
+plain DIP-IPv4 vs +F_tel (32-bit counter) vs +F_tel_array (per-hop
+slots), in both header bytes (exact) and per-packet processing time.
+The point the composition makes: telemetry is *pay-as-you-go* -- only
+packets that carry the FN pay anything at all.
+"""
+
+import pytest
+
+from repro.core.packet import DipPacket
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.realize.extensions import with_telemetry, with_telemetry_array
+from repro.realize.ip import build_ipv4_header
+from repro.workloads.reporting import print_table
+from repro.workloads.sweeps import time_callable
+
+DST = 0x0A000001
+
+VARIANTS = {
+    "plain": lambda: build_ipv4_header(DST, 2),
+    "+F_tel": lambda: with_telemetry(build_ipv4_header(DST, 2)),
+    "+F_tel_array(4)": lambda: with_telemetry_array(
+        build_ipv4_header(DST, 2), slots=4
+    ),
+    "+F_tel_array(8)": lambda: with_telemetry_array(
+        build_ipv4_header(DST, 2), slots=8
+    ),
+}
+
+
+def router():
+    state = NodeState(node_id="tel-router")
+    state.fib_v4.insert(0x0A000000, 8, 1)
+    return RouterProcessor(state), state
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_telemetry_cost(benchmark, variant):
+    processor, _state = router()
+    packet = DipPacket(header=VARIANTS[variant]())
+    assert processor.process(packet).decision is Decision.FORWARD
+    benchmark.group = "ablation telemetry"
+    benchmark(lambda: processor.process(packet))
+
+
+def test_report_telemetry_overhead():
+    rows = []
+    costs = {}
+    for variant, builder in VARIANTS.items():
+        processor, _state = router()
+        packet = DipPacket(header=builder())
+
+        def run():
+            for _ in range(200):
+                processor.process(packet)
+
+        seconds = time_callable(run, repeats=2)
+        costs[variant] = seconds / 200 * 1e6
+        rows.append(
+            [variant, packet.header.header_length, f"{costs[variant]:.1f}"]
+        )
+    print_table(
+        "ABL-TEL: telemetry composition overhead",
+        ["header", "bytes", "us/packet"],
+        rows,
+    )
+    # exact header arithmetic
+    assert rows[0][1] == 26          # plain DIP-32
+    assert rows[1][1] == 26 + 6 + 4  # +FN triple +counter
+    assert rows[2][1] == 26 + 6 + 2 + 32
+    # pay-as-you-go: the plain header pays nothing for the feature
+    assert costs["plain"] <= min(costs.values()) * 1.5

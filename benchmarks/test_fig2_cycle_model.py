@@ -1,0 +1,79 @@
+"""FIG2 (deterministic): Figure 2 regenerated on the cycle cost model.
+
+Wall-clock numbers wobble with the interpreter; the cycle model gives a
+noise-free rendition of the same figure whose *shape* is asserted
+exactly: baselines lowest, DIP forwarding close, NDN slightly above,
+OPT and NDN+OPT dominated by the MAC work, and a mild packet-size
+slope.
+"""
+
+import pytest
+
+from repro.dataplane.costs import CycleCostModel
+from repro.workloads.generators import (
+    FIGURE2_SIZES,
+    make_dip_ipv4_workload,
+    make_dip_ipv6_workload,
+    make_ndn_interest_workload,
+    make_ndn_opt_workload,
+    make_opt_workload,
+)
+from repro.workloads.reporting import print_table
+
+MAKERS = {
+    "DIP-IPv4": make_dip_ipv4_workload,
+    "DIP-IPv6": make_dip_ipv6_workload,
+    "NDN": make_ndn_interest_workload,
+    "OPT": make_opt_workload,
+    "NDN+OPT": make_ndn_opt_workload,
+}
+
+
+def mean_cycles(maker, size, packet_count=100):
+    workload = maker(
+        packet_size=size,
+        packet_count=packet_count,
+        cost_model=CycleCostModel(),
+    )
+    return workload.mean_cycles()
+
+
+def test_report_figure2_cycles():
+    """Print and shape-check the deterministic Figure 2."""
+    rows = []
+    cycles = {}
+    for protocol, maker in MAKERS.items():
+        row = [protocol]
+        for size in FIGURE2_SIZES:
+            value = mean_cycles(maker, size)
+            cycles[(protocol, size)] = value
+            row.append(f"{value:.0f}")
+        rows.append(row)
+    print_table(
+        "Figure 2 (cycle model): processing cost (model cycles/packet)",
+        ["protocol"] + [f"{s}B" for s in FIGURE2_SIZES],
+        rows,
+    )
+    for size in FIGURE2_SIZES:
+        ip4 = cycles[("DIP-IPv4", size)]
+        assert ip4 < cycles[("NDN", size)] < cycles[("DIP-IPv6", size)] * 2
+        assert cycles[("OPT", size)] > 4 * ip4
+        assert cycles[("NDN+OPT", size)] > cycles[("OPT", size)]
+    # mild size slope: 1500B costs more than 128B but far less than 2x
+    for protocol in MAKERS:
+        small = cycles[(protocol, 128)]
+        large = cycles[(protocol, 1500)]
+        assert small < large < 2 * small
+
+
+@pytest.mark.parametrize("protocol", list(MAKERS))
+def test_fig2_cycle_model(benchmark, protocol):
+    """Benchmark harness entry so the cycle model shows up in
+    --benchmark-only output alongside the wall-clock figures."""
+    model = CycleCostModel()
+    workload = MAKERS[protocol](
+        packet_size=128, packet_count=50, cost_model=model
+    )
+    benchmark.group = "fig2 cycle-model"
+    benchmark.extra_info["mean_cycles"] = workload.mean_cycles()
+    benchmark(workload.process_next)

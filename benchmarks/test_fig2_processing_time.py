@@ -1,0 +1,83 @@
+"""FIG2 (wall-clock): per-packet processing time, Figure 2 of the paper.
+
+The paper forwards 1000 packets of each protocol at 128/768/1500 bytes
+on a Tofino and reports per-packet processing time, with native
+IPv4/IPv6 forwarding as baselines.  Here the same workloads run through
+the software router; pytest-benchmark reports the per-packet time.
+
+Expected shape (paper Section 4.2): DIP forwarding close to the IP
+baselines; OPT and NDN+OPT clearly above because MAC operations are
+expensive; only a mild dependence on packet size.
+
+``test_report_figure2`` prints the full series in one table (use -s).
+"""
+
+import time
+
+import pytest
+
+from repro.workloads.generators import (
+    FIGURE2_SIZES,
+    make_dip_ipv4_workload,
+    make_dip_ipv6_workload,
+    make_native_ipv4_workload,
+    make_native_ipv6_workload,
+    make_ndn_interest_workload,
+    make_ndn_opt_workload,
+    make_opt_workload,
+)
+from repro.workloads.reporting import print_table
+
+MAKERS = {
+    "IPv4 (baseline)": make_native_ipv4_workload,
+    "IPv6 (baseline)": make_native_ipv6_workload,
+    "DIP-IPv4": make_dip_ipv4_workload,
+    "DIP-IPv6": make_dip_ipv6_workload,
+    "NDN": make_ndn_interest_workload,
+    "OPT": make_opt_workload,
+    "NDN+OPT": make_ndn_opt_workload,
+}
+
+
+@pytest.mark.parametrize("size", FIGURE2_SIZES)
+@pytest.mark.parametrize("protocol", list(MAKERS))
+def test_fig2_processing_time(benchmark, protocol, size, packet_count):
+    workload = MAKERS[protocol](packet_size=size, packet_count=packet_count)
+    benchmark.group = f"fig2 @ {size}B"
+    benchmark.extra_info["protocol"] = protocol
+    benchmark.extra_info["packet_size"] = size
+    benchmark(workload.process_next)
+
+
+def test_report_figure2(packet_count):
+    """Print the Figure 2 series (per-packet microseconds) and assert
+    the paper's ordering at every packet size."""
+    rows = []
+    mean_us = {}
+    for protocol, maker in MAKERS.items():
+        row = [protocol]
+        for size in FIGURE2_SIZES:
+            workload = maker(packet_size=size, packet_count=packet_count)
+            workload.run_all()  # warm-up pass (interpreter caches)
+            start = time.perf_counter()
+            workload.run_all()
+            per_packet = (time.perf_counter() - start) / packet_count * 1e6
+            mean_us[(protocol, size)] = per_packet
+            row.append(f"{per_packet:.1f}")
+        rows.append(row)
+    print_table(
+        "Figure 2: packet processing time (us/packet, software router)",
+        ["protocol"] + [f"{s}B" for s in FIGURE2_SIZES],
+        rows,
+    )
+    for size in FIGURE2_SIZES:
+        baseline = min(
+            mean_us[("IPv4 (baseline)", size)],
+            mean_us[("IPv6 (baseline)", size)],
+        )
+        # DIP forwarding within a small factor of the baseline...
+        assert mean_us[("DIP-IPv4", size)] < 5 * baseline
+        assert mean_us[("NDN", size)] < 5 * baseline
+        # ...while the MAC-bearing protocols sit clearly above it.
+        assert mean_us[("OPT", size)] > 2 * mean_us[("DIP-IPv4", size)]
+        assert mean_us[("NDN+OPT", size)] > 2 * mean_us[("NDN", size)]

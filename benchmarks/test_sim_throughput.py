@@ -1,0 +1,68 @@
+"""SIM: simulator capacity (not a paper figure -- an adopter's datum).
+
+Measures end-to-end simulated-packet throughput of the discrete-event
+substrate on a 3-hop line, so users can size their experiments.
+"""
+
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.realize.ndn import build_interest_packet, name_digest
+from repro.workloads.reporting import print_table
+from repro.workloads.sweeps import time_callable
+
+PACKETS = 300
+
+
+def run_batch(packet_count=PACKETS):
+    topo = Topology()
+    topo.trace.enabled = False  # measure the engine, not the logger
+    sender = topo.add(HostNode("s", topo.engine, topo.trace))
+    routers = [
+        topo.add(DipRouterNode(f"r{i}", topo.engine, topo.trace))
+        for i in range(3)
+    ]
+    sink = topo.add(HostNode("d", topo.engine, topo.trace))
+    topo.connect("s", 0, "r0", 1)
+    topo.connect("r0", 2, "r1", 1)
+    topo.connect("r1", 2, "r2", 1)
+    topo.connect("r2", 2, "d", 0)
+    digest = name_digest("/bench")
+    for router in routers:
+        router.state.name_fib_digest.insert(digest, 32, 2)
+    packet = build_interest_packet(digest)
+    for i in range(packet_count):
+        # distinct names dodge PIT aggregation
+        topo.engine.schedule(
+            i * 1e-6, sender.send_packet, build_interest_packet(digest + 0)
+        )
+    return topo, sink
+
+
+def test_sim_throughput(benchmark):
+    def run():
+        topo, sink = run_batch()
+        topo.run()
+        return sink
+
+    sink = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.group = "simulator"
+
+
+def test_report_sim_throughput():
+    def run():
+        topo, sink = run_batch()
+        topo.run()
+        assert sink.stats.received == PACKETS
+
+    seconds = time_callable(run, repeats=2)
+    packets_per_second = PACKETS / seconds
+    print_table(
+        "SIM: netsim capacity (3-hop line, NDN interests)",
+        ["metric", "value"],
+        [
+            ["simulated packets", PACKETS],
+            ["wall seconds", f"{seconds:.3f}"],
+            ["packets/second", f"{packets_per_second:,.0f}"],
+            ["hop-events/second", f"{packets_per_second * 5:,.0f}"],
+        ],
+    )
+    assert packets_per_second > 500  # sanity floor for CI machines

@@ -1,0 +1,70 @@
+"""TAB2: packet header size overhead -- byte-exact Table 2.
+
+Unlike the timing figures, the header arithmetic is exact: every row of
+the paper's Table 2 is asserted to the byte, and the table is printed
+alongside the paper's numbers.
+"""
+
+from repro.crypto.keys import RouterKey
+from repro.protocols.ip.ipv4 import IPV4_HEADER_SIZE
+from repro.protocols.ip.ipv6 import IPV6_HEADER_SIZE
+from repro.protocols.opt import negotiate_session
+from repro.realize.derived import build_ndn_opt_interest
+from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
+from repro.realize.ndn import build_data_packet, build_interest_packet
+from repro.realize.opt import build_opt_packet
+from repro.workloads.reporting import print_table
+
+PAPER_TABLE2 = {
+    "IPv6 forwarding": 40,
+    "IPv4 forwarding": 20,
+    "DIP-128 forwarding": 50,
+    "DIP-32 forwarding": 26,
+    "NDN forwarding": 16,
+    "OPT forwarding": 98,
+    "NDN+OPT forwarding": 108,
+}
+
+
+def measured_table2():
+    session = negotiate_session(
+        "s", "d", [RouterKey("r0")], RouterKey("d"), nonce=b"t2"
+    )
+    return {
+        "IPv6 forwarding": IPV6_HEADER_SIZE,
+        "IPv4 forwarding": IPV4_HEADER_SIZE,
+        "DIP-128 forwarding": build_ipv6_packet(1, 2).header.header_length,
+        "DIP-32 forwarding": build_ipv4_packet(1, 2).header.header_length,
+        "NDN forwarding": build_interest_packet("/n").header.header_length,
+        "OPT forwarding": build_opt_packet(session, b"p").header.header_length,
+        "NDN+OPT forwarding": build_ndn_opt_interest(
+            "/n", session, b"p"
+        ).header.header_length,
+    }
+
+
+def test_report_table2():
+    measured = measured_table2()
+    rows = [
+        [name, PAPER_TABLE2[name], measured[name],
+         "OK" if PAPER_TABLE2[name] == measured[name] else "MISMATCH"]
+        for name in PAPER_TABLE2
+    ]
+    print_table(
+        "Table 2: packet header size overhead (bytes)",
+        ["network function", "paper", "measured", ""],
+        rows,
+    )
+    assert measured == PAPER_TABLE2
+
+
+def test_ndn_data_packet_also_16_bytes():
+    """Both NDN packet types carry one FN -> same 16-byte header."""
+    assert build_data_packet("/n").header.header_length == 16
+
+
+def test_table2_bench_entry(benchmark):
+    """Header construction cost (so TAB2 appears in --benchmark-only)."""
+    benchmark.group = "table2"
+    result = benchmark(measured_table2)
+    assert result == PAPER_TABLE2

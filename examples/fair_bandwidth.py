@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Dynamic packet state over DIP: core-stateless fair queueing.
+
+Section 5 of the paper lists "implementing stateless guaranteed
+services" among DIP's opportunities, citing Stoica et al.'s dynamic
+packet state work.  This example realizes the CSFQ scheme with one new
+FN (key 16):
+
+- the *edge* estimates each flow's rate and stamps it into a 32-bit
+  label in the FN locations (build_dps_packet);
+- the *core* router keeps NO per-flow state: ``F_dps`` compares the
+  label against an estimated fair share and drops probabilistically.
+
+Three flows with very different offered loads share a 100 kB/s
+bottleneck; CSFQ pushes their *forwarded* rates toward equal shares.
+"""
+
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.protocols.dps.csfq import CsfqCore, EdgeRateEstimator
+from repro.protocols.ip.addresses import parse_ipv4
+from repro.realize.dps import build_dps_packet
+
+DST = parse_ipv4("10.0.0.1")
+CAPACITY = 100_000.0  # bytes/second
+FLOWS = {
+    # flow id: (send period in ticks, payload size) -> offered load
+    1: (8, 500),   # ~125 kB/s / 8 = modest
+    2: (2, 500),   # 4x flow 1
+    3: (1, 1000),  # the hog: 8x flow 1 in packets, 16x in bytes
+}
+TICK = 0.0005
+ITERATIONS = 12_000
+
+
+def main() -> None:
+    core_state = NodeState(node_id="csfq-core")
+    core_state.fib_v4.insert(parse_ipv4("10.0.0.0"), 8, 1)
+    core_state.csfq = CsfqCore(capacity=CAPACITY)
+    core = RouterProcessor(core_state)
+    edge = EdgeRateEstimator()
+
+    sent_bytes = {flow: 0 for flow in FLOWS}
+    forwarded_bytes = {flow: 0 for flow in FLOWS}
+    now = 0.0
+    for i in range(ITERATIONS):
+        now += TICK
+        for flow, (period, size) in FLOWS.items():
+            if i % period:
+                continue
+            sent_bytes[flow] += size
+            rate = edge.observe(flow, size, now)
+            packet = build_dps_packet(
+                DST, flow, rate, payload=b"z" * (size - 50)
+            )
+            if core.process(packet, now=now).decision is Decision.FORWARD:
+                forwarded_bytes[flow] += size
+
+    duration = ITERATIONS * TICK
+    print(f"bottleneck capacity: {CAPACITY / 1000:.0f} kB/s, "
+          f"fair share ~{CAPACITY / len(FLOWS) / 1000:.0f} kB/s per flow\n")
+    print(f"{'flow':>4}  {'offered kB/s':>12}  {'forwarded kB/s':>14}  kept")
+    for flow in FLOWS:
+        offered = sent_bytes[flow] / duration / 1000
+        forwarded = forwarded_bytes[flow] / duration / 1000
+        print(f"{flow:>4}  {offered:>12.1f}  {forwarded:>14.1f}  "
+              f"{forwarded_bytes[flow] / sent_bytes[flow]:>4.0%}")
+
+    total_forwarded = sum(forwarded_bytes.values()) / duration
+    print(f"\naggregate forwarded: {total_forwarded / 1000:.1f} kB/s "
+          f"(link capacity {CAPACITY / 1000:.0f})")
+    print(f"core router per-flow state kept: NONE "
+          f"(alpha estimate: {core_state.csfq.alpha / 1000:.1f} kB/s)")
+
+    # Despite a 16x spread in offered bytes, forwarded shares are close.
+    shares = [forwarded_bytes[flow] / duration for flow in FLOWS]
+    assert max(shares) < 3 * min(shares)
+    assert total_forwarded < 1.5 * CAPACITY
+    print("\nfair bandwidth scenario checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Heterogeneous FN configuration across ASes (Section 2.4 + 2.3).
+
+Not every AS enables every FN.  The paper's machinery for living with
+that, all exercised here:
+
+1. hosts *bootstrap* their own AS's FN set (DHCP-like, over real
+   control frames);
+2. ASes advertise capability sets globally (BGP-community style
+   CapabilityMap), so a source can check a path *before* using a
+   path-critical FN;
+3. if a source sends anyway, the first non-supporting router returns an
+   FN-unsupported message (ICMP-like) naming the offending key;
+4. non-critical FNs (telemetry) are simply ignored by ASes that lack
+   them -- packets still flow.
+
+Topology::  host-a --- as1 --- as2 --- as3 --- host-b
+            (as2 supports no OPT operations)
+"""
+
+from repro.core.fn import OperationKey
+from repro.core.registry import default_registry
+from repro.crypto.keys import RouterKey
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.netsim.bootstrap import CapabilityMap, bootstrap_host_async
+from repro.protocols.opt import negotiate_session
+from repro.realize.derived import build_ndn_opt_interest
+from repro.realize.extensions import with_telemetry
+from repro.realize.ndn import build_interest_packet, install_name_route
+from repro.core.packet import DipPacket
+
+CONTENT = "/global/dataset"
+
+
+def main() -> None:
+    topo = Topology()
+    host_a = topo.add(HostNode("host-a", topo.engine, topo.trace))
+    as1 = topo.add(DipRouterNode("as1", topo.engine, topo.trace))
+    # as2 runs an older FN set: no OPT, no telemetry.
+    old_set = default_registry().restricted(
+        {k for k in range(1, 6)}  # matches + source + FIB + PIT only
+    )
+    as2 = topo.add(
+        DipRouterNode("as2", topo.engine, topo.trace, registry=old_set)
+    )
+    as3 = topo.add(DipRouterNode("as3", topo.engine, topo.trace))
+    host_b = topo.add(HostNode("host-b", topo.engine, topo.trace))
+
+    topo.connect("host-a", 0, "as1", 1)
+    topo.connect("as1", 2, "as2", 1)
+    topo.connect("as2", 2, "as3", 1)
+    topo.connect("as3", 2, "host-b", 0)
+    for router in (as1, as2, as3):
+        install_name_route(router.state, "/global", 2)
+
+    # 1. bootstrap: host-a learns its own AS's capabilities on the wire
+    bootstrap_host_async(host_a)
+    topo.run()
+    print(f"host-a bootstrapped: {len(host_a.stack.available_fns)} FNs "
+          f"available in as1")
+
+    # 2. the global capability map (BGP-community style advertisements)
+    capabilities = CapabilityMap()
+    for router in (as1, as2, as3):
+        capabilities.advertise_router(router)
+    path = ["as1", "as2", "as3"]
+    session = negotiate_session(
+        "host-b", "host-a",
+        [as3.state.router_key, as2.state.router_key, as1.state.router_key],
+        RouterKey("host-a"), nonce=b"het",
+    )
+    wanted = [OperationKey.FIB, OperationKey.PARM, OperationKey.MAC,
+              OperationKey.MARK]
+    missing = capabilities.missing_on_path(wanted, path)
+    print(f"path check for NDN+OPT: missing = "
+          f"{[(as_id, OperationKey(key).name) for as_id, key in missing]}")
+    assert ("as2", OperationKey.PARM) in missing
+
+    # 3. sending NDN+OPT anyway: as2 signals FN-unsupported
+    host_a.send_packet(build_ndn_opt_interest(CONTENT, session, b""))
+    topo.run()
+    assert len(host_a.control_inbox) == 1
+    report = host_a.control_inbox[0]
+    print(f"sent anyway: {report.reporter_id} reported FN key "
+          f"{report.unsupported_key} ({OperationKey(report.unsupported_key).name}) "
+          f"unsupported")
+
+    # 4. non-critical FNs are ignored: plain NDN + telemetry still flows
+    header = with_telemetry(build_interest_packet(CONTENT).header)
+    host_a.send_packet(DipPacket(header=header))
+    topo.run()
+    assert host_b.stats.received == 1
+    delivered = host_b.inbox[-1][0]
+    hop_counter = int.from_bytes(delivered.header.locations[4:8], "big")
+    print(f"plain NDN + telemetry crossed all three ASes; hop counter = "
+          f"{hop_counter} (as2 ignored F_tel, as1/as3 counted)")
+    assert hop_counter == 2  # as2 lacks the module
+
+    print("\nheterogeneous deployment scenario checks passed")
+
+
+if __name__ == "__main__":
+    main()

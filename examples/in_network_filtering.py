@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""OPT vs EPIC over DIP: where do forged packets die?
+
+Both protocols the paper cites for source/path validation are realized
+as FN compositions here, which makes their core design difference
+directly observable on the same 4-router path:
+
+- **OPT** (F_parm/F_MAC/F_mark + host F_ver): routers only *update*
+  tags; a forged packet travels the whole path and is exposed at the
+  destination;
+- **EPIC** (F_epic + host F_epic_ver): every router *verifies* its own
+  short per-packet HVF; a forged packet dies at the FIRST router --
+  in-network filtering, the property that matters under DDoS.
+
+The demo injects 20 forged packets per protocol and counts how many
+links each one crossed before being dropped.
+"""
+
+from repro.crypto.keys import RouterKey
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.protocols.opt import negotiate_session
+from repro.realize.epic import build_epic_packet
+from repro.realize.opt import build_opt_packet
+
+HOPS = 4
+FORGED = 20
+
+
+def build_network():
+    topo = Topology()
+    attacker = topo.add(HostNode("attacker", topo.engine, topo.trace))
+    routers = [
+        topo.add(DipRouterNode(f"r{i}", topo.engine, topo.trace))
+        for i in range(HOPS)
+    ]
+    victim = topo.add(HostNode("victim", topo.engine, topo.trace))
+    topo.connect("attacker", 0, "r0", 1)
+    for i in range(HOPS - 1):
+        topo.connect(f"r{i}", 2, f"r{i+1}", 1)
+    topo.connect(f"r{HOPS-1}", 2, "victim", 0)
+    topo.wire_neighbor_labels()
+    for router in routers:
+        router.state.default_port = 2
+    return topo, attacker, routers, victim
+
+
+def run(protocol: str):
+    topo, attacker, routers, victim = build_network()
+    # The honest session belongs to the real routers; position them.
+    honest = negotiate_session(
+        "source", "victim",
+        [router.state.router_key for router in routers],
+        RouterKey("victim"), nonce=b"hr",
+    )
+    for position, router in enumerate(routers):
+        router.state.opt_positions[honest.session_id] = position
+    victim.stack.state.opt_sessions[honest.session_id] = honest
+
+    # The attacker fabricates its own session (it has no router keys).
+    forged_session = negotiate_session(
+        "attacker", "victim",
+        [RouterKey(f"fake{i}") for i in range(HOPS)],
+        RouterKey("victim-guess"), nonce=b"fk",
+    )
+    for router in routers:
+        router.state.opt_positions[forged_session.session_id] = (
+            routers.index(router)
+        )
+
+    for i in range(FORGED):
+        if protocol == "opt":
+            packet = build_opt_packet(forged_session, b"junk", timestamp=i)
+        else:
+            packet = build_epic_packet(forged_session, b"junk", counter=i)
+        attacker.send_packet(packet)
+    topo.run()
+
+    forwarded_per_router = [router.stats.forwarded for router in routers]
+    reached_victim = victim.stats.received
+    return forwarded_per_router, reached_victim, victim
+
+
+def main() -> None:
+    for protocol in ("opt", "epic"):
+        forwarded, reached, victim = run(protocol)
+        wasted_links = sum(forwarded) + reached
+        print(f"{protocol.upper():5s} forged traffic: "
+              f"per-router forwards {forwarded}, "
+              f"{reached} reached the victim host, "
+              f"{wasted_links} total link crossings wasted")
+        if protocol == "opt":
+            # OPT: everything arrives, the host's F_ver rejects it all.
+            assert reached == FORGED
+            assert len(victim.rejected) == FORGED and not victim.inbox
+            print("      -> every forgery crossed the whole path; "
+                  "F_ver rejected all of them at the host")
+        else:
+            # EPIC: the first router filters everything in-dataplane.
+            assert forwarded == [0] * HOPS and reached == 0
+            print("      -> every forgery died at r0 (F_epic), "
+                  "zero downstream bandwidth spent")
+    print("\nin-network filtering scenario checks passed")
+
+
+if __name__ == "__main__":
+    main()

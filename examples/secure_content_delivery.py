@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""NDN+OPT: the derived protocol -- secure content delivery.
+
+This is the paper's headline composition (Section 3, NDN+OPT): one DIP
+header carries both the NDN FNs (F_FIB / F_PIT, routing on a 32-bit
+content name) and the OPT chain (F_parm / F_MAC / F_mark / F_ver), so
+content delivery gains source validation and path authentication with
+no new protocol machinery -- just FN composition.
+
+Topology::
+
+    consumer --- r1 --- r2 --- producer
+
+The consumer requests named content; the producer answers with an
+NDN+OPT data packet whose path tags every router updates; the consumer
+verifies both the content's source and the exact path it travelled.
+A second run forges the data from the wrong node and the consumer's
+F_ver rejects it.
+"""
+
+from repro.crypto.keys import RouterKey
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.protocols.opt import negotiate_session
+from repro.realize.derived import build_ndn_opt_data
+from repro.realize.ndn import build_interest_packet, install_name_route, name_digest
+
+CONTENT_NAME = "/seu/secure/report"
+CONTENT = b"signed measurement report v1"
+
+
+def build_network(producer_app):
+    topo = Topology()
+    consumer = topo.add(HostNode("consumer", topo.engine, topo.trace))
+    r1 = topo.add(DipRouterNode("r1", topo.engine, topo.trace))
+    r2 = topo.add(DipRouterNode("r2", topo.engine, topo.trace))
+    producer = topo.add(
+        HostNode("producer", topo.engine, topo.trace, app=producer_app)
+    )
+    topo.connect("consumer", 0, "r1", 1)
+    topo.connect("r1", 2, "r2", 1)
+    topo.connect("r2", 2, "producer", 0)
+    topo.wire_neighbor_labels()
+    install_name_route(r1.state, CONTENT_NAME, 2)
+    install_name_route(r2.state, CONTENT_NAME, 2)
+    return topo, consumer, r1, r2, producer
+
+
+def main() -> None:
+    # The data path (producer -> r2 -> r1 -> consumer) is the OPT path.
+    # Key negotiation happens at session setup, as in OPT.
+    session_box = {}
+
+    def producer_app(host, packet, port):
+        digest = int.from_bytes(packet.header.locations[:4], "big")
+        data = build_ndn_opt_data(
+            digest, session_box["session"], CONTENT, timestamp=7
+        )
+        host.send_packet(data, port=port)
+
+    topo, consumer, r1, r2, producer = build_network(producer_app)
+    session = negotiate_session(
+        "producer",
+        "consumer",
+        [r2.state.router_key, r1.state.router_key],  # data-path order
+        RouterKey("consumer"),
+        nonce=b"ndn+opt",
+    )
+    session_box["session"] = session
+    r2.state.opt_positions[session.session_id] = 0
+    r1.state.opt_positions[session.session_id] = 1
+    consumer.stack.state.opt_sessions[session.session_id] = session
+
+    print(f"requesting {CONTENT_NAME!r} "
+          f"(digest {name_digest(CONTENT_NAME):#010x})")
+    consumer.send_packet(build_interest_packet(CONTENT_NAME))
+    topo.run()
+
+    assert len(consumer.inbox) == 1, consumer.rejected
+    packet, result = consumer.inbox[0]
+    report = result.scratch["opt_report"]
+    print(f"data received: {packet.payload!r}")
+    print(f"F_ver: source_ok={report.source_ok} path_ok={report.path_ok}")
+    print(f"header size: {packet.header.header_length} bytes "
+          f"(Table 2's 108-byte NDN+OPT row is the 1-hop case; "
+          f"this path has 2 hops: 108 + 16)")
+
+    # ---- forgery: data injected by a node without session keys --------
+    def forger_app(host, packet, port):
+        digest = int.from_bytes(packet.header.locations[:4], "big")
+        forged_session = negotiate_session(
+            "forger", "consumer",
+            [RouterKey("fake-r1"), RouterKey("fake-r2")],
+            RouterKey("consumer-guess"), nonce=b"forged",
+        )
+        data = build_ndn_opt_data(digest, forged_session, b"FORGED CONTENT")
+        host.send_packet(data, port=port)
+
+    topo2, consumer2, r1b, r2b, _producer2 = build_network(forger_app)
+    consumer2.stack.state.opt_sessions[session.session_id] = session
+    consumer2.send_packet(build_interest_packet(CONTENT_NAME))
+    topo2.run()
+    # The forged session id is unknown at the consumer: F_ver cannot
+    # find its keys and the host stack rejects the packet.
+    assert not consumer2.inbox and len(consumer2.rejected) == 1
+    _, rejected = consumer2.rejected[0]
+    print(f"\nforged data: REJECTED ({rejected.notes[-1]})")
+    print("\nsecure content delivery scenario checks passed")
+
+
+if __name__ == "__main__":
+    main()

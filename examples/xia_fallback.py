@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""XIA-over-DIP: DAG addresses with fallback routing.
+
+The consumer wants a content chunk (CID).  Its DAG address says: "reach
+the CID directly if you can; otherwise go to AD ``campus``, then host
+``fileserver``, each of which again prefers a CID shortcut":
+
+    source ──────────────► CID            (priority edge)
+       └──► AD ──► HID ───┘               (fallback path)
+
+Topology::
+
+    consumer --- core --- gateway --- fileserver-router
+                             └── cache (holds the CID!)
+
+Run 1: nobody on the direct path knows the CID, so the packet falls
+back through AD and HID and is delivered at the fileserver.  Run 2: the
+gateway learns a CID route to the nearby cache; the same packet now
+shortcuts straight to the cache without touching the fileserver --
+that's XIA's evolvability story, realized by two FNs.
+"""
+
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.protocols.xia import DagAddress, Xid, XidType
+from repro.realize.xia import build_xia_packet
+
+CID = Xid.for_content(b"chunk-0001 of /videos/talk.mp4")
+AD_CAMPUS = Xid.from_name(XidType.AD, "campus")
+HID_FILESERVER = Xid.from_name(XidType.HID, "fileserver")
+
+
+def build_network():
+    topo = Topology()
+    consumer = topo.add(HostNode("consumer", topo.engine, topo.trace))
+    core = topo.add(DipRouterNode("core", topo.engine, topo.trace))
+    gateway = topo.add(DipRouterNode("gateway", topo.engine, topo.trace))
+    fileserver = topo.add(DipRouterNode("fileserver", topo.engine, topo.trace))
+    cache = topo.add(DipRouterNode("cache", topo.engine, topo.trace))
+
+    topo.connect("consumer", 0, "core", 1)
+    topo.connect("core", 2, "gateway", 1)
+    topo.connect("gateway", 2, "fileserver", 1)
+    topo.connect("gateway", 3, "cache", 1)
+    topo.wire_neighbor_labels()
+
+    # core knows how to reach the campus AD.
+    core.state.xia_table.add_route(AD_CAMPUS, 2)
+    # gateway IS the campus AD border and routes to the fileserver HID.
+    gateway.state.xia_table.add_local(AD_CAMPUS)
+    gateway.state.xia_table.add_route(HID_FILESERVER, 2)
+    # the fileserver hosts the HID and the content.
+    fileserver.state.xia_table.add_local(AD_CAMPUS)
+    fileserver.state.xia_table.add_local(HID_FILESERVER)
+    fileserver.state.xia_table.add_local(CID)
+    # the cache holds a replica of the content.
+    cache.state.xia_table.add_local(AD_CAMPUS)
+    cache.state.xia_table.add_local(CID)
+    return topo, consumer, core, gateway, fileserver, cache
+
+
+def main() -> None:
+    dag = DagAddress.with_fallback(CID, [AD_CAMPUS, HID_FILESERVER])
+    print("DAG address:")
+    for index, node in enumerate(dag.nodes):
+        marker = "  <- intent" if index == dag.intent_index else ""
+        print(f"  node {index}: {node.xid} edges={node.edges}{marker}")
+    print(f"  entry edges: {dag.entry_edges}")
+
+    # ---- run 1: no CID route anywhere -> fallback to the fileserver ---
+    topo, consumer, core, gateway, fileserver, cache = build_network()
+    consumer.send_packet(build_xia_packet(dag, payload=b"GET chunk"))
+    topo.run()
+    assert len(fileserver.local_inbox) == 1 and not cache.local_inbox
+    print("\nrun 1: delivered at the FILESERVER via AD->HID fallback")
+
+    # ---- run 2: the gateway learns a CID route to the cache ------------
+    topo, consumer, core, gateway, fileserver, cache = build_network()
+    gateway.state.xia_table.add_route(CID, 3)  # new principal route!
+    consumer.send_packet(build_xia_packet(dag, payload=b"GET chunk"))
+    topo.run()
+    assert len(cache.local_inbox) == 1 and not fileserver.local_inbox
+    print("run 2: same packet shortcuts to the CACHE "
+          "(gateway grew a CID route)")
+
+    print("\nxia fallback scenario checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""DIP: unifying network layer innovations using shared L3 core functions.
+
+A full Python reproduction of the HotNets '22 paper.  The public API
+re-exports the pieces most users need:
+
+- the FN primitive and DIP header/packet model (:mod:`repro.core`);
+- the Section 3 protocol realizations (:mod:`repro.realize`);
+- the native substrate protocols (:mod:`repro.protocols`);
+- the software PISA dataplane (:mod:`repro.dataplane`);
+- the discrete-event network simulator (:mod:`repro.netsim`).
+
+Quickstart::
+
+    from repro import (
+        NodeState, RouterProcessor, build_interest_packet, name_digest,
+    )
+
+    state = NodeState(node_id="r1")
+    state.name_fib_digest.insert(name_digest("/seu/hotnets"), 32, port := 3)
+    router = RouterProcessor(state)
+    result = router.process(build_interest_packet("/seu/hotnets/paper"))
+"""
+
+from repro.core import (
+    BASIC_HEADER_SIZE,
+    Decision,
+    DipHeader,
+    DipPacket,
+    FieldOperation,
+    FN_ENCODED_SIZE,
+    HostStack,
+    NodeState,
+    OperationKey,
+    OperationRegistry,
+    PacketParameter,
+    ProcessingLimits,
+    ProcessResult,
+    RouterProcessor,
+    default_registry,
+)
+from repro.dataplane import CycleCostModel
+from repro.realize import (
+    build_data_packet,
+    build_interest_packet,
+    build_ipv4_packet,
+    build_ipv6_packet,
+    build_ndn_opt_data,
+    build_ndn_opt_interest,
+    build_opt_packet,
+    build_xia_packet,
+)
+from repro.realize.ndn import name_digest
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "FieldOperation",
+    "OperationKey",
+    "FN_ENCODED_SIZE",
+    "DipHeader",
+    "PacketParameter",
+    "BASIC_HEADER_SIZE",
+    "DipPacket",
+    "NodeState",
+    "RouterProcessor",
+    "HostStack",
+    "Decision",
+    "ProcessResult",
+    "OperationRegistry",
+    "default_registry",
+    "ProcessingLimits",
+    "CycleCostModel",
+    # realizations
+    "build_ipv4_packet",
+    "build_ipv6_packet",
+    "build_interest_packet",
+    "build_data_packet",
+    "build_opt_packet",
+    "build_ndn_opt_interest",
+    "build_ndn_opt_data",
+    "build_xia_packet",
+    "name_digest",
+]

@@ -1,0 +1,253 @@
+"""Command-line interface: packet dissection and paper-table printing.
+
+Usage::
+
+    python -m repro decode 00010240...        # dissect a DIP packet
+    python -m repro table2                    # Table 2 reproduction
+    python -m repro fig2                      # cycle-model Figure 2
+    python -m repro keys                      # known operation keys
+
+``decode`` accepts hex (with or without spaces); it prints the basic
+header, every FN triple, a locations hexdump, and -- when the FN keys
+identify an embedded protocol header (OPT, EPIC, XIA) -- a decoded view
+of that too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.fn import OperationKey
+from repro.core.packet import DipPacket
+from repro.errors import ReproError
+from repro.util.bytesutil import hexdump
+
+
+def _key_name(key: int) -> str:
+    try:
+        return OperationKey(key).name
+    except ValueError:
+        return f"key-{key}"
+
+
+def _decode_embedded(packet: DipPacket, out) -> None:
+    keys = {fn.key for fn in packet.header.fns}
+    locations = packet.header.locations
+    try:
+        if OperationKey.MAC in keys:
+            from repro.protocols.opt.header import OptHeader
+
+            base = min(
+                fn.field_loc
+                for fn in packet.header.fns
+                if fn.key == OperationKey.MAC
+            )
+            header = OptHeader.decode(locations[base // 8 :])
+            out.write(
+                f"  embedded OPT header: session "
+                f"{header.session_id.hex()[:16]}.., ts {header.timestamp}, "
+                f"{header.hop_count} hop(s)\n"
+            )
+        if OperationKey.EPIC in keys:
+            from repro.protocols.epic.header import EpicHeader
+
+            base = min(
+                fn.field_loc
+                for fn in packet.header.fns
+                if fn.key == OperationKey.EPIC
+            )
+            header = EpicHeader.decode(locations[base // 8 :])
+            out.write(
+                f"  embedded EPIC header: session "
+                f"{header.session_id.hex()[:16]}.., ctr {header.counter}, "
+                f"{header.hop_count} hop(s)\n"
+            )
+        if OperationKey.DAG in keys:
+            from repro.protocols.xia.router import XiaHeader
+
+            header = XiaHeader.decode(locations)
+            out.write(
+                f"  embedded XIA header: {len(header.dag.nodes)} DAG "
+                f"node(s), intent {header.dag.intent}, "
+                f"pointer {header.last_visited}\n"
+            )
+    except ReproError as exc:
+        out.write(f"  (embedded header did not decode: {exc})\n")
+
+
+def cmd_decode(args, out) -> int:
+    text = "".join(args.hex).replace(" ", "").replace(":", "")
+    try:
+        raw = bytes.fromhex(text)
+    except ValueError:
+        out.write("error: input is not valid hex\n")
+        return 2
+    try:
+        packet = DipPacket.decode(raw)
+    except ReproError as exc:
+        out.write(f"error: not a DIP packet: {exc}\n")
+        return 1
+    header = packet.header
+    out.write(
+        f"DIP packet: {packet.size} bytes total, "
+        f"{header.header_length}-byte header, "
+        f"{len(packet.payload)}-byte payload\n"
+    )
+    out.write(
+        f"  basic header: next-header {header.next_header:#06x}, "
+        f"FN num {header.fn_num}, hop limit {header.hop_limit}, "
+        f"parallel {'yes' if header.parallel else 'no'}, "
+        f"locations {header.loc_len} B\n"
+    )
+    for index, fn in enumerate(header.fns):
+        role = "host" if fn.tag else "router"
+        out.write(
+            f"  FN[{index}]: {_key_name(fn.key)} ({role}) "
+            f"loc {fn.field_loc} len {fn.field_len}\n"
+        )
+    if header.locations:
+        out.write("  FN locations:\n")
+        for line in hexdump(header.locations).splitlines():
+            out.write(f"    {line}\n")
+    _decode_embedded(packet, out)
+    return 0
+
+
+def cmd_lint(args, out) -> int:
+    """Lint a packet's FN program; exit 1 on errors, 0 otherwise."""
+    from repro.core.composer import Severity, lint_program
+
+    text = "".join(args.hex).replace(" ", "").replace(":", "")
+    try:
+        packet = DipPacket.decode(bytes.fromhex(text))
+    except (ValueError, ReproError) as exc:
+        out.write(f"error: not a DIP packet: {exc}\n")
+        return 2
+    diagnostics = lint_program(packet.header)
+    if not diagnostics:
+        out.write("clean: no findings\n")
+        return 0
+    for diagnostic in diagnostics:
+        out.write(f"{diagnostic}\n")
+    has_errors = any(d.severity is Severity.ERROR for d in diagnostics)
+    return 1 if has_errors else 0
+
+
+def _print_table2(out) -> int:
+    from repro.crypto.keys import RouterKey
+    from repro.protocols.ip.ipv4 import IPV4_HEADER_SIZE
+    from repro.protocols.ip.ipv6 import IPV6_HEADER_SIZE
+    from repro.protocols.opt import negotiate_session
+    from repro.realize.derived import build_ndn_opt_interest
+    from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
+    from repro.realize.ndn import build_interest_packet
+    from repro.realize.opt import build_opt_packet
+    from repro.workloads.reporting import format_table
+
+    session = negotiate_session(
+        "s", "d", [RouterKey("r0")], RouterKey("d"), nonce=b"cli"
+    )
+    rows = [
+        ["IPv6 forwarding", 40, IPV6_HEADER_SIZE],
+        ["IPv4 forwarding", 20, IPV4_HEADER_SIZE],
+        ["DIP-128 forwarding", 50,
+         build_ipv6_packet(1, 2).header.header_length],
+        ["DIP-32 forwarding", 26,
+         build_ipv4_packet(1, 2).header.header_length],
+        ["NDN forwarding", 16,
+         build_interest_packet("/n").header.header_length],
+        ["OPT forwarding", 98,
+         build_opt_packet(session, b"p").header.header_length],
+        ["NDN+OPT forwarding", 108,
+         build_ndn_opt_interest("/n", session, b"p").header.header_length],
+    ]
+    out.write(
+        format_table(["network function", "paper (B)", "measured (B)"], rows)
+        + "\n"
+    )
+    return 0
+
+
+def _print_fig2(out) -> int:
+    from repro.dataplane.costs import CycleCostModel
+    from repro.workloads.generators import (
+        FIGURE2_SIZES,
+        make_dip_ipv4_workload,
+        make_dip_ipv6_workload,
+        make_ndn_interest_workload,
+        make_ndn_opt_workload,
+        make_opt_workload,
+    )
+    from repro.workloads.reporting import format_table
+
+    makers = {
+        "DIP-IPv4": make_dip_ipv4_workload,
+        "DIP-IPv6": make_dip_ipv6_workload,
+        "NDN": make_ndn_interest_workload,
+        "OPT": make_opt_workload,
+        "NDN+OPT": make_ndn_opt_workload,
+    }
+    rows = []
+    for name, maker in makers.items():
+        row = [name]
+        for size in FIGURE2_SIZES:
+            workload = maker(
+                packet_size=size, packet_count=50,
+                cost_model=CycleCostModel(),
+            )
+            row.append(f"{workload.mean_cycles():.0f}")
+        rows.append(row)
+    out.write(
+        format_table(
+            ["protocol"] + [f"{s}B" for s in FIGURE2_SIZES], rows
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _print_keys(out) -> int:
+    from repro.core.registry import default_registry
+
+    registry = default_registry()
+    for key in sorted(registry.supported_keys()):
+        operation = registry.get(key)
+        out.write(f"  {key:>3}  {operation.name}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the exit code."""
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIP (HotNets '22) reproduction tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    decode = sub.add_parser("decode", help="dissect a DIP packet from hex")
+    decode.add_argument("hex", nargs="+", help="packet bytes in hex")
+    lint = sub.add_parser("lint", help="lint a DIP packet's FN composition")
+    lint.add_argument("hex", nargs="+", help="packet bytes in hex")
+    sub.add_parser("table2", help="print the Table 2 reproduction")
+    sub.add_parser("fig2", help="print the cycle-model Figure 2")
+    sub.add_parser("keys", help="list the installed operation keys")
+
+    args = parser.parse_args(argv)
+    if args.command == "decode":
+        return cmd_decode(args, out)
+    if args.command == "lint":
+        return cmd_lint(args, out)
+    if args.command == "table2":
+        return _print_table2(out)
+    if args.command == "fig2":
+        return _print_fig2(out)
+    if args.command == "keys":
+        return _print_keys(out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the DIP protocol core.
+
+- :mod:`repro.core.fn` -- the Field Operation (FN) primitive;
+- :mod:`repro.core.header` -- the DIP packet header (Figure 1);
+- :mod:`repro.core.packet` -- full DIP packets;
+- :mod:`repro.core.operations` -- the operation modules of Table 1;
+- :mod:`repro.core.processor` -- the router processing logic
+  (Algorithm 1), sequential and modular-parallel;
+- :mod:`repro.core.host` -- host-side header construction and host-op
+  execution;
+- :mod:`repro.core.state` -- per-node protocol state the operations
+  act on;
+- :mod:`repro.core.limits` -- per-packet processing limits (Section 2.4);
+- :mod:`repro.core.compat` -- legacy interop and FN-unsupported
+  signalling (Section 2.4);
+- :mod:`repro.core.registry` -- operation registry and per-AS FN
+  capability sets.
+"""
+
+from repro.core.fn import FN_ENCODED_SIZE, FieldOperation, OperationKey
+from repro.core.header import BASIC_HEADER_SIZE, DipHeader, PacketParameter
+from repro.core.host import HostStack
+from repro.core.limits import ProcessingLimits
+from repro.core.packet import DipPacket
+from repro.core.processor import Decision, ProcessResult, RouterProcessor
+from repro.core.registry import OperationRegistry, default_registry
+from repro.core.state import NodeState
+
+__all__ = [
+    "FieldOperation",
+    "OperationKey",
+    "FN_ENCODED_SIZE",
+    "DipHeader",
+    "PacketParameter",
+    "BASIC_HEADER_SIZE",
+    "DipPacket",
+    "NodeState",
+    "RouterProcessor",
+    "HostStack",
+    "Decision",
+    "ProcessResult",
+    "OperationRegistry",
+    "default_registry",
+    "ProcessingLimits",
+]

@@ -1,0 +1,170 @@
+"""Backward compatibility and control signalling (Section 2.4).
+
+Two mechanisms:
+
+- **legacy interop**: "the existing network protocol header can be
+  viewed as an FN location".  An outbound border router strips the DIP
+  basic header and FN definitions, leaving the embedded legacy header
+  (e.g. IPv6) to be routed by legacy devices; the inbound border router
+  of the next DIP domain adds them back.
+- **FN-unsupported messages**: when an AS receives a path-critical FN
+  it has not enabled, it returns an ICMP-like notification to the
+  source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fn import FieldOperation
+from repro.core.header import (
+    NEXT_HEADER_LEGACY_IPV4,
+    NEXT_HEADER_LEGACY_IPV6,
+    DipHeader,
+)
+from repro.core.packet import DipPacket
+from repro.errors import CodecError, HeaderValueError
+
+
+# ----------------------------------------------------------------------
+# legacy encapsulation
+# ----------------------------------------------------------------------
+def wrap_legacy_packet(
+    legacy_packet: bytes,
+    legacy_kind: str,
+    extra_fns: tuple = (),
+    hop_limit: int = 64,
+) -> DipPacket:
+    """Embed a legacy IP packet's header+payload as DIP FN locations.
+
+    ``legacy_kind`` is ``"ipv4"`` or ``"ipv6"``.  The returned packet
+    carries the matching address-match and source FNs so DIP routers
+    forward it natively (Section 3, "IP Forwarding"), and its
+    next-header marks the embedded protocol so a border router can
+    strip the DIP framing again.
+    """
+    if legacy_kind == "ipv4":
+        next_header = NEXT_HEADER_LEGACY_IPV4
+        # Destination at bits 128..160, source at 96..128 of an IPv4
+        # header; expose them via FNs pointing into the embedded header.
+        fns = (
+            FieldOperation(field_loc=16 * 8, field_len=32, key=1),
+            FieldOperation(field_loc=12 * 8, field_len=32, key=3),
+        )
+    elif legacy_kind == "ipv6":
+        next_header = NEXT_HEADER_LEGACY_IPV6
+        fns = (
+            FieldOperation(field_loc=24 * 8, field_len=128, key=2),
+            FieldOperation(field_loc=8 * 8, field_len=128, key=3),
+        )
+    else:
+        raise CodecError(f"unknown legacy kind {legacy_kind!r}")
+    header_bytes = 20 if legacy_kind == "ipv4" else 40
+    if len(legacy_packet) < header_bytes:
+        raise CodecError("legacy packet shorter than its header")
+    header = DipHeader(
+        fns=fns + tuple(extra_fns),
+        locations=bytes(legacy_packet[:header_bytes]),
+        next_header=next_header,
+        hop_limit=hop_limit,
+    )
+    return DipPacket(header=header, payload=bytes(legacy_packet[header_bytes:]))
+
+
+def strip_to_legacy(packet: DipPacket) -> bytes:
+    """Outbound border router: remove the DIP framing.
+
+    The FN locations *are* the legacy header, so the legacy packet is
+    locations + payload.
+    """
+    if packet.header.next_header not in (
+        NEXT_HEADER_LEGACY_IPV4,
+        NEXT_HEADER_LEGACY_IPV6,
+    ):
+        raise HeaderValueError(
+            "packet does not embed a legacy header (next-header mismatch)"
+        )
+    return packet.header.locations + packet.payload
+
+
+def rewrap_from_legacy(legacy_packet: bytes, template: DipPacket) -> DipPacket:
+    """Inbound border router: re-add basic header and FN definitions.
+
+    ``template`` supplies the FN definitions and flags that were in use
+    before the legacy crossing (in deployment the border routers of one
+    domain share this configuration).
+    """
+    kind = (
+        "ipv4"
+        if template.header.next_header == NEXT_HEADER_LEGACY_IPV4
+        else "ipv6"
+    )
+    rewrapped = wrap_legacy_packet(
+        legacy_packet, kind, hop_limit=template.header.hop_limit
+    )
+    # Preserve any extra FNs the template carried beyond the two
+    # standard IP-forwarding ones.
+    extra = template.header.fns[2:]
+    if extra:
+        header = DipHeader(
+            fns=rewrapped.header.fns[:2] + extra,
+            locations=rewrapped.header.locations,
+            next_header=rewrapped.header.next_header,
+            hop_limit=rewrapped.header.hop_limit,
+            parallel=template.header.parallel,
+        )
+        return DipPacket(header=header, payload=rewrapped.payload)
+    return rewrapped
+
+
+# ----------------------------------------------------------------------
+# FN-unsupported control messages
+# ----------------------------------------------------------------------
+FN_UNSUPPORTED_TYPE = 0x44
+
+
+@dataclass(frozen=True)
+class FnUnsupportedMessage:
+    """ICMP-like notification that an AS lacks a path-critical FN.
+
+    Parameters
+    ----------
+    reporter_id:
+        The AS/router that could not process the FN.
+    unsupported_key:
+        The offending operation key.
+    original_header:
+        The first bytes of the offending packet's header, so the source
+        can match the report to a flow.
+    """
+
+    reporter_id: str
+    unsupported_key: int
+    original_header: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize (type, key, reporter, header excerpt)."""
+        reporter = self.reporter_id.encode("utf-8")
+        return (
+            bytes([FN_UNSUPPORTED_TYPE])
+            + self.unsupported_key.to_bytes(2, "big")
+            + len(reporter).to_bytes(1, "big")
+            + reporter
+            + self.original_header[:64]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FnUnsupportedMessage":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 4 or data[0] != FN_UNSUPPORTED_TYPE:
+            raise CodecError("not an FN-unsupported message")
+        key = int.from_bytes(data[1:3], "big")
+        name_len = data[3]
+        if len(data) < 4 + name_len:
+            raise CodecError("truncated FN-unsupported message")
+        reporter = data[4 : 4 + name_len].decode("utf-8")
+        return cls(
+            reporter_id=reporter,
+            unsupported_key=key,
+            original_header=bytes(data[4 + name_len :]),
+        )

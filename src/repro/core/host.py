@@ -1,0 +1,126 @@
+"""Host-side DIP processing.
+
+Hosts do two things (Section 2.3):
+
+- **construction**: before sending, formulate the FNs matching the
+  desired network service and the AS's supported set (the concrete
+  per-protocol builders live in :mod:`repro.realize`; this module
+  checks a construction against the capability set learned at
+  bootstrap);
+- **reception**: execute the host-tagged FNs (e.g. ``F_ver``) when a
+  packet arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.header import DipHeader
+from repro.core.operations.base import Decision, OperationContext
+from repro.core.packet import DipPacket
+from repro.core.registry import OperationRegistry, default_registry
+from repro.core.state import NodeState
+from repro.errors import OperationError, UnknownOperationError
+
+
+@dataclass(frozen=True)
+class ReceiveResult:
+    """Outcome of host-side reception."""
+
+    accepted: bool
+    notes: Tuple[str, ...] = ()
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+
+class HostStack:
+    """One end host's DIP stack.
+
+    Parameters
+    ----------
+    state:
+        Host-side state (sessions for F_ver, local names/addresses...).
+    registry:
+        Installed operation modules.
+    available_fns:
+        The FN keys learned from the AS at bootstrap (Section 2.3,
+        "Available FNs"); None means unrestricted.
+    """
+
+    def __init__(
+        self,
+        state: Optional[NodeState] = None,
+        registry: Optional[OperationRegistry] = None,
+        available_fns: Optional[Set[int]] = None,
+    ) -> None:
+        self.state = state if state is not None else NodeState(node_id="host")
+        self.registry = registry if registry is not None else default_registry()
+        self.available_fns = available_fns
+
+    # ------------------------------------------------------------------
+    # construction side
+    # ------------------------------------------------------------------
+    def learn_available_fns(self, keys: Set[int]) -> None:
+        """Record the AS's supported FN set (bootstrap outcome)."""
+        self.available_fns = set(keys)
+
+    def check_construction(self, header: DipHeader) -> None:
+        """Reject headers using FNs the network does not support."""
+        header.validate_field_ranges()
+        if self.available_fns is None:
+            return
+        for fn in header.fns:
+            if fn.key not in self.available_fns:
+                raise UnknownOperationError(
+                    fn.key,
+                    f"FN key {fn.key} not in the AS's available set",
+                )
+
+    def send(self, header: DipHeader, payload: bytes = b"") -> DipPacket:
+        """Validate a construction and wrap it into a packet."""
+        self.check_construction(header)
+        return DipPacket(header=header, payload=payload)
+
+    # ------------------------------------------------------------------
+    # reception side
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        packet: DipPacket,
+        ingress_port: int = 0,
+        now: float = 0.0,
+    ) -> ReceiveResult:
+        """Execute the packet's host-tagged FNs (e.g. ``F_ver``)."""
+        header = packet.header
+        header.validate_field_ranges()
+        ctx = OperationContext(
+            state=self.state,
+            locations=header.locations_view(),
+            payload=packet.payload,
+            ingress_port=ingress_port,
+            now=now,
+            at_host=True,
+            fns=header.fns,
+        )
+        notes = []
+        accepted = True
+        for fn in header.fns:
+            if not fn.tag:
+                continue
+            operation = self.registry.find(fn.key)
+            if operation is None:
+                notes.append(f"{fn}: unsupported host FN ignored")
+                continue
+            try:
+                result = operation.execute(ctx, fn)
+            except OperationError as exc:
+                notes.append(f"{fn}: host operation failed: {exc}")
+                accepted = False
+                break
+            notes.append(f"{fn}: {result.note or result.decision.value}")
+            if result.decision is Decision.DROP:
+                accepted = False
+                break
+        return ReceiveResult(
+            accepted=accepted, notes=tuple(notes), scratch=ctx.scratch
+        )

@@ -1,0 +1,70 @@
+"""Per-packet processing limits (Section 2.4, security).
+
+"Enforcing a hard limit for packet processing time and per-packet state
+consumption is enough to prevent such attacks."  The processor charges
+every operation against these limits and aborts the packet when either
+budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProcessingLimitError
+
+
+@dataclass(frozen=True)
+class ProcessingLimits:
+    """Hard per-packet budgets.
+
+    Parameters
+    ----------
+    max_fn_count:
+        Most FNs a single packet may carry (0 disables the check).
+    max_cycles:
+        Processing-time budget in model cycles (0 disables).
+    max_state_bytes:
+        Per-packet state consumption budget in bytes (0 disables).
+    """
+
+    max_fn_count: int = 32
+    max_cycles: int = 1_000_000
+    max_state_bytes: int = 4096
+
+
+class LimitTracker:
+    """Mutable per-packet budget tracker checked by the processor."""
+
+    def __init__(self, limits: ProcessingLimits) -> None:
+        self.limits = limits
+        self.cycles_used = 0
+        self.state_bytes_used = 0
+
+    def check_fn_count(self, fn_count: int) -> None:
+        """Reject packets advertising too many FNs."""
+        if self.limits.max_fn_count and fn_count > self.limits.max_fn_count:
+            raise ProcessingLimitError(
+                f"packet carries {fn_count} FNs "
+                f"(limit {self.limits.max_fn_count})"
+            )
+
+    def charge_cycles(self, cycles: int) -> None:
+        """Consume processing-time budget."""
+        self.cycles_used += cycles
+        if self.limits.max_cycles and self.cycles_used > self.limits.max_cycles:
+            raise ProcessingLimitError(
+                f"processing budget exhausted "
+                f"({self.cycles_used} > {self.limits.max_cycles} cycles)"
+            )
+
+    def charge_state(self, nbytes: int) -> None:
+        """Consume per-packet state budget (PIT entries, cache slots...)."""
+        self.state_bytes_used += nbytes
+        if (
+            self.limits.max_state_bytes
+            and self.state_bytes_used > self.limits.max_state_bytes
+        ):
+            raise ProcessingLimitError(
+                f"per-packet state budget exhausted "
+                f"({self.state_bytes_used} > {self.limits.max_state_bytes} bytes)"
+            )

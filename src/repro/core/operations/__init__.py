@@ -1,0 +1,44 @@
+"""Operation modules (Table 1 of the paper, plus discussed extensions).
+
+Each module implements one operation key as a subclass of
+:class:`~repro.core.operations.base.Operation`.  The registry in
+:mod:`repro.core.registry` wires keys to instances.
+"""
+
+from repro.core.operations.base import (
+    Decision,
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.core.operations.dag import DagOperation, IntentOperation
+from repro.core.operations.fib import FibOperation
+from repro.core.operations.mac import MacOperation
+from repro.core.operations.mark import MarkOperation
+from repro.core.operations.match import Match32Operation, Match128Operation
+from repro.core.operations.parm import ParmOperation
+from repro.core.operations.passport import PassOperation
+from repro.core.operations.pit import PitOperation
+from repro.core.operations.source import SourceOperation
+from repro.core.operations.telemetry import TelemetryOperation
+from repro.core.operations.verify import VerifyOperation
+
+__all__ = [
+    "Operation",
+    "OperationContext",
+    "OperationResult",
+    "Decision",
+    "Match32Operation",
+    "Match128Operation",
+    "SourceOperation",
+    "FibOperation",
+    "PitOperation",
+    "ParmOperation",
+    "MacOperation",
+    "MarkOperation",
+    "VerifyOperation",
+    "DagOperation",
+    "IntentOperation",
+    "PassOperation",
+    "TelemetryOperation",
+]

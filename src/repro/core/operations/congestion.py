@@ -1,0 +1,95 @@
+"""NetFence-style congestion operations: F_cong (key 14) and F_police
+(key 15).
+
+These are the "more L3 protocols with DIP" the paper's conclusion
+promises, built on :mod:`repro.protocols.netfence`:
+
+- ``F_cong`` runs where the operator deployed congestion marking
+  (``state.local_congestion`` is set): it re-stamps the packet's
+  MAC-protected congestion tag with the router's current level;
+- ``F_police`` runs at access routers (``state.policer`` is set): it
+  verifies the echoed tag's MAC -- a forged "no congestion" drops the
+  packet -- applies the AIMD update, and charges the packet against the
+  sender's token bucket.
+
+Both are no-ops at routers without the corresponding role state, so one
+header works across the whole path.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError
+from repro.protocols.netfence.policer import PolicerVerdict
+from repro.protocols.netfence.tags import (
+    CONGESTION_TAG_BITS,
+    CongestionTag,
+)
+
+
+def _read_tag(ctx: OperationContext, fn: FieldOperation) -> CongestionTag:
+    if fn.field_len != CONGESTION_TAG_BITS:
+        raise OperationError(
+            f"congestion operations need a {CONGESTION_TAG_BITS}-bit tag, "
+            f"got {fn.field_len}"
+        )
+    return CongestionTag.decode(ctx.locations.get_bits(fn.field_loc, fn.field_len))
+
+
+class CongMarkOperation(Operation):
+    """Stamp the router's congestion level into the packet tag."""
+
+    key = 14
+    name = "F_cong"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        level = ctx.state.local_congestion
+        if level is None:
+            return OperationResult.proceed(note="no congestion marker here")
+        if hasattr(level, "observe"):
+            # A dynamic CongestionMonitor: feed it and read the signal.
+            packet_bytes = len(ctx.payload) + ctx.locations.byte_length
+            level.observe(packet_bytes, ctx.now)
+            level = level.level(ctx.now)
+        tag = _read_tag(ctx, fn)
+        stamped = tag.stamped(
+            level, timestamp=int(ctx.now * 1000) & 0xFFFFFFFF,
+            key=ctx.state.netfence_domain_key,
+        )
+        ctx.locations.set_bits(fn.field_loc, fn.field_len, stamped.encode())
+        return OperationResult.proceed(note=f"congestion stamped ({level.name})")
+
+
+class PoliceOperation(Operation):
+    """Verify echoed feedback, run AIMD, police the sender's rate."""
+
+    key = 15
+    name = "F_police"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        policer = ctx.state.policer
+        if policer is None:
+            return OperationResult.proceed(note="no policer here")
+        tag = _read_tag(ctx, fn)
+        if tag.level.value:
+            if not tag.verify(ctx.state.netfence_domain_key):
+                return OperationResult.drop("forged congestion feedback")
+            policer.apply_feedback(tag.sender_id, tag.level, ctx.now)
+        packet_bytes = len(ctx.payload) + ctx.locations.byte_length
+        verdict = policer.police(tag.sender_id, packet_bytes, ctx.now)
+        if verdict is PolicerVerdict.THROTTLE:
+            return OperationResult.drop(
+                f"sender {tag.sender_id} over its AIMD allowance"
+            )
+        return OperationResult.proceed(
+            note=f"policed OK (rate {policer.rate_of(tag.sender_id):.0f} B/s)"
+        )

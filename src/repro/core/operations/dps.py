@@ -1,0 +1,50 @@
+"""F_dps (key 16): dynamic-packet-state fair queueing at core routers.
+
+The target field is the 32-bit rate label the edge stamped.  Core
+routers that deployed the CSFQ module (``state.csfq`` is set) drop the
+packet probabilistically against the estimated fair share; everyone
+else ignores the FN -- keeping the core genuinely stateless is the
+whole point of the scheme (Section 5's "stateless guaranteed
+services").
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError
+from repro.protocols.dps.csfq import RATE_LABEL_BITS, decode_rate_label
+
+
+class DpsOperation(Operation):
+    """Fair-share drop decision against the stamped rate label."""
+
+    key = 16
+    name = "F_dps"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != RATE_LABEL_BITS:
+            raise OperationError(
+                f"{self.name} needs a {RATE_LABEL_BITS}-bit rate label, "
+                f"got {fn.field_len}"
+            )
+        core = ctx.state.csfq
+        if core is None:
+            return OperationResult.proceed(note="no CSFQ core here")
+        label = ctx.locations.get_uint(fn.field_loc, RATE_LABEL_BITS)
+        packet_bytes = len(ctx.payload) + ctx.locations.byte_length
+        if core.process(label, packet_bytes, ctx.now):
+            return OperationResult.proceed(
+                note=f"CSFQ pass (label {decode_rate_label(label):.0f} B/s, "
+                f"alpha {core.alpha:.0f})"
+            )
+        return OperationResult.drop(
+            f"CSFQ fair-share drop (label {decode_rate_label(label):.0f} "
+            f"> alpha {core.alpha:.0f})"
+        )

@@ -1,0 +1,99 @@
+"""F_epic (key 17) and F_epic_ver (key 18): EPIC over DIP.
+
+``F_epic`` is the router-side check -- the point of EPIC is that it
+runs *in the dataplane*: derive the dynamic key from the SessionID,
+recompute the hop's short HVF, drop the packet on mismatch, and
+overwrite (spend) the HVF on success.  ``F_epic_ver`` is the
+host-tagged destination check over the DVF.
+
+The target field is the whole embedded EPIC header, so the operations
+recover the layout relative to ``fn.field_loc`` and compositions can
+embed EPIC after other fields (as NDN+OPT does with OPT).
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError, OperationStateError
+from repro.protocols.epic.header import EPIC_BASE_SIZE, HVF_SIZE, EpicHeader
+from repro.protocols.epic.packets import (
+    destination_check,
+    hop_check,
+    spent_hvf_value,
+)
+
+
+def _read_header(ctx: OperationContext, fn: FieldOperation) -> EpicHeader:
+    region_bytes = fn.field_len // 8
+    extra = region_bytes - EPIC_BASE_SIZE
+    if fn.field_len % 8 or extra < HVF_SIZE or extra % HVF_SIZE:
+        raise OperationError(
+            f"field of {fn.field_len} bits is not a valid EPIC header size"
+        )
+    raw = ctx.locations.get_bits(fn.field_loc, fn.field_len)
+    return EpicHeader.decode(raw)
+
+
+class EpicHopOperation(Operation):
+    """Verify-and-spend this router's hop validation field."""
+
+    key = 17
+    name = "F_epic"
+    path_critical = True
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        header = _read_header(ctx, fn)
+        hop_key = ctx.state.router_key.dynamic_key(header.session_id)
+        hop_index = ctx.state.opt_positions.get(header.session_id, 0)
+        if hop_index >= header.hop_count:
+            return OperationResult.drop(
+                f"no HVF slot for hop {hop_index} "
+                f"({header.hop_count}-hop header)"
+            )
+        if not hop_check(header, hop_key, hop_index, ctx.state.mac_backend):
+            return OperationResult.drop(
+                f"EPIC HVF mismatch at hop {hop_index} (filtered in-network)"
+            )
+        spent = spent_hvf_value(
+            hop_key, header.hvfs[hop_index], header.counter,
+            ctx.state.mac_backend,
+        )
+        updated = header.with_hvf(hop_index, spent)
+        ctx.locations.set_bits(fn.field_loc, fn.field_len, updated.encode())
+        return OperationResult.proceed(
+            note=f"HVF[{hop_index}] verified and spent"
+        )
+
+
+class EpicVerifyOperation(Operation):
+    """Destination DVF check (host operation)."""
+
+    key = 18
+    name = "F_epic_ver"
+    path_critical = True
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if not ctx.at_host:
+            return OperationResult.proceed(note="host operation skipped")
+        header = _read_header(ctx, fn)
+        session = ctx.state.opt_sessions.get(header.session_id)
+        if session is None:
+            raise OperationStateError(
+                f"no EPIC session {header.session_id.hex()} at this host"
+            )
+        ok = destination_check(
+            header, session.dest_key, ctx.payload, ctx.state.mac_backend
+        )
+        ctx.scratch["epic_ok"] = ok
+        if not ok:
+            return OperationResult.drop("EPIC DVF mismatch at destination")
+        return OperationResult.deliver(note="EPIC destination check passed")

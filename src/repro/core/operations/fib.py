@@ -1,0 +1,153 @@
+"""F_FIB (key 4): content-name FIB match for interest packets.
+
+Per the paper's NDN decomposition, processing an interest means two
+things at once: record the receiving port in the PIT (so the data can
+retrace the path) and longest-prefix-match the content name in the FIB
+to pick the upstream port.  The prototype carries the content name as a
+32-bit digest (Section 4.1), so the LPM runs over 32-bit values.
+
+Footnote 2 of the paper notes cache-capable routers match the local
+content store first; we implement that when the node has a non-zero
+content store, returning the cached data back out the ingress port.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Decision,
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError
+from repro.protocols.ndn.names import Name
+
+# Rough size of one PIT entry, charged against the per-packet state
+# budget (Section 2.4).
+PIT_ENTRY_BYTES = 64
+
+
+def digest_name(digest: int) -> Name:
+    """Wrap a 32-bit content digest as a single-component Name."""
+    return Name([digest.to_bytes(4, "big")])
+
+
+class FibOperation(Operation):
+    """PIT-record + FIB-match for interest packets.
+
+    Two name encodings are supported:
+
+    - **digest mode** (32-bit field): the Tofino prototype's compressed
+      content name, LPM over the digest FIB;
+    - **full-name mode** (any other byte-aligned field): the target
+      field carries the wire-encoded hierarchical name, matched
+      component-wise against the node's :class:`NameFib` -- what the
+      paper's prototype could not do on hardware but DIP's variable
+      target fields express naturally.
+    """
+
+    key = 4
+    name = "F_FIB"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != 32:
+            return self._execute_full_name(ctx, fn)
+        digest = ctx.locations.get_uint(fn.field_loc, 32)
+        name = digest_name(digest)
+
+        # Content-store first (footnote 2 extension).
+        cached = (
+            ctx.state.content_store.lookup(name)
+            if ctx.state.content_store.capacity
+            else None
+        )
+        if cached is not None:
+            ctx.scratch["cache_data"] = cached
+            return OperationResult.forward(
+                ctx.ingress_port, note="content store hit"
+            )
+
+        # Producer-local content: deliver the interest to this node.
+        if digest in ctx.state.local_digests:
+            return OperationResult.deliver(note="interest reached producer")
+
+        existing = ctx.state.pit.peek(name, now=ctx.now)
+        is_retransmission = (
+            existing is not None and ctx.ingress_port in existing.in_ports
+        )
+        insert = ctx.state.pit.insert(name, ctx.ingress_port, now=ctx.now)
+        if not insert.is_new and not is_retransmission:
+            # A *different* downstream asking for in-flight content is
+            # aggregated; a re-ask from the same port is a retransmission
+            # and goes upstream again (the original may have been lost).
+            return OperationResult.drop("interest aggregated in PIT")
+
+        port = ctx.state.name_fib_digest.lookup(digest)
+        if port is None:
+            # Undo the PIT entry: nothing upstream will ever satisfy it.
+            ctx.state.pit.satisfy(name, now=ctx.now)
+            return OperationResult.drop(f"no FIB route for digest {digest:#010x}")
+        return OperationResult(
+            decision=Decision.FORWARD,
+            ports=(port,),
+            note=(
+                "FIB LPM hit (retransmission)"
+                if is_retransmission
+                else "FIB LPM hit (PIT recorded)"
+            ),
+            state_bytes=0 if is_retransmission else PIT_ENTRY_BYTES,
+        )
+
+    # ------------------------------------------------------------------
+    # full-name mode
+    # ------------------------------------------------------------------
+    def _execute_full_name(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len % 8:
+            raise OperationError(
+                f"{self.name} full-name field must be byte aligned, "
+                f"got {fn.field_len} bits"
+            )
+        from repro.errors import ProtocolError
+
+        raw = ctx.locations.get_bits(fn.field_loc, fn.field_len)
+        try:
+            name = Name.decode(raw)
+        except ProtocolError as exc:
+            raise OperationError(f"{self.name}: bad name encoding: {exc}")
+
+        cached = (
+            ctx.state.content_store.lookup(name)
+            if ctx.state.content_store.capacity
+            else None
+        )
+        if cached is not None:
+            ctx.scratch["cache_data"] = cached
+            return OperationResult.forward(
+                ctx.ingress_port, note="content store hit (full name)"
+            )
+        if name.digest32() in ctx.state.local_digests:
+            return OperationResult.deliver(note="interest reached producer")
+
+        existing = ctx.state.pit.peek(name, now=ctx.now)
+        is_retransmission = (
+            existing is not None and ctx.ingress_port in existing.in_ports
+        )
+        insert = ctx.state.pit.insert(name, ctx.ingress_port, now=ctx.now)
+        if not insert.is_new and not is_retransmission:
+            return OperationResult.drop("interest aggregated in PIT")
+
+        port = ctx.state.name_fib.lookup_port(name)
+        if port is None:
+            ctx.state.pit.satisfy(name, now=ctx.now)
+            return OperationResult.drop(f"no FIB route for {name}")
+        return OperationResult(
+            decision=Decision.FORWARD,
+            ports=(port,),
+            note=f"name FIB LPM hit ({name})",
+            state_bytes=0 if is_retransmission else PIT_ENTRY_BYTES,
+        )

@@ -1,0 +1,121 @@
+"""F_keysetup (key 20): in-band OPT/EPIC key negotiation.
+
+Footnote 3 of the paper: "The session ID is a flow tag and is generated
+during the key negotiation process in OPT."  This operation *is* that
+negotiation, expressed as one more FN composition: the source routes a
+setup packet along the data path; every on-path router derives its
+dynamic key for the carried session ID and deposits (node id, key) into
+the next collection slot; the destination returns the collected list
+and the source assembles the session.
+
+Target-field layout::
+
+    session id (128 bits) | slot count (8) | used (8) | slots...
+
+one slot = 12-byte node id (UTF-8, zero padded -- a simulation
+constraint; real deployments carry fixed-size AS identifiers) + the
+16-byte dynamic key.  In a real DRKey exchange each key would be
+encrypted to the source; the cleartext here is the simulation stand-in
+(see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError
+from repro.util.bitview import BitView
+
+SESSION_BITS = 128
+COUNT_BITS = 8
+USED_BITS = 8
+NODE_ID_BYTES = 12
+KEY_BYTES = 16
+SLOT_BITS = (NODE_ID_BYTES + KEY_BYTES) * 8
+HEADER_BITS = SESSION_BITS + COUNT_BITS + USED_BITS
+
+
+def field_bits_for(slots: int) -> int:
+    """Total target-field size for ``slots`` collection slots."""
+    return HEADER_BITS + slots * SLOT_BITS
+
+
+class KeySetupOperation(Operation):
+    """Deposit this router's (node id, dynamic key) into the packet."""
+
+    key = 20
+    name = "F_keysetup"
+    path_critical = True  # a hop that can't participate breaks the path
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len < HEADER_BITS + SLOT_BITS or (
+            (fn.field_len - HEADER_BITS) % SLOT_BITS
+        ):
+            raise OperationError(
+                f"{self.name} field of {fn.field_len} bits is not a valid "
+                f"key-setup region"
+            )
+        base = fn.field_loc
+        session_id = ctx.locations.get_bits(base, SESSION_BITS)
+        slot_count = ctx.locations.get_uint(base + SESSION_BITS, COUNT_BITS)
+        used = ctx.locations.get_uint(
+            base + SESSION_BITS + COUNT_BITS, USED_BITS
+        )
+        if HEADER_BITS + slot_count * SLOT_BITS != fn.field_len:
+            raise OperationError(
+                f"{self.name}: advertised {slot_count} slots do not match "
+                f"the {fn.field_len}-bit field"
+            )
+        if used >= slot_count:
+            return OperationResult.drop(
+                "key-setup slots exhausted (path longer than provisioned)"
+            )
+        node_id_bytes = ctx.state.node_id.encode("utf-8")
+        if len(node_id_bytes) > NODE_ID_BYTES:
+            raise OperationError(
+                f"node id {ctx.state.node_id!r} exceeds "
+                f"{NODE_ID_BYTES} bytes (simulation constraint)"
+            )
+        dynamic_key = ctx.state.router_key.dynamic_key(session_id)
+        slot_offset = base + HEADER_BITS + used * SLOT_BITS
+        padded_id = node_id_bytes.ljust(NODE_ID_BYTES, b"\x00")
+        ctx.locations.set_bits(
+            slot_offset, NODE_ID_BYTES * 8, padded_id
+        )
+        ctx.locations.set_bits(
+            slot_offset + NODE_ID_BYTES * 8, KEY_BYTES * 8, dynamic_key
+        )
+        ctx.locations.set_uint(
+            base + SESSION_BITS + COUNT_BITS, USED_BITS, used + 1
+        )
+        return OperationResult.proceed(
+            note=f"key deposited in slot {used}/{slot_count}"
+        )
+
+
+def read_collected_keys(
+    locations: bytes, field_loc_bits: int = 0
+) -> Tuple[bytes, List[Tuple[str, bytes]]]:
+    """Destination-side: ``(session_id, [(node_id, key), ...])``."""
+    view = BitView(locations)
+    base = field_loc_bits
+    session_id = view.get_bits(base, SESSION_BITS)
+    slot_count = view.get_uint(base + SESSION_BITS, COUNT_BITS)
+    used = view.get_uint(base + SESSION_BITS + COUNT_BITS, USED_BITS)
+    collected = []
+    for index in range(min(used, slot_count)):
+        offset = base + HEADER_BITS + index * SLOT_BITS
+        node_id = (
+            view.get_bits(offset, NODE_ID_BYTES * 8).rstrip(b"\x00").decode()
+        )
+        key = view.get_bits(offset + NODE_ID_BYTES * 8, KEY_BYTES * 8)
+        collected.append((node_id, key))
+    return session_id, collected

@@ -1,0 +1,60 @@
+"""F_MAC (key 7): compute this hop's origin/path validation tag.
+
+The FN's target field is the MAC *input* -- the pre-OPV region of the
+OPT header (DataHash || SessionID || Timestamp || PVF, 416 bits).  The
+operation MACs that region together with the previous validator's label
+(loaded by F_parm) under the router's dynamic key, and writes the tag
+into the router's OPV slot, which sits right after the input region:
+
+    OPV_i at bit  fn.field_end + 128 * hop_index
+
+Using ``field_end`` (rather than an absolute offset) keeps the layout
+correct when the OPT header is embedded at a non-zero offset, as in the
+NDN+OPT derived protocol where the content name precedes it.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.crypto.mac import mac_bytes
+from repro.errors import FieldRangeError, OperationStateError
+from repro.protocols.opt.drkey import label_digest
+
+OPV_BITS = 128
+
+
+class MacOperation(Operation):
+    """Per-hop MAC over the OPT header region (the expensive operation)."""
+
+    key = 7
+    name = "F_MAC"
+    path_critical = True
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        dynamic_key = ctx.scratch.get("opt_key")
+        if dynamic_key is None:
+            raise OperationStateError(
+                f"{self.name} requires F_parm to run first (no dynamic key)"
+            )
+        hop_index = ctx.scratch.get("opt_hop_index", 0)
+        prev_label = ctx.scratch.get("opt_prev_label", "unknown")
+
+        mac_input = ctx.locations.get_bits(fn.field_loc, fn.field_len)
+        message = mac_input + label_digest(prev_label)
+        tag = mac_bytes(dynamic_key, message, backend=ctx.state.mac_backend)
+
+        opv_offset = fn.field_end + OPV_BITS * hop_index
+        if opv_offset + OPV_BITS > ctx.locations.bit_length:
+            raise FieldRangeError(
+                f"OPV slot {hop_index} at bit {opv_offset} exceeds the "
+                f"FN locations region"
+            )
+        ctx.locations.set_bits(opv_offset, OPV_BITS, tag)
+        return OperationResult.proceed(note=f"OPV[{hop_index}] written")

@@ -1,0 +1,68 @@
+"""F_mark (key 8): chain the path verification field forward.
+
+The FN's target field is the PVF (128 bits).  The operation replaces it
+with a MAC, under the router's dynamic key, over the current PVF
+concatenated with the DataHash:
+
+    PVF <- MAC_{K_i}(PVF || DataHash)
+
+The DataHash sits a fixed 288 bits *before* the PVF in the OPT layout
+(DataHash@0, SessionID@128, Timestamp@256, PVF@288), so its offset is
+recovered relative to the FN's own location -- again keeping embedded
+layouts like NDN+OPT correct.
+
+Order matters: F_MAC must read the PVF before F_mark rewrites it, which
+is why the OPT realization lists key 7 before key 8 and why the two FNs'
+overlapping target fields force sequential execution even under the
+modular-parallelism flag.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.crypto.mac import mac_bytes
+from repro.errors import FieldRangeError, OperationError, OperationStateError
+
+PVF_BITS = 128
+DATA_HASH_BITS = 128
+# Bit distance from the start of the OPT header region to the PVF.
+PVF_RELATIVE_OFFSET = 288
+
+
+class MarkOperation(Operation):
+    """Update the PVF tag (the 'mark update' module)."""
+
+    key = 8
+    name = "F_mark"
+    path_critical = True
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != PVF_BITS:
+            raise OperationError(
+                f"{self.name} needs the 128-bit PVF, got {fn.field_len}"
+            )
+        dynamic_key = ctx.scratch.get("opt_key")
+        if dynamic_key is None:
+            raise OperationStateError(
+                f"{self.name} requires F_parm to run first (no dynamic key)"
+            )
+        if fn.field_loc < PVF_RELATIVE_OFFSET:
+            raise FieldRangeError(
+                f"PVF at bit {fn.field_loc} leaves no room for the OPT "
+                f"header preceding it"
+            )
+        data_hash_offset = fn.field_loc - PVF_RELATIVE_OFFSET
+        pvf = ctx.locations.get_bits(fn.field_loc, PVF_BITS)
+        data_hash = ctx.locations.get_bits(data_hash_offset, DATA_HASH_BITS)
+        new_pvf = mac_bytes(
+            dynamic_key, pvf + data_hash, backend=ctx.state.mac_backend
+        )
+        ctx.locations.set_bits(fn.field_loc, PVF_BITS, new_pvf)
+        return OperationResult.proceed(note="PVF chained")

@@ -1,0 +1,64 @@
+"""Address-match operations: F_32_match (key 1) and F_128_match (key 2).
+
+These realize canonical IPv4/IPv6 forwarding inside DIP: the target
+field is the destination address; the operation is a longest-prefix
+match against the node's FIB, delivering locally-owned addresses.
+
+Note: Table 1 assigns key 1 to the 32-bit match and key 2 to the
+128-bit match, while the prose of Section 3 swaps them in its example
+triples.  We follow Table 1 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError
+
+
+class Match32Operation(Operation):
+    """32-bit destination address match (IPv4 forwarding)."""
+
+    key = 1
+    name = "F_32_match"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != 32:
+            raise OperationError(
+                f"{self.name} needs a 32-bit field, got {fn.field_len}"
+            )
+        address = ctx.locations.get_uint(fn.field_loc, 32)
+        if address in ctx.state.local_v4:
+            return OperationResult.deliver(note="local IPv4 address")
+        port = ctx.state.fib_v4.lookup(address)
+        if port is None:
+            return OperationResult.drop(f"no IPv4 route for {address:#010x}")
+        return OperationResult.forward(port, note="IPv4 LPM hit")
+
+
+class Match128Operation(Operation):
+    """128-bit destination address match (IPv6 forwarding)."""
+
+    key = 2
+    name = "F_128_match"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != 128:
+            raise OperationError(
+                f"{self.name} needs a 128-bit field, got {fn.field_len}"
+            )
+        address = ctx.locations.get_uint(fn.field_loc, 128)
+        if address in ctx.state.local_v6:
+            return OperationResult.deliver(note="local IPv6 address")
+        port = ctx.state.fib_v6.lookup(address)
+        if port is None:
+            return OperationResult.drop(f"no IPv6 route for {address:#x}")
+        return OperationResult.forward(port, note="IPv6 LPM hit")

@@ -1,0 +1,49 @@
+"""F_parm (key 6): load the parameters the OPT operations need.
+
+"We use the triple (loc: 128, len: 128, key: 6) to instruct the router
+to generate the key and load other parameters (e.g., previous validator
+node label, which will be used in the MAC operation)" (Section 3).
+
+Concretely the target field is the SessionID; from it the router
+derives its dynamic key (DRKey), looks up its OPV slot for the session,
+and resolves the upstream neighbour's label from the ingress port.  All
+three land in the packet walk's scratch space for F_MAC / F_mark.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError
+
+
+class ParmOperation(Operation):
+    """Derive the dynamic key and load MAC parameters."""
+
+    key = 6
+    name = "F_parm"
+    path_critical = True
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != 128:
+            raise OperationError(
+                f"{self.name} needs the 128-bit session ID, got {fn.field_len}"
+            )
+        session_id = ctx.locations.get_bits(fn.field_loc, 128)
+        dynamic_key = ctx.state.router_key.dynamic_key(session_id)
+        hop_index = ctx.state.opt_positions.get(session_id, 0)
+        prev_label = ctx.state.neighbor_label(ctx.ingress_port) or "unknown"
+
+        ctx.scratch["opt_session_id"] = session_id
+        ctx.scratch["opt_key"] = dynamic_key
+        ctx.scratch["opt_hop_index"] = hop_index
+        ctx.scratch["opt_prev_label"] = prev_label
+        return OperationResult.proceed(
+            note=f"dynamic key derived (hop {hop_index}, prev {prev_label})"
+        )

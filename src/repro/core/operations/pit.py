@@ -1,0 +1,73 @@
+"""F_PIT (key 5): pending-interest-table match for data packets.
+
+Per Algorithm 1's example and the NDN decomposition: look the content
+name up in the PIT; on a hit forward the data to every recorded request
+port, on a miss discard the packet.  Cache-capable nodes also insert
+the data into their content store on the way through.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Decision,
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.core.operations.fib import digest_name
+from repro.errors import OperationError
+from repro.protocols.ndn.packets import Data
+
+
+class PitOperation(Operation):
+    """PIT-consume for data packets."""
+
+    key = 5
+    name = "F_PIT"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != 32:
+            return self._execute_full_name(ctx, fn)
+        digest = ctx.locations.get_uint(fn.field_loc, 32)
+        name = digest_name(digest)
+        return self._consume(ctx, name, f"digest {digest:#010x}")
+
+    def _execute_full_name(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        """Full-name mode (see :class:`FibOperation` for the split)."""
+        if fn.field_len % 8:
+            raise OperationError(
+                f"{self.name} full-name field must be byte aligned, "
+                f"got {fn.field_len} bits"
+            )
+        from repro.errors import ProtocolError
+        from repro.protocols.ndn.names import Name
+
+        raw = ctx.locations.get_bits(fn.field_loc, fn.field_len)
+        try:
+            name = Name.decode(raw)
+        except ProtocolError as exc:
+            raise OperationError(f"{self.name}: bad name encoding: {exc}")
+        return self._consume(ctx, name, str(name))
+
+    def _consume(self, ctx: OperationContext, name, label: str) -> OperationResult:
+
+        ports = ctx.state.pit.satisfy(name, now=ctx.now)
+        if not ports:
+            return OperationResult.drop(f"PIT miss for {label}")
+
+        if ctx.state.content_store.capacity:
+            ctx.state.content_store.insert(Data(name, content=ctx.payload))
+
+        out_ports = tuple(
+            sorted(p for p in ports if p != ctx.ingress_port)
+        ) or tuple(sorted(ports))
+        return OperationResult(
+            decision=Decision.FORWARD,
+            ports=out_ports,
+            note=f"PIT hit ({len(out_ports)} request ports)",
+        )

@@ -1,0 +1,34 @@
+"""F_source (key 3): declare which field carries the source address.
+
+The operation itself is passive at forwarding time -- it records the
+source address in the packet walk's scratch space so that other
+operations (reverse-path checks, control-message generation, telemetry)
+can find it, mirroring how the paper's header construction pins the
+source into the FN locations.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+
+
+class SourceOperation(Operation):
+    """Record the packet's source address for later consumers."""
+
+    key = 3
+    name = "F_source"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        value = ctx.locations.get_uint(fn.field_loc, fn.field_len)
+        ctx.scratch["source_address"] = value
+        ctx.scratch["source_address_bits"] = fn.field_len
+        return OperationResult.proceed(
+            note=f"source address recorded ({fn.field_len} bits)"
+        )

@@ -1,0 +1,120 @@
+"""F_tel (key 13): in-band network telemetry (Section 5, opportunities).
+
+The discussion section lists "efficient network telemetry" among DIP's
+opportunities; this operation is that extension.  The target field is a
+32-bit hop counter the operation increments in place, and each node
+additionally appends an off-packet :class:`TelemetryRecord` to its
+local sink (the in-band data stays fixed-size, INT-MD style).
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.core.state import TelemetryRecord
+from repro.errors import OperationError
+
+
+import hashlib
+
+# Per-hop telemetry slot: node digest (32 b) + timestamp millis (32 b).
+SLOT_BITS = 64
+ARRAY_HEADER_BITS = 16  # slot count (8) + next free index (8)
+
+
+def node_digest32(node_id: str) -> int:
+    """Stable 32-bit identifier written into telemetry slots."""
+    return int.from_bytes(
+        hashlib.sha256(node_id.encode("utf-8")).digest()[:4], "big"
+    )
+
+
+class TelemetryOperation(Operation):
+    """Increment the in-band hop counter and record an observation."""
+
+    key = 13
+    name = "F_tel"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len != 32:
+            raise OperationError(
+                f"{self.name} needs a 32-bit counter, got {fn.field_len}"
+            )
+        count = ctx.locations.get_uint(fn.field_loc, 32)
+        ctx.locations.set_uint(fn.field_loc, 32, (count + 1) & 0xFFFFFFFF)
+        ctx.state.telemetry.append(
+            TelemetryRecord(
+                node_id=ctx.state.node_id,
+                ingress_port=ctx.ingress_port,
+                timestamp=ctx.now,
+                note=f"hop {count + 1}",
+            )
+        )
+        return OperationResult.proceed(note=f"telemetry hop {count + 1}")
+
+
+class TelemetryArrayOperation(Operation):
+    """F_tel_array (key 19): INT-MD-style per-hop metadata slots.
+
+    The target field is a sender-allocated array: an 8-bit slot count,
+    an 8-bit next-free index, then ``count`` slots of 64 bits each
+    (node digest + millisecond timestamp).  Each participating router
+    fills the next slot and bumps the index; a full array is left
+    untouched (the fixed allocation is what keeps the DIP header length
+    derivable, unlike wire-growing INT).
+    """
+
+    key = 19
+    name = "F_tel_array"
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if fn.field_len < ARRAY_HEADER_BITS + SLOT_BITS:
+            raise OperationError(
+                f"{self.name} needs at least one {SLOT_BITS}-bit slot"
+            )
+        slot_count = ctx.locations.get_uint(fn.field_loc, 8)
+        expected_bits = ARRAY_HEADER_BITS + slot_count * SLOT_BITS
+        if fn.field_len != expected_bits:
+            raise OperationError(
+                f"{self.name} field is {fn.field_len} bits but the array "
+                f"advertises {slot_count} slots ({expected_bits} bits)"
+            )
+        index = ctx.locations.get_uint(fn.field_loc + 8, 8)
+        if index >= slot_count:
+            return OperationResult.proceed(note="telemetry array full")
+        slot_offset = fn.field_loc + ARRAY_HEADER_BITS + index * SLOT_BITS
+        ctx.locations.set_uint(slot_offset, 32, node_digest32(ctx.state.node_id))
+        ctx.locations.set_uint(
+            slot_offset + 32, 32, int(ctx.now * 1000) & 0xFFFFFFFF
+        )
+        ctx.locations.set_uint(fn.field_loc + 8, 8, index + 1)
+        return OperationResult.proceed(
+            note=f"telemetry slot {index}/{slot_count} written"
+        )
+
+
+def read_telemetry_array(locations: bytes, field_loc_bits: int = 0) -> list:
+    """Decode the filled slots: ``[(node_digest, millis), ...]``.
+
+    Host-side helper for collectors (and the telemetry example).
+    """
+    from repro.util.bitview import BitView
+
+    view = BitView(locations)
+    slot_count = view.get_uint(field_loc_bits, 8)
+    used = view.get_uint(field_loc_bits + 8, 8)
+    records = []
+    for index in range(min(used, slot_count)):
+        offset = field_loc_bits + ARRAY_HEADER_BITS + index * SLOT_BITS
+        records.append(
+            (view.get_uint(offset, 32), view.get_uint(offset + 32, 32))
+        )
+    return records

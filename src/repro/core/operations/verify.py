@@ -1,0 +1,60 @@
+"""F_ver (key 9): destination verification (a *host* operation).
+
+Carried with tag = 1, so routers skip it (Algorithm 1 lines 5-7) and
+the destination host executes it on receipt.  The target field is the
+whole OPT header region; the host parses it, finds the session by its
+SessionID, and re-derives the full tag chain to validate both the
+source and the path taken.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import (
+    Operation,
+    OperationContext,
+    OperationResult,
+)
+from repro.errors import OperationError, OperationStateError
+from repro.protocols.opt.header import OPT_BASE_SIZE, OPV_SIZE, OptHeader
+from repro.protocols.opt.verifier import verify_packet
+
+
+class VerifyOperation(Operation):
+    """Re-derive and check the OPT tag chain at the destination."""
+
+    key = 9
+    name = "F_ver"
+    path_critical = True
+
+    def execute(
+        self, ctx: OperationContext, fn: FieldOperation
+    ) -> OperationResult:
+        if not ctx.at_host:
+            # Defensive: a router asked to run a host op is a header bug.
+            return OperationResult.proceed(note="host operation skipped")
+
+        region_bytes = fn.field_len // 8
+        extra = region_bytes - OPT_BASE_SIZE
+        if fn.field_len % 8 or extra < OPV_SIZE or extra % OPV_SIZE:
+            raise OperationError(
+                f"{self.name} field of {fn.field_len} bits is not a valid "
+                f"OPT header size"
+            )
+        raw = ctx.locations.get_bits(fn.field_loc, fn.field_len)
+        header = OptHeader.decode(raw)
+
+        session = ctx.state.opt_sessions.get(header.session_id)
+        if session is None:
+            raise OperationStateError(
+                f"no OPT session {header.session_id.hex()} at this host"
+            )
+        report = verify_packet(
+            session, header, ctx.payload, backend=ctx.state.mac_backend
+        )
+        ctx.scratch["opt_report"] = report
+        if not report.ok:
+            return OperationResult.drop(
+                f"OPT verification failed: {report.detail}"
+            )
+        return OperationResult.deliver(note="source and path verified")

@@ -1,0 +1,59 @@
+"""Full DIP packets: header plus payload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.header import DipHeader
+from repro.errors import HeaderValueError
+
+
+@dataclass(frozen=True)
+class DipPacket:
+    """A DIP packet.
+
+    Parameters
+    ----------
+    header:
+        The DIP header (basic header + FN definitions + FN locations).
+    payload:
+        Everything after the header.
+    """
+
+    header: DipHeader
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", bytes(self.payload))
+
+    @property
+    def size(self) -> int:
+        """Total packet size in bytes."""
+        return self.header.header_length + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize header and payload."""
+        return self.header.encode() + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DipPacket":
+        """Parse a packet (the header knows its own length)."""
+        header, consumed = DipHeader.decode(data)
+        return cls(header=header, payload=bytes(data[consumed:]))
+
+    def with_header(self, header: DipHeader) -> "DipPacket":
+        """Copy with a replaced header."""
+        return replace(self, header=header)
+
+    def padded_to(self, total_size: int, fill: int = 0) -> "DipPacket":
+        """Pad the payload so the whole packet reaches ``total_size``.
+
+        Used by the Figure 2 workloads to build 128/768/1500-byte
+        packets regardless of header size.
+        """
+        if total_size < self.size:
+            raise HeaderValueError(
+                f"packet already {self.size} bytes, cannot pad to {total_size}"
+            )
+        padding = bytes([fill]) * (total_size - self.size)
+        return replace(self, payload=self.payload + padding)

@@ -1,0 +1,345 @@
+"""Router packet processing (Algorithm 1 of the paper).
+
+Upon receiving a packet the router (1) parses the basic DIP header
+(FN_Num, FN_LocLen), (2) parses the FN definitions, (3) extracts the FN
+locations, then (4) walks the FNs in order, skipping host-tagged ones
+and dispatching the rest to the operation modules by key.
+
+Beyond the paper's pseudocode the processor also implements:
+
+- the Section 2.4 *heterogeneous configuration* rule: an unsupported FN
+  is ignored unless it is path-critical, in which case processing stops
+  and the source must be signalled (``Decision.UNSUPPORTED``);
+- the Section 2.4 *resource limits*: FN count, processing-time and
+  per-packet-state budgets;
+- the Section 2.2 *modular parallelism* flag: when set, operations
+  whose target fields and scratch dependencies do not conflict are
+  modelled as executing concurrently, and the reported cycle count is
+  the critical path instead of the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.operations.base import (
+    Decision,
+    OperationContext,
+    OperationResult,
+)
+from repro.core.packet import DipPacket
+from repro.core.registry import OperationRegistry, default_registry
+from repro.core.state import NodeState
+from repro.errors import (
+    FieldRangeError,
+    OperationError,
+    ProcessingLimitError,
+)
+from repro.core.limits import LimitTracker
+
+# Scratch-space families: an FN writing a family conflicts with a later
+# FN reading it, even when their target fields do not overlap.  This is
+# what keeps F_parm -> F_mark ordered under modular parallelism.
+_SCRATCH_WRITES = {
+    OperationKey.SOURCE: {"source"},
+    OperationKey.PARM: {"opt"},
+    OperationKey.DAG: {"xia"},
+    OperationKey.PASS: {"passport"},
+}
+_SCRATCH_READS = {
+    OperationKey.MAC: {"opt"},
+    OperationKey.MARK: {"opt"},
+    OperationKey.INTENT: {"xia"},
+    OperationKey.FIB: {"passport"},
+    OperationKey.PIT: {"passport"},
+}
+
+
+def _families(table: Dict[OperationKey, set], key: int) -> set:
+    try:
+        return table.get(OperationKey(key), set())
+    except ValueError:
+        return set()
+
+
+def fns_conflict(a: FieldOperation, b: FieldOperation) -> bool:
+    """True when two FNs must not execute in parallel."""
+    if a.overlaps(b):
+        return True
+    a_writes = _families(_SCRATCH_WRITES, a.key)
+    b_writes = _families(_SCRATCH_WRITES, b.key)
+    a_touches = a_writes | _families(_SCRATCH_READS, a.key)
+    b_touches = b_writes | _families(_SCRATCH_READS, b.key)
+    return bool(a_writes & b_touches or b_writes & a_touches)
+
+
+def parallel_levels(fns: List[FieldOperation]) -> List[int]:
+    """Order-preserving level assignment for the parallelism model.
+
+    FN *i* runs at ``1 + max(level of every earlier conflicting FN)``;
+    non-conflicting FNs share a level and execute concurrently.
+    """
+    levels: List[int] = []
+    for i, fn in enumerate(fns):
+        level = 0
+        for j in range(i):
+            if fns_conflict(fns[j], fn):
+                level = max(level, levels[j] + 1)
+        levels.append(level)
+    return levels
+
+
+@dataclass(frozen=True)
+class ProcessResult:
+    """Everything a packet walk produced.
+
+    Parameters
+    ----------
+    decision:
+        The packet's fate at this node.
+    ports:
+        Egress ports when forwarding.
+    packet:
+        The rewritten packet (hop limit decremented, locations updated);
+        None when the packet was dropped.
+    notes:
+        Per-FN trace notes, in execution order.
+    cycles:
+        Effective model cycles (critical path when the packet's
+        parallel flag is set, otherwise the sequential sum); 0 when no
+        cost model was supplied.
+    cycles_sequential, cycles_parallel:
+        Both totals, for the ABL-PAR ablation.
+    unsupported_key:
+        The offending key when ``decision`` is UNSUPPORTED.
+    scratch:
+        The walk's final scratch space (cache hits, reports...).
+    """
+
+    decision: Decision
+    ports: Tuple[int, ...] = ()
+    packet: Optional[DipPacket] = None
+    notes: Tuple[str, ...] = ()
+    cycles: int = 0
+    cycles_sequential: int = 0
+    cycles_parallel: int = 0
+    unsupported_key: Optional[int] = None
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+
+class RouterProcessor:
+    """One DIP router's packet processing engine.
+
+    Parameters
+    ----------
+    state:
+        The node's protocol state (FIBs, PIT, keys...).
+    registry:
+        The installed operation modules; defaults to the full set.
+    cost_model:
+        Optional object with ``parse_cycles(header_len, packet_size)``
+        and ``fn_cycles(fn)`` methods (see
+        :class:`repro.dataplane.costs.CycleCostModel`).
+    """
+
+    def __init__(
+        self,
+        state: NodeState,
+        registry: Optional[OperationRegistry] = None,
+        cost_model: Optional[object] = None,
+    ) -> None:
+        self.state = state
+        self.registry = registry if registry is not None else default_registry()
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        packet: Union[DipPacket, bytes],
+        ingress_port: int = 0,
+        now: float = 0.0,
+    ) -> ProcessResult:
+        """Run Algorithm 1 on one packet."""
+        # Lines 1-3: parse basic header, FN definitions, FN locations.
+        if isinstance(packet, (bytes, bytearray)):
+            packet = DipPacket.decode(bytes(packet))
+        header = packet.header
+        header.validate_field_ranges()
+
+        tracker = LimitTracker(self.state.limits)
+
+        if header.hop_limit == 0:
+            return ProcessResult(
+                decision=Decision.DROP, notes=("hop limit expired",)
+            )
+
+        ctx = OperationContext(
+            state=self.state,
+            locations=header.locations_view(),
+            payload=packet.payload,
+            ingress_port=ingress_port,
+            now=now,
+            at_host=False,
+            fns=header.fns,
+        )
+
+        parse_cycles = 0
+        try:
+            tracker.check_fn_count(header.fn_num)
+            if self.cost_model is not None:
+                parse_cycles = self.cost_model.parse_cycles(
+                    header.header_length, packet.size
+                )
+                tracker.charge_cycles(parse_cycles)
+        except ProcessingLimitError as exc:
+            return ProcessResult(
+                decision=Decision.DROP,
+                notes=(str(exc),),
+                cycles=parse_cycles,
+                cycles_sequential=parse_cycles,
+                cycles_parallel=parse_cycles,
+                scratch=ctx.scratch,
+            )
+
+        notes: List[str] = []
+        fate: Optional[OperationResult] = None
+        executed_fns: List[FieldOperation] = []
+        executed_cycles: List[int] = []
+
+        # Lines 4-17: walk the FNs.
+        for fn in header.fns:
+            if fn.tag:
+                notes.append(f"{fn}: skipped (host operation)")
+                continue
+
+            operation = self.registry.find(fn.key)
+            if operation is None:
+                if self._is_path_critical(fn.key):
+                    notes.append(f"{fn}: unsupported path-critical FN")
+                    return ProcessResult(
+                        decision=Decision.UNSUPPORTED,
+                        notes=tuple(notes),
+                        unsupported_key=fn.key,
+                        cycles=parse_cycles,
+                        cycles_sequential=parse_cycles,
+                        cycles_parallel=parse_cycles,
+                        scratch=ctx.scratch,
+                    )
+                notes.append(f"{fn}: unsupported FN ignored")
+                continue
+
+            fn_cycles = 0
+            if self.cost_model is not None:
+                fn_cycles = self.cost_model.fn_cycles(fn)
+            try:
+                tracker.charge_cycles(fn_cycles)
+                result = operation.execute(ctx, fn)
+                tracker.charge_state(result.state_bytes)
+            except ProcessingLimitError as exc:
+                notes.append(f"{fn}: {exc}")
+                return self._finish(
+                    Decision.DROP, (), None, notes, parse_cycles,
+                    executed_fns, executed_cycles, header, ctx, None,
+                )
+            except (OperationError, FieldRangeError) as exc:
+                notes.append(f"{fn}: operation failed: {exc}")
+                return self._finish(
+                    Decision.DROP, (), None, notes, parse_cycles,
+                    executed_fns, executed_cycles, header, ctx, None,
+                )
+
+            executed_fns.append(fn)
+            executed_cycles.append(fn_cycles)
+            notes.append(f"{fn}: {result.note or result.decision.value}")
+
+            if result.decision is Decision.DROP:
+                return self._finish(
+                    Decision.DROP, (), None, notes, parse_cycles,
+                    executed_fns, executed_cycles, header, ctx, None,
+                )
+            if result.decision in (Decision.FORWARD, Decision.DELIVER):
+                fate = result
+
+        # Line 18: end processing -- assemble the outcome.
+        if fate is None and self.state.default_port is not None:
+            fate = OperationResult.forward(
+                self.state.default_port, note="static egress (default port)"
+            )
+            notes.append("static egress (default port)")
+        if fate is None:
+            return self._finish(
+                Decision.DROP, (), None,
+                notes + ["no forwarding decision"], parse_cycles,
+                executed_fns, executed_cycles, header, ctx, None,
+            )
+        out_packet = None
+        if fate.decision is Decision.FORWARD:
+            out_header = DipHeader(
+                fns=header.fns,
+                locations=ctx.locations.to_bytes(),
+                next_header=header.next_header,
+                hop_limit=header.hop_limit - 1,
+                parallel=header.parallel,
+                reserved=header.reserved,
+            )
+            out_packet = DipPacket(header=out_header, payload=packet.payload)
+        return self._finish(
+            fate.decision, fate.ports, out_packet, notes, parse_cycles,
+            executed_fns, executed_cycles, header, ctx, None,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _is_path_critical(self, key: int) -> bool:
+        """Would *any* standard module for this key be path-critical?
+
+        The node does not have the module, so it judges from the key's
+        standardized semantics (Table 1); unknown keys are assumed safe
+        to ignore, matching Section 2.4.
+        """
+        return key in (
+            OperationKey.PARM,
+            OperationKey.MAC,
+            OperationKey.MARK,
+            OperationKey.VERIFY,
+        )
+
+    def _finish(
+        self,
+        decision: Decision,
+        ports: Tuple[int, ...],
+        out_packet: Optional[DipPacket],
+        notes: List[str],
+        parse_cycles: int,
+        executed_fns: List[FieldOperation],
+        executed_cycles: List[int],
+        header: DipHeader,
+        ctx: OperationContext,
+        unsupported_key: Optional[int],
+    ) -> ProcessResult:
+        sequential = parse_cycles + sum(executed_cycles)
+        parallel = parse_cycles
+        if executed_fns:
+            levels = parallel_levels(executed_fns)
+            per_level: Dict[int, int] = {}
+            for level, cycles in zip(levels, executed_cycles):
+                per_level[level] = max(per_level.get(level, 0), cycles)
+            parallel += sum(per_level.values())
+        effective = parallel if header.parallel else sequential
+        return ProcessResult(
+            decision=decision,
+            ports=ports,
+            packet=out_packet,
+            notes=tuple(notes),
+            cycles=effective,
+            cycles_sequential=sequential,
+            cycles_parallel=parallel,
+            unsupported_key=unsupported_key,
+            scratch=ctx.scratch,
+        )

@@ -1,0 +1,111 @@
+"""Operation registry and per-AS FN capability sets.
+
+Routers "pre-write the required operation modules on the data plane and
+use the operation key to match these operation modules" (Section 4.1).
+The registry is that key -> module mapping.  A restricted registry
+models heterogeneous AS configurations (Section 2.4): an AS that has
+not enabled an FN either ignores it or -- for path-critical FNs --
+signals the source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.operations.base import Operation
+from repro.core.operations.congestion import (
+    CongMarkOperation,
+    PoliceOperation,
+)
+from repro.core.operations.dag import DagOperation, IntentOperation
+from repro.core.operations.dps import DpsOperation
+from repro.core.operations.epic import EpicHopOperation, EpicVerifyOperation
+from repro.core.operations.fib import FibOperation
+from repro.core.operations.keysetup import KeySetupOperation
+from repro.core.operations.mac import MacOperation
+from repro.core.operations.mark import MarkOperation
+from repro.core.operations.match import Match32Operation, Match128Operation
+from repro.core.operations.parm import ParmOperation
+from repro.core.operations.passport import PassOperation
+from repro.core.operations.pit import PitOperation
+from repro.core.operations.source import SourceOperation
+from repro.core.operations.telemetry import (
+    TelemetryArrayOperation,
+    TelemetryOperation,
+)
+from repro.core.operations.verify import VerifyOperation
+from repro.errors import UnknownOperationError
+
+
+class OperationRegistry:
+    """Key -> operation-module mapping for one node/AS."""
+
+    def __init__(self, operations: Iterable[Operation] = ()) -> None:
+        self._by_key: Dict[int, Operation] = {}
+        for operation in operations:
+            self.register(operation)
+
+    def register(self, operation: Operation) -> None:
+        """Install (or upgrade) one operation module."""
+        self._by_key[operation.key] = operation
+
+    def unregister(self, key: int) -> bool:
+        """Remove an operation; returns False when absent."""
+        return self._by_key.pop(key, None) is not None
+
+    def get(self, key: int) -> Operation:
+        """Look an operation up, raising on unsupported keys."""
+        operation = self._by_key.get(key)
+        if operation is None:
+            raise UnknownOperationError(key)
+        return operation
+
+    def find(self, key: int) -> Optional[Operation]:
+        """Look an operation up, returning None on unsupported keys."""
+        return self._by_key.get(key)
+
+    def supports(self, key: int) -> bool:
+        """True when this node has the operation installed."""
+        return key in self._by_key
+
+    def supported_keys(self) -> Set[int]:
+        """The node's advertised FN capability set (for bootstrap)."""
+        return set(self._by_key)
+
+    def restricted(self, keys: Iterable[int]) -> "OperationRegistry":
+        """A copy supporting only ``keys`` (heterogeneous AS modelling)."""
+        allowed = set(keys)
+        return OperationRegistry(
+            op for key, op in self._by_key.items() if key in allowed
+        )
+
+
+def all_operations() -> tuple:
+    """Fresh instances of every operation module in this prototype."""
+    return (
+        Match32Operation(),
+        Match128Operation(),
+        SourceOperation(),
+        FibOperation(),
+        PitOperation(),
+        ParmOperation(),
+        MacOperation(),
+        MarkOperation(),
+        VerifyOperation(),
+        DagOperation(),
+        IntentOperation(),
+        PassOperation(),
+        TelemetryOperation(),
+        CongMarkOperation(),
+        PoliceOperation(),
+        DpsOperation(),
+        EpicHopOperation(),
+        EpicVerifyOperation(),
+        TelemetryArrayOperation(),
+        KeySetupOperation(),
+    )
+
+
+def default_registry() -> OperationRegistry:
+    """Registry with the full Table 1 set plus extensions."""
+    return OperationRegistry(all_operations())

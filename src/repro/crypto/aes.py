@@ -1,0 +1,206 @@
+"""From-scratch AES-128 (FIPS-197) for the 2EM-vs-AES ablation.
+
+The paper notes that on Tofino, AES would require resubmitting the
+packet while 2EM completes in one pass, so the prototype uses 2EM.  To
+benchmark that design choice in software we need a real AES; this is a
+straightforward table-based implementation of AES-128 encryption and
+decryption over single 16-byte blocks.
+
+The implementation is deliberately simple (no T-tables, no bitslicing,
+no constant-time guarantees): it is a protocol-behaviour substrate, not
+production crypto.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _build_sbox() -> tuple:
+    """Construct the AES S-box from GF(2^8) inversion + affine map."""
+    # Multiplicative inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        # multiply by generator 0x03 = x + 1
+        value ^= (value << 1) ^ (0x1B if value & 0x80 else 0)
+        value &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for byte in range(256):
+        inv = 0 if byte == 0 else exp[255 - log[byte]]
+        # affine transformation
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            result ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[byte] = result
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply two GF(2^8) elements."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES-128 block cipher over single 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        16-byte key.
+    """
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.BLOCK_SIZE:
+            raise ValueError(
+                f"AES-128 key must be {self.BLOCK_SIZE} bytes, got {len(key)}"
+            )
+        self._key = bytes(key)
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def key(self) -> bytes:
+        """The raw key bytes."""
+        return self._key
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[bytes]:
+        """Produce the 11 round keys of AES-128."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]  # RotWord
+                word = [_SBOX[b] for b in word]  # SubWord
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([w ^ p for w, p in zip(word, words[i - 4])])
+        return [
+            bytes(sum(words[r * 4 : r * 4 + 4], []))
+            for r in range(11)
+        ]
+
+    # ------------------------------------------------------------------
+    # round transformations (state is a flat 16-item list, column major)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: bytes) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # state[col * 4 + row]; row r rotates left by r
+        for row in range(1, 4):
+            column_values = [state[col * 4 + row] for col in range(4)]
+            rotated = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[col * 4 + row] = rotated[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[col * 4 + row] for col in range(4)]
+            rotated = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[col * 4 + row] = rotated[col]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[col * 4 : col * 4 + 4]
+            state[col * 4 + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            state[col * 4 + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            state[col * 4 + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            state[col * 4 + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[col * 4 : col * 4 + 4]
+            state[col * 4 + 0] = (
+                _gmul(a[0], 14) ^ _gmul(a[1], 11) ^ _gmul(a[2], 13) ^ _gmul(a[3], 9)
+            )
+            state[col * 4 + 1] = (
+                _gmul(a[0], 9) ^ _gmul(a[1], 14) ^ _gmul(a[2], 11) ^ _gmul(a[3], 13)
+            )
+            state[col * 4 + 2] = (
+                _gmul(a[0], 13) ^ _gmul(a[1], 9) ^ _gmul(a[2], 14) ^ _gmul(a[3], 11)
+            )
+            state[col * 4 + 3] = (
+                _gmul(a[0], 11) ^ _gmul(a[1], 13) ^ _gmul(a[2], 9) ^ _gmul(a[3], 14)
+            )
+
+    # ------------------------------------------------------------------
+    # public block API
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, 10):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[10])
+        for round_index in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

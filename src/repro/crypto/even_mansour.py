@@ -1,0 +1,60 @@
+"""The 2EM key-alternating cipher used by the paper's F_MAC operation.
+
+2EM encrypts a 128-bit block ``x`` under key ``k`` as::
+
+    E(k, x) = k XOR P2( k XOR P1( k XOR x ) )
+
+where P1 and P2 are fixed public permutations (Bogdanov et al. 2012,
+reference [2] of the paper).  The paper picks 2EM over AES on Tofino
+because it completes in one pipeline pass; we implement both so the
+design choice can be benchmarked (ABL-MAC in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.permutation import FeistelPermutation
+from repro.util.bytesutil import xor_bytes
+
+_P1 = FeistelPermutation(index=1)
+_P2 = FeistelPermutation(index=2)
+
+
+class EvenMansour2:
+    """Two-round Even-Mansour block cipher over 128-bit blocks.
+
+    Parameters
+    ----------
+    key:
+        16-byte key, XORed before, between, and after the two public
+        permutations (the single-key 2EM variant).
+    """
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.BLOCK_SIZE:
+            raise ValueError(
+                f"2EM key must be {self.BLOCK_SIZE} bytes, got {len(key)}"
+            )
+        self._key = bytes(key)
+
+    @property
+    def key(self) -> bytes:
+        """The raw key bytes."""
+        return self._key
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        state = xor_bytes(block, self._key)
+        state = _P1.apply(state)
+        state = xor_bytes(state, self._key)
+        state = _P2.apply(state)
+        return xor_bytes(state, self._key)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        state = xor_bytes(block, self._key)
+        state = _P2.invert(state)
+        state = xor_bytes(state, self._key)
+        state = _P1.invert(state)
+        return xor_bytes(state, self._key)

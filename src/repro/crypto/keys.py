@@ -1,0 +1,95 @@
+"""Key-material containers for routers and hosts.
+
+A :class:`RouterKey` wraps a router's long-lived local secret and the
+dynamic-key derivation OPT performs per packet.  A :class:`KeyStore`
+holds the session-side view (the host that negotiated the session knows
+every on-path dynamic key, which is what lets it verify the PVF/OPV
+tags on receipt).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+from repro.crypto.prf import KEY_SIZE, derive_key
+
+
+def secret_from_seed(seed: str) -> bytes:
+    """Deterministically expand a human-readable seed into a 16-byte secret.
+
+    Only used to provision the simulation (real deployments would use a
+    hardware RNG); SHA-256 keeps it deterministic across runs.
+    """
+    return hashlib.sha256(seed.encode("utf-8")).digest()[:KEY_SIZE]
+
+
+class RouterKey:
+    """A router's local secret plus its per-session dynamic-key cache.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier of the router (used as a derivation label).
+    local_secret:
+        16-byte long-lived secret.  Derived from ``node_id`` when omitted,
+        which keeps simulations deterministic.
+    """
+
+    def __init__(self, node_id: str, local_secret: bytes = b"") -> None:
+        self.node_id = node_id
+        self._secret = local_secret or secret_from_seed(f"router:{node_id}")
+        if len(self._secret) != KEY_SIZE:
+            raise ValueError(f"local secret must be {KEY_SIZE} bytes")
+        self._dynamic_cache: Dict[bytes, bytes] = {}
+
+    def dynamic_key(self, session_id: bytes) -> bytes:
+        """Derive (and cache) the dynamic key for ``session_id``."""
+        cached = self._dynamic_cache.get(session_id)
+        if cached is None:
+            cached = derive_key(
+                self._secret, session_id, self.node_id.encode("utf-8")
+            )
+            self._dynamic_cache[session_id] = cached
+        return cached
+
+    def clear_cache(self) -> None:
+        """Drop all cached dynamic keys (e.g. on session teardown)."""
+        self._dynamic_cache.clear()
+
+
+class KeyStore:
+    """Host-side view of the dynamic keys along a session's path.
+
+    During OPT key negotiation the source learns the dynamic key of each
+    on-path router (shared via the key-distribution protocol the OPT
+    paper describes); the destination needs them to verify tags.
+    """
+
+    def __init__(self) -> None:
+        self._by_session: Dict[bytes, List[bytes]] = {}
+
+    def install_path_keys(self, session_id: bytes, keys: Iterable[bytes]) -> None:
+        """Record the ordered per-hop dynamic keys for a session."""
+        key_list = [bytes(k) for k in keys]
+        for key in key_list:
+            if len(key) != KEY_SIZE:
+                raise ValueError(f"dynamic keys must be {KEY_SIZE} bytes")
+        self._by_session[bytes(session_id)] = key_list
+
+    def path_keys(self, session_id: bytes) -> List[bytes]:
+        """Return the ordered per-hop keys for ``session_id``."""
+        try:
+            return list(self._by_session[bytes(session_id)])
+        except KeyError:
+            raise KeyError(
+                f"no path keys installed for session {bytes(session_id).hex()}"
+            ) from None
+
+    def has_session(self, session_id: bytes) -> bool:
+        """True if keys for ``session_id`` are installed."""
+        return bytes(session_id) in self._by_session
+
+    def drop_session(self, session_id: bytes) -> None:
+        """Forget a session's keys."""
+        self._by_session.pop(bytes(session_id), None)

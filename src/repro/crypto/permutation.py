@@ -1,0 +1,92 @@
+"""Fixed public permutations for the Even-Mansour construction.
+
+2EM (Bogdanov et al., EUROCRYPT 2012 -- reference [2] of the paper)
+builds a block cipher from a small number of *public* permutations with
+key material XORed between them.  The permutations themselves carry no
+key; they only need to be fixed, public, and "random looking".
+
+We build each public permutation as an unkeyed 8-round Feistel network
+over 128-bit blocks whose round functions are integer mixers seeded by
+the permutation index.  A Feistel network is trivially invertible, which
+gives us the inverse permutation needed for decryption, and the mixing
+is easily strong enough for a protocol-behaviour reproduction (this is
+not a production cipher and does not claim cryptographic strength).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(state: int) -> int:
+    """One step of the SplitMix64 mixer (public domain constant set)."""
+    state = (state + _GOLDEN) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class FeistelPermutation:
+    """An unkeyed, public, invertible permutation over 128-bit blocks.
+
+    Parameters
+    ----------
+    index:
+        Distinguishes the permutations P1, P2, ... used by 2EM.  Two
+        instances with the same index compute the same permutation.
+    rounds:
+        Number of Feistel rounds (default 8).
+    """
+
+    BLOCK_SIZE = 16  # bytes
+
+    def __init__(self, index: int, rounds: int = 8) -> None:
+        if rounds < 2:
+            raise ValueError("a Feistel network needs at least 2 rounds")
+        self.index = index
+        self.rounds = rounds
+        # Public round constants derived from the permutation index.
+        seed = _splitmix64((index * 0xD1B54A32D192ED03) & _MASK64)
+        constants = []
+        for _ in range(rounds):
+            seed = _splitmix64(seed)
+            constants.append(seed)
+        self._constants = tuple(constants)
+
+    def _round_function(self, half: int, constant: int) -> int:
+        """Mix one 64-bit half with a public round constant."""
+        z = (half ^ constant) & _MASK64
+        z = (z * 0xFF51AFD7ED558CCD) & _MASK64
+        z ^= z >> 33
+        z = (z * 0xC4CEB9FE1A85EC53) & _MASK64
+        return (z ^ (z >> 29)) & _MASK64
+
+    def apply(self, block: bytes) -> bytes:
+        """Apply the permutation to a 16-byte block."""
+        left, right = self._split(block)
+        for constant in self._constants:
+            left, right = right, left ^ self._round_function(right, constant)
+        return self._join(left, right)
+
+    def invert(self, block: bytes) -> bytes:
+        """Apply the inverse permutation to a 16-byte block."""
+        left, right = self._split(block)
+        for constant in reversed(self._constants):
+            right, left = left, right ^ self._round_function(left, constant)
+        return self._join(left, right)
+
+    @staticmethod
+    def _split(block: bytes) -> tuple:
+        if len(block) != FeistelPermutation.BLOCK_SIZE:
+            raise ValueError(
+                f"block must be {FeistelPermutation.BLOCK_SIZE} bytes, "
+                f"got {len(block)}"
+            )
+        value = int.from_bytes(block, "big")
+        return (value >> 64) & _MASK64, value & _MASK64
+
+    @staticmethod
+    def _join(left: int, right: int) -> bytes:
+        return ((left << 64) | right).to_bytes(16, "big")

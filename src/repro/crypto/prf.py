@@ -1,0 +1,33 @@
+"""PRF and DRKey-style key derivation.
+
+OPT routers never store per-flow keys: on receiving a packet, a router
+derives a *dynamic key* from the session ID in the header and its own
+local secret (Section 3, "OPT" paragraph).  We model that derivation as
+a PRF built from the 2EM cipher in a CBC-MAC (the standard
+PRF-from-MAC construction), matching the DRKey approach OPT builds on.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import mac_bytes
+
+KEY_SIZE = 16
+
+
+def prf(key: bytes, message: bytes) -> bytes:
+    """Pseudorandom function: 16-byte output from key and message."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"PRF key must be {KEY_SIZE} bytes, got {len(key)}")
+    return mac_bytes(key, message, backend="2em")
+
+
+def derive_key(local_secret: bytes, session_id: bytes, *labels: bytes) -> bytes:
+    """Derive a dynamic key from a router secret and a session ID.
+
+    Additional ``labels`` (e.g. a role string, a node identifier) are
+    chained through the PRF, so distinct uses get independent keys.
+    """
+    key = prf(local_secret, session_id)
+    for label in labels:
+        key = prf(key, label)
+    return key

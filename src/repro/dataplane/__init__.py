@@ -1,0 +1,33 @@
+"""Software PISA-style programmable dataplane (Tofino substitute).
+
+The paper's prototype runs on a Barefoot Tofino switch; this package is
+the software stand-in (see DESIGN.md, substitutions):
+
+- :mod:`repro.dataplane.phv` -- packet header vector containers;
+- :mod:`repro.dataplane.parser` -- programmable parser (parse graph);
+- :mod:`repro.dataplane.tables` -- exact/LPM/ternary match-action
+  tables;
+- :mod:`repro.dataplane.pipeline` -- staged match-action pipeline with
+  Tofino-like constraints (fixed stage budget, no loops);
+- :mod:`repro.dataplane.compiler` -- compile an FN list into a pipeline
+  program the way Section 4.1 describes (if-else unrolling on FN_Num,
+  preset field slices);
+- :mod:`repro.dataplane.costs` -- the deterministic cycle cost model
+  behind the Figure 2 reproduction.
+"""
+
+from repro.dataplane.costs import CycleCostModel
+from repro.dataplane.phv import PacketHeaderVector
+from repro.dataplane.pipeline import Pipeline, PipelineConfig, Stage
+from repro.dataplane.tables import ExactTable, LpmMatchTable, TernaryTable
+
+__all__ = [
+    "CycleCostModel",
+    "PacketHeaderVector",
+    "Pipeline",
+    "PipelineConfig",
+    "Stage",
+    "ExactTable",
+    "LpmMatchTable",
+    "TernaryTable",
+]

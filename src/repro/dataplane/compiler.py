@@ -1,0 +1,128 @@
+"""Compile FN programs into pipeline layouts (the Section 4.1 story).
+
+The Tofino prototype could not loop over operation modules, so the
+authors "use the simple if-else statement with FN_Num to determine how
+many field operations to perform" and pre-write every module on the
+data plane, dispatching by operation key.  The compiler reproduces that
+structure and checks it against the hardware budgets:
+
+- one stage per router-executed FN (the if-else unrolling), in packet
+  order;
+- each stage holds the dispatch table matching the FN's operation key;
+- MAC-bearing programs under the AES backend need recirculation (a
+  second pass), which the config may forbid -- exactly why the paper
+  picked 2EM.
+
+The compiled program is a *layout*; executing packets still goes
+through :class:`repro.core.processor.RouterProcessor`, so behaviour is
+identical between "interpreted" and "compiled" paths (asserted by
+tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.dataplane.pipeline import PipelineConfig
+from repro.errors import PipelineConstraintError
+
+# Keys whose operation needs packet recirculation when backed by AES
+# (the paper: AES "needs to resubmit the packet" on Tofino).
+_MAC_KEYS = (OperationKey.MAC, OperationKey.MARK, OperationKey.VERIFY)
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One pipeline stage of the compiled layout."""
+
+    index: int
+    fn: FieldOperation
+    operation_name: str
+    recirculate: bool = False
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """The FN program's hardware layout.
+
+    Parameters
+    ----------
+    stages:
+        One entry per router-executed FN, in order.
+    passes:
+        Pipeline passes needed (1, or 2 when recirculating).
+    host_fns:
+        The host-tagged FNs (not compiled; hosts run them in software).
+    """
+
+    stages: Tuple[StagePlan, ...]
+    passes: int
+    host_fns: Tuple[FieldOperation, ...]
+
+    @property
+    def stage_count(self) -> int:
+        """Stages consumed on the switch."""
+        return len(self.stages)
+
+
+def _operation_name(key: int) -> str:
+    try:
+        return OperationKey(key).name
+    except ValueError:
+        return f"key_{key}"
+
+
+def compile_fn_program(
+    fns: Sequence[FieldOperation],
+    config: Optional[PipelineConfig] = None,
+    mac_backend: str = "2em",
+) -> CompiledProgram:
+    """Lay an FN list out on the pipeline, enforcing hardware budgets.
+
+    Raises
+    ------
+    PipelineConstraintError
+        When the program needs more stages than the budget allows, or
+        needs recirculation the configuration forbids.
+    """
+    if config is None:
+        config = PipelineConfig()
+
+    router_fns = [fn for fn in fns if not fn.tag]
+    host_fns = tuple(fn for fn in fns if fn.tag)
+
+    if len(router_fns) > config.max_stages:
+        raise PipelineConstraintError(
+            f"program needs {len(router_fns)} stages "
+            f"(budget {config.max_stages}); split the FN list or enable "
+            f"recirculation"
+        )
+
+    stages: List[StagePlan] = []
+    needs_recirculation = False
+    for index, fn in enumerate(router_fns):
+        recirc = mac_backend == "aes" and fn.key in tuple(_MAC_KEYS)
+        needs_recirculation = needs_recirculation or recirc
+        stages.append(
+            StagePlan(
+                index=index,
+                fn=fn,
+                operation_name=_operation_name(fn.key),
+                recirculate=recirc,
+            )
+        )
+
+    if needs_recirculation and not config.allow_recirculation:
+        raise PipelineConstraintError(
+            "AES-backed MAC operations require packet recirculation, "
+            "which this pipeline configuration forbids (use 2EM, as the "
+            "paper does, or allow recirculation)"
+        )
+
+    return CompiledProgram(
+        stages=tuple(stages),
+        passes=2 if needs_recirculation else 1,
+        host_fns=host_fns,
+    )

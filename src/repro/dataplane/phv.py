@@ -1,0 +1,95 @@
+"""Packet Header Vector (PHV).
+
+In PISA hardware the parser deposits header fields into a fixed budget
+of PHV containers that the match-action stages then read and write.  We
+model the PHV as named bit-width-checked fields plus the standard
+intrinsic metadata (ingress port, egress spec, drop flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import DataplaneError
+
+
+@dataclass
+class PhvField:
+    """One PHV container: a value constrained to ``width`` bits."""
+
+    width: int
+    value: int = 0
+
+    def set(self, value: int) -> None:
+        if not 0 <= value < (1 << self.width):
+            raise DataplaneError(
+                f"value {value:#x} does not fit in a {self.width}-bit container"
+            )
+        self.value = value
+
+
+@dataclass
+class PacketHeaderVector:
+    """The parsed representation a pipeline operates on.
+
+    Parameters
+    ----------
+    bit_budget:
+        Total PHV bits available (Tofino-like budget); allocating past
+        it raises :class:`DataplaneError`.
+    """
+
+    bit_budget: int = 4096
+    ingress_port: int = 0
+    egress_spec: int = -1
+    drop: bool = False
+    _fields: Dict[str, PhvField] = field(default_factory=dict)
+
+    def allocate(self, name: str, width: int, value: int = 0) -> None:
+        """Create a container; parsing allocates one per extracted field."""
+        if name in self._fields:
+            raise DataplaneError(f"PHV field {name!r} already allocated")
+        used = sum(f.width for f in self._fields.values())
+        if used + width > self.bit_budget:
+            raise DataplaneError(
+                f"PHV budget exhausted: {used} + {width} > {self.bit_budget}"
+            )
+        container = PhvField(width=width)
+        container.set(value)
+        self._fields[name] = container
+
+    def has(self, name: str) -> bool:
+        """True when the field was parsed/allocated."""
+        return name in self._fields
+
+    def get(self, name: str) -> int:
+        """Read a container's value."""
+        try:
+            return self._fields[name].value
+        except KeyError:
+            raise DataplaneError(f"PHV field {name!r} not allocated") from None
+
+    def set(self, name: str, value: int) -> None:
+        """Write a container's value (width-checked)."""
+        try:
+            self._fields[name].set(value)
+        except KeyError:
+            raise DataplaneError(f"PHV field {name!r} not allocated") from None
+
+    def width(self, name: str) -> int:
+        """A container's bit width."""
+        try:
+            return self._fields[name].width
+        except KeyError:
+            raise DataplaneError(f"PHV field {name!r} not allocated") from None
+
+    def fields(self) -> Iterator[Tuple[str, int, int]]:
+        """Yield ``(name, width, value)`` for every container."""
+        for name, container in self._fields.items():
+            yield name, container.width, container.value
+
+    @property
+    def used_bits(self) -> int:
+        """Total bits currently allocated."""
+        return sum(f.width for f in self._fields.values())

@@ -1,0 +1,161 @@
+"""Staged match-action pipeline with Tofino-like constraints.
+
+A pipeline is: parser -> N stages -> deparse.  Each stage applies its
+tables in order; every table names a PHV field to build its key from
+and maps the matched :class:`TableEntry` to an action that mutates the
+PHV.  The configuration enforces the budgets a real switch has (stage
+count, tables per stage, PHV bits), which is what makes the Section 4.1
+compromises show up as actual constraint errors here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.dataplane.parser import Parser
+from repro.dataplane.phv import PacketHeaderVector
+from repro.dataplane.tables import (
+    ExactTable,
+    LpmMatchTable,
+    TableEntry,
+    TernaryTable,
+)
+from repro.errors import DataplaneError, PipelineConstraintError
+
+AnyTable = Union[ExactTable, LpmMatchTable, TernaryTable]
+# An action mutates the PHV given the matched entry's data.
+Action = Callable[[PacketHeaderVector, Tuple], None]
+
+
+# ----------------------------------------------------------------------
+# standard action primitives
+# ----------------------------------------------------------------------
+def action_forward(phv: PacketHeaderVector, data: Tuple) -> None:
+    """Set the egress spec."""
+    phv.egress_spec = int(data[0])
+
+
+def action_drop(phv: PacketHeaderVector, data: Tuple) -> None:
+    """Mark the packet dropped."""
+    phv.drop = True
+
+
+def action_set_field(phv: PacketHeaderVector, data: Tuple) -> None:
+    """``data = (field_name, value)``: write a PHV container."""
+    phv.set(str(data[0]), int(data[1]))
+
+
+def action_noop(phv: PacketHeaderVector, data: Tuple) -> None:
+    """Do nothing (counters/telemetry handled elsewhere)."""
+
+
+STANDARD_ACTIONS: Dict[str, Action] = {
+    "forward": action_forward,
+    "drop": action_drop,
+    "set_field": action_set_field,
+    "noop": action_noop,
+}
+
+
+@dataclass(frozen=True)
+class TableBinding:
+    """One table's place in a stage: key source and miss behaviour."""
+
+    table: AnyTable
+    key_field: str
+    miss_action: str = "noop"
+
+
+@dataclass
+class Stage:
+    """One match-action stage."""
+
+    name: str
+    bindings: List[TableBinding] = field(default_factory=list)
+
+    def add(self, binding: TableBinding) -> None:
+        """Attach a table to this stage."""
+        self.bindings.append(binding)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Hardware-style budgets (defaults roughly Tofino-shaped)."""
+
+    max_stages: int = 12
+    max_tables_per_stage: int = 4
+    phv_bit_budget: int = 4096
+    allow_recirculation: bool = False
+
+
+class Pipeline:
+    """Parser + stages + action execution.
+
+    Parameters
+    ----------
+    parser:
+        The parse graph producing the PHV.
+    stages:
+        Match-action stages, applied in order.
+    config:
+        Budgets; violated budgets raise
+        :class:`PipelineConstraintError` at construction.
+    actions:
+        Action-name registry (defaults to the standard primitives).
+    """
+
+    def __init__(
+        self,
+        parser: Parser,
+        stages: List[Stage],
+        config: Optional[PipelineConfig] = None,
+        actions: Optional[Dict[str, Action]] = None,
+    ) -> None:
+        self.parser = parser
+        self.stages = list(stages)
+        self.config = config if config is not None else PipelineConfig()
+        self.actions = dict(STANDARD_ACTIONS)
+        if actions:
+            self.actions.update(actions)
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(self.stages) > self.config.max_stages:
+            raise PipelineConstraintError(
+                f"{len(self.stages)} stages exceed the "
+                f"{self.config.max_stages}-stage budget"
+            )
+        for stage in self.stages:
+            if len(stage.bindings) > self.config.max_tables_per_stage:
+                raise PipelineConstraintError(
+                    f"stage {stage.name} has {len(stage.bindings)} tables "
+                    f"(max {self.config.max_tables_per_stage})"
+                )
+
+    def apply(self, packet: bytes, ingress_port: int = 0) -> PacketHeaderVector:
+        """Parse and run the packet through every stage."""
+        phv = PacketHeaderVector(bit_budget=self.config.phv_bit_budget)
+        phv.ingress_port = ingress_port
+        result = self.parser.parse(packet, phv)
+        if not result.accepted:
+            phv.drop = True
+            return phv
+        for stage in self.stages:
+            if phv.drop:
+                break
+            for binding in stage.bindings:
+                if not phv.has(binding.key_field):
+                    continue
+                entry = binding.table.match(phv.get(binding.key_field))
+                if entry is None:
+                    self._run(binding.miss_action, phv, ())
+                else:
+                    self._run(entry.action, phv, entry.data)
+        return phv
+
+    def _run(self, action_name: str, phv: PacketHeaderVector, data: Tuple) -> None:
+        action = self.actions.get(action_name)
+        if action is None:
+            raise DataplaneError(f"unknown action {action_name!r}")
+        action(phv, data)

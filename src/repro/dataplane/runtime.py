@@ -1,0 +1,176 @@
+"""Runtime reprogramming of a live node's operation set.
+
+Section 5: "the network providers can now support new services by only
+upgrading FNs, instead of replacing the underlying hardware", following
+the "Runtime Programmable Networks" trend (rP4, FlexCore...).  This
+module models that management plane:
+
+- a :class:`RuntimeManager` wraps a node's registry and applies
+  *staged* updates: every change is prepared against a copy, validated
+  against the pipeline budget, and atomically activated -- packets
+  processed during preparation still see the old program, exactly like
+  partial reconfiguration on hardware;
+- every activation bumps a version and records an audit entry, which is
+  what an operator's intent ("enable F_pass fleet-wide during the
+  attack") needs for rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.operations.base import Operation
+from repro.core.registry import OperationRegistry
+from repro.dataplane.compiler import compile_fn_program
+from repro.dataplane.pipeline import PipelineConfig
+from repro.errors import DataplaneError, PipelineConstraintError
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One audit-log entry."""
+
+    version: int
+    action: str          # "install" / "remove" / "rollback"
+    keys: Tuple[int, ...]
+    note: str = ""
+
+
+@dataclass
+class _StagedUpdate:
+    registry: OperationRegistry
+    action: str
+    keys: Tuple[int, ...]
+    note: str
+
+
+class RuntimeManager:
+    """Staged, atomic updates to one node's operation registry.
+
+    Parameters
+    ----------
+    registry:
+        The *live* registry the node's processor reads.  The manager
+        mutates it only at activation time.
+    pipeline_config:
+        Budget every staged program is validated against.
+    """
+
+    def __init__(
+        self,
+        registry: OperationRegistry,
+        pipeline_config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.pipeline_config = (
+            pipeline_config if pipeline_config is not None else PipelineConfig()
+        )
+        self.version = 0
+        self.log: List[UpdateRecord] = []
+        self._staged: Optional[_StagedUpdate] = None
+        self._history: List[Tuple[int, OperationRegistry]] = []
+
+    # ------------------------------------------------------------------
+    # staging
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> OperationRegistry:
+        return self.registry.restricted(self.registry.supported_keys())
+
+    def stage_install(self, *operations: Operation, note: str = "") -> None:
+        """Prepare installing (or upgrading) operation modules."""
+        if self._staged is not None:
+            raise DataplaneError("an update is already staged")
+        candidate = self._snapshot()
+        for operation in operations:
+            candidate.register(operation)
+        self._staged = _StagedUpdate(
+            registry=candidate,
+            action="install",
+            keys=tuple(op.key for op in operations),
+            note=note,
+        )
+
+    def stage_remove(self, *keys: int, note: str = "") -> None:
+        """Prepare removing operation modules."""
+        if self._staged is not None:
+            raise DataplaneError("an update is already staged")
+        candidate = self._snapshot()
+        for key in keys:
+            if not candidate.unregister(key):
+                self._staged = None
+                raise DataplaneError(f"key {key} is not installed")
+        self._staged = _StagedUpdate(
+            registry=candidate, action="remove", keys=tuple(keys), note=note
+        )
+
+    def abort(self) -> None:
+        """Drop the staged update without touching the live registry."""
+        self._staged = None
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def validate_staged_against(self, fns) -> None:
+        """Check a representative FN program compiles under the staged set.
+
+        Models the hardware feasibility gate a real runtime-programming
+        controller runs before flipping traffic to the new program.
+        """
+        if self._staged is None:
+            raise DataplaneError("nothing staged")
+        supported = self._staged.registry.supported_keys()
+        router_fns = [fn for fn in fns if not fn.tag]
+        missing = [fn.key for fn in router_fns if fn.key not in supported]
+        if missing:
+            raise PipelineConstraintError(
+                f"staged program would strand FN keys {missing}"
+            )
+        compile_fn_program(router_fns, self.pipeline_config)
+
+    def activate(self) -> int:
+        """Atomically switch the live registry to the staged one."""
+        if self._staged is None:
+            raise DataplaneError("nothing staged")
+        self._history.append((self.version, self._snapshot()))
+        staged = self._staged
+        self._staged = None
+
+        live_keys = set(self.registry.supported_keys())
+        staged_keys = staged.registry.supported_keys()
+        for key in live_keys - staged_keys:
+            self.registry.unregister(key)
+        for key in staged_keys:
+            self.registry.register(staged.registry.get(key))
+
+        self.version += 1
+        self.log.append(
+            UpdateRecord(
+                version=self.version,
+                action=staged.action,
+                keys=staged.keys,
+                note=staged.note,
+            )
+        )
+        return self.version
+
+    def rollback(self) -> int:
+        """Restore the registry as of the previous activation."""
+        if not self._history:
+            raise DataplaneError("no earlier version to roll back to")
+        _old_version, snapshot = self._history.pop()
+        live_keys = set(self.registry.supported_keys())
+        snapshot_keys = snapshot.supported_keys()
+        for key in live_keys - snapshot_keys:
+            self.registry.unregister(key)
+        for key in snapshot_keys:
+            self.registry.register(snapshot.get(key))
+        self.version += 1
+        self.log.append(
+            UpdateRecord(
+                version=self.version,
+                action="rollback",
+                keys=tuple(sorted(snapshot_keys)),
+            )
+        )
+        return self.version

@@ -1,0 +1,108 @@
+"""Match-action tables (exact, LPM, ternary).
+
+The three match kinds PISA pipelines offer.  An entry binds a match key
+to an action name plus action data; executing the action is the
+pipeline's job (:mod:`repro.dataplane.actions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import DataplaneError
+from repro.protocols.ip.fib import LpmTable
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """A matched result: which action to run and with what data."""
+
+    action: str
+    data: Tuple[Any, ...] = ()
+
+
+class ExactTable:
+    """Exact-match table over integer keys.
+
+    Parameters
+    ----------
+    name:
+        Table name (for compiler layout and diagnostics).
+    size:
+        Capacity; inserts past it raise, as on hardware.
+    """
+
+    def __init__(self, name: str, size: int = 1024) -> None:
+        self.name = name
+        self.size = size
+        self._entries: Dict[int, TableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, key: int, entry: TableEntry) -> None:
+        """Add or replace an entry."""
+        if key not in self._entries and len(self._entries) >= self.size:
+            raise DataplaneError(f"table {self.name} full ({self.size})")
+        self._entries[key] = entry
+
+    def remove(self, key: int) -> bool:
+        """Delete an entry; returns False when absent."""
+        return self._entries.pop(key, None) is not None
+
+    def match(self, key: int) -> Optional[TableEntry]:
+        """Exact lookup."""
+        return self._entries.get(key)
+
+
+class LpmMatchTable:
+    """Longest-prefix-match table (thin wrapper over the trie FIB)."""
+
+    def __init__(self, name: str, width: int, size: int = 1024) -> None:
+        self.name = name
+        self.size = size
+        self._trie = LpmTable(width)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def insert(self, prefix: int, prefix_len: int, entry: TableEntry) -> None:
+        """Add or replace a prefix entry."""
+        before = len(self._trie)
+        self._trie.insert(prefix, prefix_len, entry)
+        if len(self._trie) > before and len(self._trie) > self.size:
+            self._trie.remove(prefix, prefix_len)
+            raise DataplaneError(f"table {self.name} full ({self.size})")
+
+    def match(self, key: int) -> Optional[TableEntry]:
+        """Longest-prefix lookup."""
+        return self._trie.lookup(key)
+
+
+class TernaryTable:
+    """Ternary (value/mask) table with priorities, TCAM style."""
+
+    def __init__(self, name: str, size: int = 512) -> None:
+        self.name = name
+        self.size = size
+        self._entries: List[Tuple[int, int, int, TableEntry]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(
+        self, value: int, mask: int, priority: int, entry: TableEntry
+    ) -> None:
+        """Add an entry; higher priority wins on multiple matches."""
+        if len(self._entries) >= self.size:
+            raise DataplaneError(f"table {self.name} full ({self.size})")
+        self._entries.append((value, mask, priority, entry))
+        self._entries.sort(key=lambda item: -item[2])
+
+    def match(self, key: int) -> Optional[TableEntry]:
+        """Highest-priority masked match."""
+        for value, mask, _priority, entry in self._entries:
+            if key & mask == value & mask:
+                return entry
+        return None

@@ -1,0 +1,36 @@
+"""Discrete-event network simulator.
+
+Provides the end-to-end substrate the paper's testbed supplied: hosts,
+DIP routers, legacy routers, border routers, links with delay and
+bandwidth, FN bootstrap (Section 2.3), tunneling across DIP-agnostic
+domains and FN-unsupported signalling (Section 2.4).
+"""
+
+from repro.netsim.bootstrap import CapabilityMap, bootstrap_host
+from repro.netsim.engine import Engine
+from repro.netsim.links import Link
+from repro.netsim.messages import Frame
+from repro.netsim.nodes import (
+    BorderRouterNode,
+    DipRouterNode,
+    HostNode,
+    LegacyRouterNode,
+    Node,
+)
+from repro.netsim.stats import TraceRecorder
+from repro.netsim.topology import Topology
+
+__all__ = [
+    "Engine",
+    "Frame",
+    "Link",
+    "Node",
+    "HostNode",
+    "DipRouterNode",
+    "LegacyRouterNode",
+    "BorderRouterNode",
+    "Topology",
+    "TraceRecorder",
+    "CapabilityMap",
+    "bootstrap_host",
+]

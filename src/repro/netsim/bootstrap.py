@@ -1,0 +1,100 @@
+"""FN capability bootstrap and propagation.
+
+Section 2.3: "After the host is connected to an accessed AS, it uses
+bootstrapping mechanisms (similar to DHCP) to get the set of available
+FNs" -- :func:`bootstrap_host` is that exchange.
+
+Section 2.3 also recommends propagating supported FNs among ASes via
+BGP communities; :class:`CapabilityMap` models the resulting global
+view, letting a source check whether a path supports a path-critical FN
+before using it (and letting tests exercise the Section 2.4
+heterogeneous-configuration rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.netsim.nodes import DipRouterNode, HostNode
+
+
+@dataclass(frozen=True)
+class FnDiscoveryRequest:
+    """Host -> access router: "which FNs does this AS support?"."""
+
+    host_id: str
+
+
+@dataclass(frozen=True)
+class FnDiscoveryReply:
+    """Access router -> host: the advertised FN capability set."""
+
+    router_id: str
+    keys: FrozenSet[int]
+
+
+def bootstrap_host(host: HostNode, access_router: DipRouterNode) -> Set[int]:
+    """DHCP-like exchange: the host learns its AS's available FNs."""
+    keys = access_router.processor.registry.supported_keys()
+    host.stack.learn_available_fns(keys)
+    host.trace.record(
+        host.engine.now,
+        host.node_id,
+        "bootstrap",
+        f"learned {len(keys)} FNs from {access_router.node_id}",
+    )
+    return keys
+
+
+def bootstrap_host_async(host: HostNode, port: int = 0) -> None:
+    """Kick off the wire-level discovery exchange (Section 2.3).
+
+    Unlike :func:`bootstrap_host` (the synchronous shortcut), this
+    sends an actual :class:`FnDiscoveryRequest` control frame out of
+    ``port``; the access router answers with a
+    :class:`FnDiscoveryReply`, which the host applies on receipt.  Run
+    the engine to complete the exchange.
+    """
+    host.send_discovery_request(port)
+
+
+class CapabilityMap:
+    """Global AS -> supported-FN-set view (BGP-community style)."""
+
+    def __init__(self) -> None:
+        self._capabilities: Dict[str, Set[int]] = {}
+
+    def advertise(self, as_id: str, keys: Iterable[int]) -> None:
+        """An AS announces (or updates) its supported FN set."""
+        self._capabilities[as_id] = set(keys)
+
+    def advertise_router(self, router: DipRouterNode) -> None:
+        """Advertise a router's registry as its AS's capability set."""
+        self.advertise(router.node_id, router.processor.registry.supported_keys())
+
+    def capabilities_of(self, as_id: str) -> Set[int]:
+        """One AS's advertised set (empty when unknown)."""
+        return set(self._capabilities.get(as_id, set()))
+
+    def supported_on_path(self, path: Sequence[str]) -> Set[int]:
+        """FN keys every AS along ``path`` supports (intersection)."""
+        sets = [self.capabilities_of(as_id) for as_id in path]
+        if not sets:
+            return set()
+        common = sets[0]
+        for capability_set in sets[1:]:
+            common &= capability_set
+        return common
+
+    def missing_on_path(
+        self, keys: Iterable[int], path: Sequence[str]
+    ) -> List[Tuple[str, int]]:
+        """``(as_id, key)`` pairs a construction would trip over."""
+        missing = []
+        for as_id in path:
+            supported = self.capabilities_of(as_id)
+            for key in keys:
+                if key not in supported:
+                    missing.append((as_id, key))
+        return missing

@@ -1,0 +1,79 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are ``(time, sequence,
+callback)`` triples in a heap; ties break by insertion order so runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, self._sequence, lambda: callback(*args)),
+        )
+
+    def schedule_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` at absolute time ``when``."""
+        self.schedule(when - self._now, callback, *args)
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 1_000_000
+    ) -> int:
+        """Process events until the queue drains (or ``until``/budget).
+
+        Returns the number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue and processed < max_events:
+                when, _seq, callback = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback()
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)

@@ -1,0 +1,88 @@
+"""Point-to-point links with propagation delay, bandwidth, and queues.
+
+A link joins two (node, port) endpoints.  Transmitting a frame takes
+``size / bandwidth`` seconds of serialization plus the propagation
+delay; frames overflowing the queue are dropped and counted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Engine
+from repro.netsim.messages import Frame
+
+
+class Link:
+    """One bidirectional point-to-point link.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine frames are scheduled on.
+    delay:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Bytes per second; 0 means infinite (no serialization delay).
+    queue_capacity:
+        Frames in flight per direction before tail drop; 0 = unlimited.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        delay: float = 0.001,
+        bandwidth: float = 0.0,
+        queue_capacity: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.delay = delay
+        self.bandwidth = bandwidth
+        self.queue_capacity = queue_capacity
+        self._ends = {}  # node_id -> (node, port)
+        self._in_flight = {}  # direction node_id -> count
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.up = True  # failure injection: down links drop everything
+
+    def attach(self, node, port: int) -> None:
+        """Register one endpoint (called by the topology builder)."""
+        if len(self._ends) >= 2 and node.node_id not in self._ends:
+            raise SimulationError("a link joins exactly two endpoints")
+        self._ends[node.node_id] = (node, port)
+        self._in_flight.setdefault(node.node_id, 0)
+
+    def peer_of(self, node_id: str):
+        """The (node, port) at the other end."""
+        for end_id, (node, port) in self._ends.items():
+            if end_id != node_id:
+                return node, port
+        raise SimulationError(f"link has no peer for {node_id}")
+
+    def transmit(self, sender_id: str, frame: Frame) -> bool:
+        """Send a frame from ``sender_id`` toward the peer.
+
+        Returns False when the link is down or the queue tail-dropped
+        the frame.
+        """
+        peer, peer_port = self.peer_of(sender_id)
+        if not self.up:
+            self.frames_dropped += 1
+            return False
+        if (
+            self.queue_capacity
+            and self._in_flight[sender_id] >= self.queue_capacity
+        ):
+            self.frames_dropped += 1
+            return False
+        serialization = frame.size / self.bandwidth if self.bandwidth else 0.0
+        self._in_flight[sender_id] += 1
+
+        def deliver() -> None:
+            self._in_flight[sender_id] -= 1
+            self.frames_delivered += 1
+            peer.receive(frame, peer_port)
+
+        self.engine.schedule(self.delay + serialization, deliver)
+        return True

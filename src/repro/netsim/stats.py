@@ -1,0 +1,51 @@
+"""Per-node counters and a global event trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class NodeStats:
+    """Packet counters for one node."""
+
+    received: int = 0
+    forwarded: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    unsupported: int = 0
+    control_sent: int = 0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    node_id: str
+    event: str
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only event trace shared by a topology's nodes."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self, time: float, node_id: str, event: str, detail: str = ""
+    ) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, node_id, event, detail))
+
+    def of_kind(self, event: str) -> Tuple[TraceEvent, ...]:
+        """All events of one kind, in order."""
+        return tuple(e for e in self.events if e.event == event)
+
+    def at_node(self, node_id: str) -> Tuple[TraceEvent, ...]:
+        """All events recorded by one node, in order."""
+        return tuple(e for e in self.events if e.node_id == node_id)

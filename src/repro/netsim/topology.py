@@ -1,0 +1,108 @@
+"""Topology builder: nodes, links, and wiring helpers.
+
+Backed by a networkx graph so tests and examples can ask structural
+questions (paths, degrees) about the network they built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Engine
+from repro.netsim.links import Link
+from repro.netsim.nodes import DipRouterNode, Node
+from repro.netsim.stats import TraceRecorder
+
+
+class Topology:
+    """A network under construction.
+
+    Parameters
+    ----------
+    engine:
+        Shared simulation engine (created when omitted).
+    trace:
+        Shared trace recorder (enabled by default).
+    """
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._nodes: Dict[str, Node] = {}
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, node: Node) -> Node:
+        """Register a node (its engine/trace must be this topology's)."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self.graph.add_node(node.node_id)
+        return node
+
+    def node(self, node_id: str) -> Node:
+        """Fetch a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id!r}") from None
+
+    def nodes(self) -> List[Node]:
+        """All registered nodes."""
+        return list(self._nodes.values())
+
+    def connect(
+        self,
+        a_id: str,
+        a_port: int,
+        b_id: str,
+        b_port: int,
+        delay: float = 0.001,
+        bandwidth: float = 0.0,
+        queue_capacity: int = 0,
+    ) -> Link:
+        """Create a link between two node ports."""
+        link = Link(
+            self.engine,
+            delay=delay,
+            bandwidth=bandwidth,
+            queue_capacity=queue_capacity,
+        )
+        self.node(a_id).attach_link(a_port, link)
+        self.node(b_id).attach_link(b_port, link)
+        self.graph.add_edge(a_id, b_id, delay=delay, bandwidth=bandwidth)
+        return link
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+    # ------------------------------------------------------------------
+    def wire_neighbor_labels(self) -> None:
+        """Populate every DIP router's port -> upstream-neighbour map.
+
+        F_parm uses these as the "previous validator node label"
+        (Section 3, OPT); in deployment they come from adjacency
+        discovery.
+        """
+        for node in self._nodes.values():
+            if not isinstance(node, DipRouterNode):
+                continue
+            for port, link in node.ports.items():
+                peer, _peer_port = link.peer_of(node.node_id)
+                node.state.neighbor_labels[port] = peer.node_id
+
+    def shortest_path(self, src_id: str, dst_id: str) -> List[str]:
+        """Node ids along the shortest path (by hop count)."""
+        return nx.shortest_path(self.graph, src_id, dst_id)
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Run the shared engine."""
+        return self.engine.run(until=until, max_events=max_events)

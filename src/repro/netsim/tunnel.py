@@ -1,0 +1,48 @@
+"""Tunneling DIP packets across DIP-agnostic domains (Section 2.4).
+
+"In the early stage of deployment, two DIP domains may not be directly
+connected.  One could use tunneling technology to build end-to-end path
+across DIP-agnostic domains."  We encapsulate the whole DIP packet as
+the payload of a plain IPv4 packet between the two border routers,
+using a dedicated protocol number.
+"""
+
+from __future__ import annotations
+
+from repro.core.packet import DipPacket
+from repro.errors import CodecError
+from repro.protocols.ip.ipv4 import IPV4_HEADER_SIZE, IPv4Header
+
+TUNNEL_PROTOCOL = 0xFD  # experimental protocol number for DIP-in-IPv4
+
+
+def encapsulate_dip(packet: DipPacket, src_v4: int, dst_v4: int, ttl: int = 64) -> bytes:
+    """Wrap a DIP packet into an IPv4 tunnel packet."""
+    inner = packet.encode()
+    outer = IPv4Header(
+        src=src_v4,
+        dst=dst_v4,
+        ttl=ttl,
+        protocol=TUNNEL_PROTOCOL,
+        total_length=IPV4_HEADER_SIZE + len(inner),
+    )
+    return outer.encode() + inner
+
+
+def is_tunnel_packet(raw: bytes) -> bool:
+    """True when the raw IPv4 packet carries a DIP tunnel payload."""
+    try:
+        header = IPv4Header.decode(raw)
+    except CodecError:
+        return False
+    return header.protocol == TUNNEL_PROTOCOL
+
+
+def decapsulate_dip(raw: bytes) -> DipPacket:
+    """Unwrap a tunnel packet back into the inner DIP packet."""
+    header = IPv4Header.decode(raw)
+    if header.protocol != TUNNEL_PROTOCOL:
+        raise CodecError(
+            f"not a DIP tunnel packet (protocol {header.protocol:#04x})"
+        )
+    return DipPacket.decode(raw[IPV4_HEADER_SIZE:])

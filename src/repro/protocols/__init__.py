@@ -1,0 +1,16 @@
+"""Substrate L3 protocols the paper decomposes into FNs.
+
+Each subpackage is a complete, *native* implementation of the protocol
+(used both as the Figure 2 baseline and as the state backing the FN
+operation modules):
+
+- :mod:`repro.protocols.ip` -- IPv4/IPv6 codecs, LPM FIB, native router;
+- :mod:`repro.protocols.ndn` -- names, Interest/Data, FIB/PIT/CS,
+  native forwarder;
+- :mod:`repro.protocols.opt` -- OPT header, DRKey derivation, per-hop
+  updates, destination verification;
+- :mod:`repro.protocols.xia` -- XIDs, DAG addresses, fallback routing.
+
+The FN-based *realizations* of these protocols (Section 3 of the paper)
+live in :mod:`repro.realize`.
+"""

@@ -1,0 +1,25 @@
+"""Dynamic Packet State / core-stateless fair queueing substrate.
+
+Section 5 lists "implementing stateless guaranteed services [29, 30]"
+among DIP's opportunities; references [29, 30] are Stoica et al.'s
+CSFQ / dynamic-packet-state line of work.  The idea: edge routers
+estimate each flow's rate and *stamp it into the packet header*; core
+routers keep no per-flow state and drop probabilistically against an
+estimated fair share.  In DIP terms the stamped rate is just another
+target field and the core behaviour another operation module
+(:mod:`repro.realize.dps`).
+"""
+
+from repro.protocols.dps.csfq import (
+    CsfqCore,
+    EdgeRateEstimator,
+    decode_rate_label,
+    encode_rate_label,
+)
+
+__all__ = [
+    "EdgeRateEstimator",
+    "CsfqCore",
+    "encode_rate_label",
+    "decode_rate_label",
+]

@@ -1,0 +1,40 @@
+"""EPIC-style per-packet in-dataplane source authentication.
+
+The paper cites EPIC alongside OPT: both "require on-path routers to
+verify and update the cryptographically generated code carried [in]
+customized packet headers".  The crucial difference from OPT is *where*
+verification happens: OPT's tags are checked by the destination
+(``F_ver``); EPIC checks Every Packet In the dataplane -- each router
+verifies its own short hop validation field (HVF) and drops forgeries
+immediately, so junk never propagates.
+
+This package implements that scheme on the same DRKey substrate as OPT
+(sessions from :func:`repro.protocols.opt.negotiate_session` are reused
+verbatim): the source precomputes one truncated per-hop MAC per packet,
+routers re-derive their dynamic key and verify-and-spend their HVF, and
+the destination checks a full-length validation field.
+"""
+
+from repro.protocols.epic.header import (
+    EPIC_BASE_SIZE,
+    HVF_SIZE,
+    EpicHeader,
+)
+from repro.protocols.epic.packets import (
+    build_header,
+    destination_check,
+    hop_check,
+    hvf_value,
+    spent_hvf_value,
+)
+
+__all__ = [
+    "EpicHeader",
+    "EPIC_BASE_SIZE",
+    "HVF_SIZE",
+    "build_header",
+    "hvf_value",
+    "spent_hvf_value",
+    "hop_check",
+    "destination_check",
+]

@@ -1,0 +1,146 @@
+"""The EPIC packet header.
+
+Layout (bit offsets, mirroring how the OPT header is documented):
+
+====================  ==========  ========
+field                 bit offset  bit size
+====================  ==========  ========
+SessionID             0           128
+Timestamp             128         32
+Counter               160         32
+DVF (dest. valid.)    192         128
+HVF[i] (i = 0..n-1)   320+32*i    32
+====================  ==========  ========
+
+EPIC's header economy comes from the *short* per-hop fields: 32-bit
+truncated MACs per hop instead of OPT's 128-bit OPVs, because a router
+verifies its own HVF immediately (an attacker gets one online guess per
+packet) rather than leaving evidence for offline checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import HeaderValueError, TruncatedHeaderError
+
+EPIC_BASE_SIZE = 16 + 4 + 4 + 16  # 40 bytes before the HVFs
+HVF_SIZE = 4                       # bytes per hop
+HVF_BITS = 32
+
+BIT_SESSION_ID = 0
+BIT_TIMESTAMP = 128
+BIT_COUNTER = 160
+BIT_DVF = 192
+BIT_HVF0 = 320
+
+
+def header_size(hop_count: int) -> int:
+    """Total EPIC header bytes for ``hop_count`` routers."""
+    if hop_count < 1:
+        raise HeaderValueError("EPIC needs at least one hop")
+    return EPIC_BASE_SIZE + HVF_SIZE * hop_count
+
+
+@dataclass(frozen=True)
+class EpicHeader:
+    """Parsed EPIC header.
+
+    Parameters
+    ----------
+    session_id:
+        16-byte session identifier (DRKey input).
+    timestamp:
+        32-bit sender timestamp.
+    counter:
+        32-bit per-packet counter; (timestamp, counter) makes every
+        packet's MACs unique -- the "every packet is checked" part.
+    dvf:
+        16-byte destination validation field.
+    hvfs:
+        One 4-byte hop validation field per router.
+    """
+
+    session_id: bytes
+    timestamp: int
+    counter: int
+    dvf: bytes
+    hvfs: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.session_id) != 16:
+            raise HeaderValueError("EPIC session_id must be 16 bytes")
+        if len(self.dvf) != 16:
+            raise HeaderValueError("EPIC DVF must be 16 bytes")
+        for name, value in (("timestamp", self.timestamp),
+                            ("counter", self.counter)):
+            if not 0 <= value < (1 << 32):
+                raise HeaderValueError(f"EPIC {name} must fit in 32 bits")
+        if not self.hvfs:
+            raise HeaderValueError("EPIC header needs at least one HVF")
+        for i, hvf in enumerate(self.hvfs):
+            if len(hvf) != HVF_SIZE:
+                raise HeaderValueError(
+                    f"HVF[{i}] must be {HVF_SIZE} bytes, got {len(hvf)}"
+                )
+
+    @property
+    def hop_count(self) -> int:
+        """Number of HVF slots."""
+        return len(self.hvfs)
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return header_size(self.hop_count)
+
+    def encode(self) -> bytes:
+        """Serialize to the wire layout."""
+        out = bytearray()
+        out += self.session_id
+        out += self.timestamp.to_bytes(4, "big")
+        out += self.counter.to_bytes(4, "big")
+        out += self.dvf
+        for hvf in self.hvfs:
+            out += hvf
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, hop_count: int = 0) -> "EpicHeader":
+        """Parse; infers the hop count from the length when omitted."""
+        if hop_count == 0:
+            extra = len(data) - EPIC_BASE_SIZE
+            if extra < HVF_SIZE or extra % HVF_SIZE:
+                raise TruncatedHeaderError(
+                    f"{len(data)} bytes is not a valid EPIC header size"
+                )
+            hop_count = extra // HVF_SIZE
+        needed = header_size(hop_count)
+        if len(data) < needed:
+            raise TruncatedHeaderError(
+                f"EPIC header for {hop_count} hops needs {needed} bytes, "
+                f"got {len(data)}"
+            )
+        hvfs = tuple(
+            bytes(data[EPIC_BASE_SIZE + i * HVF_SIZE
+                       : EPIC_BASE_SIZE + (i + 1) * HVF_SIZE])
+            for i in range(hop_count)
+        )
+        return cls(
+            session_id=bytes(data[0:16]),
+            timestamp=int.from_bytes(data[16:20], "big"),
+            counter=int.from_bytes(data[20:24], "big"),
+            dvf=bytes(data[24:40]),
+            hvfs=hvfs,
+        )
+
+    def with_hvf(self, index: int, hvf: bytes) -> "EpicHeader":
+        """Copy with HVF ``index`` replaced (the verify-and-spend step)."""
+        if not 0 <= index < len(self.hvfs):
+            raise HeaderValueError(
+                f"HVF index {index} out of range for {len(self.hvfs)} hops"
+            )
+        hvfs = list(self.hvfs)
+        hvfs[index] = bytes(hvf)
+        return replace(self, hvfs=tuple(hvfs))

@@ -1,0 +1,121 @@
+"""EPIC packet construction and per-hop/destination checks.
+
+MAC derivations (all over the DRKey dynamic keys the OPT session
+machinery already provides):
+
+- per-hop: ``HVF_i = trunc32( MAC_{K_i}(session || ts || ctr || i) )``,
+  precomputed by the source (it knows every ``K_i``);
+- verify-and-spend: after checking, router ``i`` overwrites its HVF
+  with ``trunc32( MAC_{K_i}(HVF_i || ctr) )`` so a recorded packet
+  cannot be replayed *through* that hop again;
+- destination: ``DVF = MAC_{K_d}(session || ts || ctr || payload-hash)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.mac import mac_bytes
+from repro.protocols.epic.header import HVF_SIZE, EpicHeader
+from repro.protocols.opt.session import OptSession
+
+
+def _packet_binding(session_id: bytes, timestamp: int, counter: int) -> bytes:
+    return (
+        session_id + timestamp.to_bytes(4, "big") + counter.to_bytes(4, "big")
+    )
+
+
+def hvf_value(
+    hop_key: bytes,
+    session_id: bytes,
+    timestamp: int,
+    counter: int,
+    hop_index: int,
+    backend: str = "2em",
+) -> bytes:
+    """The expected (unspent) HVF for one hop of one packet."""
+    message = _packet_binding(session_id, timestamp, counter) + bytes(
+        [hop_index]
+    )
+    return mac_bytes(hop_key, message, backend=backend)[:HVF_SIZE]
+
+
+def spent_hvf_value(
+    hop_key: bytes, hvf: bytes, counter: int, backend: str = "2em"
+) -> bytes:
+    """What a router overwrites its HVF with after verifying it."""
+    return mac_bytes(
+        hop_key, hvf + counter.to_bytes(4, "big"), backend=backend
+    )[:HVF_SIZE]
+
+
+def dvf_value(
+    dest_key: bytes,
+    session_id: bytes,
+    timestamp: int,
+    counter: int,
+    payload: bytes,
+    backend: str = "2em",
+) -> bytes:
+    """The destination validation field binding header and payload."""
+    digest = hashlib.sha256(payload).digest()[:16]
+    return mac_bytes(
+        dest_key,
+        _packet_binding(session_id, timestamp, counter) + digest,
+        backend=backend,
+    )
+
+
+def build_header(
+    session: OptSession,
+    payload: bytes,
+    timestamp: int = 0,
+    counter: int = 0,
+    backend: str = "2em",
+) -> EpicHeader:
+    """Source-side construction: precompute every HVF and the DVF."""
+    hvfs = tuple(
+        hvf_value(
+            hop_key, session.session_id, timestamp, counter, index, backend
+        )
+        for index, hop_key in enumerate(session.hop_keys)
+    )
+    return EpicHeader(
+        session_id=session.session_id,
+        timestamp=timestamp,
+        counter=counter,
+        dvf=dvf_value(
+            session.dest_key, session.session_id, timestamp, counter,
+            payload, backend,
+        ),
+        hvfs=hvfs,
+    )
+
+
+def hop_check(
+    header: EpicHeader,
+    hop_key: bytes,
+    hop_index: int,
+    backend: str = "2em",
+) -> bool:
+    """Router-side: does hop ``hop_index``'s HVF verify?"""
+    expected = hvf_value(
+        hop_key, header.session_id, header.timestamp, header.counter,
+        hop_index, backend,
+    )
+    return header.hvfs[hop_index] == expected
+
+
+def destination_check(
+    header: EpicHeader,
+    dest_key: bytes,
+    payload: bytes,
+    backend: str = "2em",
+) -> bool:
+    """Destination-side: does the DVF verify against the payload?"""
+    expected = dvf_value(
+        dest_key, header.session_id, header.timestamp, header.counter,
+        payload, backend,
+    )
+    return header.dvf == expected

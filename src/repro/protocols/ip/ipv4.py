@@ -1,0 +1,115 @@
+"""IPv4 header codec with a real internet checksum.
+
+Table 2's "IPv4 forwarding" row is the plain 20-byte header; we encode
+and decode the full RFC 791 layout (no options) so the native baseline
+router does the same parse/verify/decrement/re-checksum work a real
+router does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import CodecError, HeaderValueError, TruncatedHeaderError
+
+IPV4_HEADER_SIZE = 20
+IPV4_VERSION = 4
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 one's-complement checksum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for offset in range(0, len(data), 2):
+        total += (data[offset] << 8) | data[offset + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """An RFC 791 IPv4 header without options."""
+
+    src: int
+    dst: int
+    ttl: int = 64
+    protocol: int = 0
+    total_length: int = IPV4_HEADER_SIZE
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+
+    def __post_init__(self) -> None:
+        for name, value, bits in (
+            ("src", self.src, 32),
+            ("dst", self.dst, 32),
+            ("ttl", self.ttl, 8),
+            ("protocol", self.protocol, 8),
+            ("total_length", self.total_length, 16),
+            ("identification", self.identification, 16),
+            ("dscp", self.dscp, 8),
+            ("flags", self.flags, 3),
+            ("fragment_offset", self.fragment_offset, 13),
+        ):
+            if not 0 <= value < (1 << bits):
+                raise HeaderValueError(
+                    f"IPv4 {name}={value} does not fit in {bits} bits"
+                )
+        if self.total_length < IPV4_HEADER_SIZE:
+            raise HeaderValueError(
+                f"total_length {self.total_length} below header size"
+            )
+
+    def encode(self) -> bytes:
+        """Serialize to 20 bytes with a correct checksum."""
+        ihl = IPV4_HEADER_SIZE // 4
+        head = bytearray(IPV4_HEADER_SIZE)
+        head[0] = (IPV4_VERSION << 4) | ihl
+        head[1] = self.dscp
+        head[2:4] = self.total_length.to_bytes(2, "big")
+        head[4:6] = self.identification.to_bytes(2, "big")
+        head[6:8] = ((self.flags << 13) | self.fragment_offset).to_bytes(2, "big")
+        head[8] = self.ttl
+        head[9] = self.protocol
+        # bytes 10-11 stay zero for checksum computation
+        head[12:16] = self.src.to_bytes(4, "big")
+        head[16:20] = self.dst.to_bytes(4, "big")
+        head[10:12] = internet_checksum(bytes(head)).to_bytes(2, "big")
+        return bytes(head)
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "IPv4Header":
+        """Parse 20 bytes into a header, optionally verifying the checksum."""
+        if len(data) < IPV4_HEADER_SIZE:
+            raise TruncatedHeaderError(
+                f"IPv4 header needs {IPV4_HEADER_SIZE} bytes, got {len(data)}"
+            )
+        version = data[0] >> 4
+        ihl = data[0] & 0x0F
+        if version != IPV4_VERSION:
+            raise CodecError(f"not an IPv4 packet (version {version})")
+        if ihl != IPV4_HEADER_SIZE // 4:
+            raise CodecError(f"IPv4 options unsupported (IHL {ihl})")
+        if verify_checksum and internet_checksum(data[:IPV4_HEADER_SIZE]) != 0:
+            raise CodecError("IPv4 header checksum mismatch")
+        flags_frag = int.from_bytes(data[6:8], "big")
+        return cls(
+            dscp=data[1],
+            total_length=int.from_bytes(data[2:4], "big"),
+            identification=int.from_bytes(data[4:6], "big"),
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            ttl=data[8],
+            protocol=data[9],
+            src=int.from_bytes(data[12:16], "big"),
+            dst=int.from_bytes(data[16:20], "big"),
+        )
+
+    def decremented(self) -> "IPv4Header":
+        """Return a copy with TTL reduced by one (router forwarding step)."""
+        if self.ttl == 0:
+            raise HeaderValueError("TTL already zero")
+        return replace(self, ttl=self.ttl - 1)

@@ -1,0 +1,81 @@
+"""IPv6 header codec (RFC 8200 fixed header)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import CodecError, HeaderValueError, TruncatedHeaderError
+
+IPV6_HEADER_SIZE = 40
+IPV6_VERSION = 6
+
+
+@dataclass(frozen=True)
+class IPv6Header:
+    """The 40-byte fixed IPv6 header."""
+
+    src: int
+    dst: int
+    hop_limit: int = 64
+    next_header: int = 0
+    payload_length: int = 0
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    def __post_init__(self) -> None:
+        for name, value, bits in (
+            ("src", self.src, 128),
+            ("dst", self.dst, 128),
+            ("hop_limit", self.hop_limit, 8),
+            ("next_header", self.next_header, 8),
+            ("payload_length", self.payload_length, 16),
+            ("traffic_class", self.traffic_class, 8),
+            ("flow_label", self.flow_label, 20),
+        ):
+            if not 0 <= value < (1 << bits):
+                raise HeaderValueError(
+                    f"IPv6 {name}={value} does not fit in {bits} bits"
+                )
+
+    def encode(self) -> bytes:
+        """Serialize to 40 bytes."""
+        head = bytearray(IPV6_HEADER_SIZE)
+        first_word = (
+            (IPV6_VERSION << 28)
+            | (self.traffic_class << 20)
+            | self.flow_label
+        )
+        head[0:4] = first_word.to_bytes(4, "big")
+        head[4:6] = self.payload_length.to_bytes(2, "big")
+        head[6] = self.next_header
+        head[7] = self.hop_limit
+        head[8:24] = self.src.to_bytes(16, "big")
+        head[24:40] = self.dst.to_bytes(16, "big")
+        return bytes(head)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv6Header":
+        """Parse 40 bytes into a header."""
+        if len(data) < IPV6_HEADER_SIZE:
+            raise TruncatedHeaderError(
+                f"IPv6 header needs {IPV6_HEADER_SIZE} bytes, got {len(data)}"
+            )
+        first_word = int.from_bytes(data[0:4], "big")
+        version = first_word >> 28
+        if version != IPV6_VERSION:
+            raise CodecError(f"not an IPv6 packet (version {version})")
+        return cls(
+            traffic_class=(first_word >> 20) & 0xFF,
+            flow_label=first_word & 0xFFFFF,
+            payload_length=int.from_bytes(data[4:6], "big"),
+            next_header=data[6],
+            hop_limit=data[7],
+            src=int.from_bytes(data[8:24], "big"),
+            dst=int.from_bytes(data[24:40], "big"),
+        )
+
+    def decremented(self) -> "IPv6Header":
+        """Return a copy with the hop limit reduced by one."""
+        if self.hop_limit == 0:
+            raise HeaderValueError("hop limit already zero")
+        return replace(self, hop_limit=self.hop_limit - 1)

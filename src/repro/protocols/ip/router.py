@@ -1,0 +1,94 @@
+"""Native IPv4/IPv6 router -- the Figure 2 baseline.
+
+Does exactly what a plain IP forwarder does per packet: parse the
+header, verify it (checksum for v4), decrement TTL/hop-limit, look the
+destination up in the LPM FIB, re-serialize, and report the egress
+port.  The DIP realizations are benchmarked against this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RoutingError
+from repro.protocols.ip.fib import LpmTable
+from repro.protocols.ip.ipv4 import IPV4_HEADER_SIZE, IPv4Header
+from repro.protocols.ip.ipv6 import IPV6_HEADER_SIZE, IPv6Header
+
+
+@dataclass(frozen=True)
+class ForwardResult:
+    """Outcome of forwarding one packet."""
+
+    egress_port: int
+    packet: bytes
+    dropped: bool = False
+    reason: str = ""
+
+
+class IpRouter:
+    """A plain IP router with separate v4 and v6 FIBs.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier used in error messages and traces.
+    """
+
+    def __init__(self, node_id: str = "ip-router") -> None:
+        self.node_id = node_id
+        self.fib_v4 = LpmTable(32)
+        self.fib_v6 = LpmTable(128)
+
+    # ------------------------------------------------------------------
+    # route management
+    # ------------------------------------------------------------------
+    def add_route_v4(self, prefix: int, prefix_len: int, port: int) -> None:
+        """Install an IPv4 route."""
+        self.fib_v4.insert(prefix, prefix_len, port)
+
+    def add_route_v6(self, prefix: int, prefix_len: int, port: int) -> None:
+        """Install an IPv6 route."""
+        self.fib_v6.insert(prefix, prefix_len, port)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def forward_v4(self, packet: bytes) -> ForwardResult:
+        """Forward one IPv4 packet; returns the rewritten packet."""
+        header = IPv4Header.decode(packet)
+        if header.ttl <= 1:
+            return ForwardResult(-1, packet, dropped=True, reason="ttl expired")
+        port: Optional[int] = self.fib_v4.lookup(header.dst)
+        if port is None:
+            return ForwardResult(-1, packet, dropped=True, reason="no route")
+        rewritten = header.decremented().encode() + packet[IPV4_HEADER_SIZE:]
+        return ForwardResult(port, rewritten)
+
+    def forward_v6(self, packet: bytes) -> ForwardResult:
+        """Forward one IPv6 packet; returns the rewritten packet."""
+        header = IPv6Header.decode(packet)
+        if header.hop_limit <= 1:
+            return ForwardResult(
+                -1, packet, dropped=True, reason="hop limit expired"
+            )
+        port: Optional[int] = self.fib_v6.lookup(header.dst)
+        if port is None:
+            return ForwardResult(-1, packet, dropped=True, reason="no route")
+        rewritten = header.decremented().encode() + packet[IPV6_HEADER_SIZE:]
+        return ForwardResult(port, rewritten)
+
+    def next_hop_v4(self, dst: int) -> int:
+        """LPM lookup that raises when no route exists."""
+        port = self.fib_v4.lookup(dst)
+        if port is None:
+            raise RoutingError(f"{self.node_id}: no IPv4 route for {dst:#010x}")
+        return port
+
+    def next_hop_v6(self, dst: int) -> int:
+        """LPM lookup that raises when no route exists."""
+        port = self.fib_v6.lookup(dst)
+        if port is None:
+            raise RoutingError(f"{self.node_id}: no IPv6 route for {dst:#034x}")
+        return port

@@ -1,0 +1,25 @@
+"""NDN (Named Data Networking) forwarding substrate.
+
+Implements the packet-forwarding core of NDN the paper decomposes into
+``F_FIB`` and ``F_PIT``: hierarchical names, Interest/Data packets with
+a TLV wire format, the name FIB, the pending interest table, an LRU
+content store, and a native forwarder.
+"""
+
+from repro.protocols.ndn.cs import ContentStore
+from repro.protocols.ndn.fib import NameFib
+from repro.protocols.ndn.forwarder import NdnForwarder
+from repro.protocols.ndn.names import Name
+from repro.protocols.ndn.packets import Data, Interest
+from repro.protocols.ndn.pit import Pit, PitEntry
+
+__all__ = [
+    "Name",
+    "Interest",
+    "Data",
+    "NameFib",
+    "Pit",
+    "PitEntry",
+    "ContentStore",
+    "NdnForwarder",
+]

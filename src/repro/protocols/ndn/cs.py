@@ -1,0 +1,65 @@
+"""Content store: LRU cache of Data packets.
+
+The paper's prototype router "has no cached data" (footnote 2), but the
+footnote also sketches the extension: match the local content store
+before the FIB.  We implement it so the NDN example and the content
+poisoning scenario (Section 2.4 security discussion) can exercise real
+caching behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.protocols.ndn.names import Name
+from repro.protocols.ndn.packets import Data
+
+
+class ContentStore:
+    """Fixed-capacity LRU cache keyed by exact content name.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of Data packets kept (0 disables caching).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._store: "OrderedDict[Name, Data]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def insert(self, data: Data) -> None:
+        """Cache a Data packet, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        if data.name in self._store:
+            self._store.move_to_end(data.name)
+        self._store[data.name] = data
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def lookup(self, name: Name) -> Optional[Data]:
+        """Exact-name lookup; refreshes recency on hit."""
+        data = self._store.get(name)
+        if data is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(name)
+        self.hits += 1
+        return data
+
+    def evict(self, name: Name) -> bool:
+        """Remove one entry (e.g. after detecting poisoned content)."""
+        return self._store.pop(name, None) is not None
+
+    def clear(self) -> None:
+        """Drop all cached content."""
+        self._store.clear()

@@ -1,0 +1,69 @@
+"""Name-based forwarding information base.
+
+Two matching modes back the two ways DIP carries content names:
+
+- :class:`NameFib` -- component-wise longest-prefix match over full
+  hierarchical names (classic NDN FIB);
+- digest mode -- the Tofino prototype compresses names to 32 bits, and
+  the DIP ``F_FIB`` operation then does its LPM over the digest using
+  :class:`repro.protocols.ip.fib.LpmTable` (width 32).
+
+A FIB entry maps a prefix to a set of candidate egress ports (NDN
+allows multipath); the forwarding strategy here is "lowest port first",
+kept deliberately simple and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.protocols.ndn.names import Name
+
+
+class NameFib:
+    """Longest-prefix-match table over hierarchical names."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[bytes, ...], Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, prefix: Name, port: int) -> None:
+        """Add ``port`` as a next hop for ``prefix``."""
+        self._entries.setdefault(prefix.components, set()).add(port)
+
+    def remove(self, prefix: Name, port: Optional[int] = None) -> bool:
+        """Remove one next hop (or the whole entry when ``port`` is None)."""
+        key = prefix.components
+        if key not in self._entries:
+            return False
+        if port is None:
+            del self._entries[key]
+            return True
+        ports = self._entries[key]
+        if port not in ports:
+            return False
+        ports.discard(port)
+        if not ports:
+            del self._entries[key]
+        return True
+
+    def lookup(self, name: Name) -> Optional[Set[int]]:
+        """Longest-prefix match; returns the port set or None."""
+        components = name.components
+        for length in range(len(components), -1, -1):
+            ports = self._entries.get(components[:length])
+            if ports:
+                return set(ports)
+        return None
+
+    def lookup_port(self, name: Name) -> Optional[int]:
+        """Deterministic single next hop (lowest port of the best match)."""
+        ports = self.lookup(name)
+        return min(ports) if ports else None
+
+    def entries(self) -> Iterator[Tuple[Name, Set[int]]]:
+        """Yield all ``(prefix, ports)`` entries."""
+        for components, ports in self._entries.items():
+            yield Name(components), set(ports)

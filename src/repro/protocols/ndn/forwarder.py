@@ -1,0 +1,132 @@
+"""Native NDN forwarder (interest up, data back along PIT state).
+
+This is the reference behaviour that the DIP realization (``F_FIB`` +
+``F_PIT``) must match; integration tests run both over the same
+topology and compare outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.protocols.ndn.cs import ContentStore
+from repro.protocols.ndn.fib import NameFib
+from repro.protocols.ndn.packets import Data, Interest
+from repro.protocols.ndn.pit import Pit
+
+
+@dataclass(frozen=True)
+class NdnDecision:
+    """What the forwarder decided for one packet."""
+
+    action: str  # "forward", "deliver", "drop", "satisfy-from-cache"
+    ports: Tuple[int, ...] = ()
+    reason: str = ""
+    cached_data: Optional[Data] = None
+
+
+@dataclass
+class NdnForwarderStats:
+    """Per-node counters for tests and telemetry."""
+
+    interests_received: int = 0
+    interests_forwarded: int = 0
+    interests_aggregated: int = 0
+    interests_dropped: int = 0
+    data_received: int = 0
+    data_forwarded: int = 0
+    data_dropped: int = 0
+    cache_satisfied: int = 0
+
+
+class NdnForwarder:
+    """One NDN node's forwarding state and logic.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier for traces.
+    cache_capacity:
+        Content-store size; 0 reproduces the paper's cache-less router.
+    """
+
+    def __init__(self, node_id: str = "ndn", cache_capacity: int = 0) -> None:
+        self.node_id = node_id
+        self.fib = NameFib()
+        self.pit = Pit()
+        self.cs = ContentStore(cache_capacity)
+        self.stats = NdnForwarderStats()
+
+    # ------------------------------------------------------------------
+    # interest path: CS -> PIT -> FIB
+    # ------------------------------------------------------------------
+    def on_interest(
+        self, interest: Interest, in_port: int, now: float = 0.0
+    ) -> NdnDecision:
+        """Process an incoming Interest."""
+        self.stats.interests_received += 1
+
+        cached = self.cs.lookup(interest.name)
+        if cached is not None:
+            self.stats.cache_satisfied += 1
+            return NdnDecision(
+                action="satisfy-from-cache",
+                ports=(in_port,),
+                cached_data=cached,
+            )
+
+        result = self.pit.insert(
+            interest.name,
+            in_port,
+            nonce=interest.nonce,
+            now=now,
+            lifetime=interest.lifetime_ms / 1000.0,
+        )
+        if result.is_duplicate:
+            self.stats.interests_dropped += 1
+            return NdnDecision(action="drop", reason="duplicate nonce (loop)")
+        if not result.is_new:
+            self.stats.interests_aggregated += 1
+            return NdnDecision(action="drop", reason="aggregated into PIT")
+
+        port = self.fib.lookup_port(interest.name)
+        if port is None:
+            self.stats.interests_dropped += 1
+            return NdnDecision(action="drop", reason="no FIB route")
+        self.stats.interests_forwarded += 1
+        return NdnDecision(action="forward", ports=(port,))
+
+    # ------------------------------------------------------------------
+    # data path: PIT match -> reverse forward (+cache), miss -> drop
+    # ------------------------------------------------------------------
+    def on_data(self, data: Data, in_port: int, now: float = 0.0) -> NdnDecision:
+        """Process an incoming Data packet."""
+        self.stats.data_received += 1
+        ports = self.pit.satisfy(data.name, now=now)
+        if not ports:
+            self.stats.data_dropped += 1
+            return NdnDecision(action="drop", reason="PIT miss")
+        self.cs.insert(data)
+        out_ports = tuple(sorted(p for p in ports if p != in_port)) or tuple(
+            sorted(ports)
+        )
+        self.stats.data_forwarded += 1
+        return NdnDecision(action="forward", ports=out_ports)
+
+    # ------------------------------------------------------------------
+    # convenience route installation
+    # ------------------------------------------------------------------
+    def add_route(self, prefix_text: str, port: int) -> None:
+        """Install a FIB route from a URI-style prefix."""
+        from repro.protocols.ndn.names import Name
+
+        self.fib.insert(Name.parse(prefix_text), port)
+
+
+def serve_interest(interest: Interest, contents: List[Data]) -> Optional[Data]:
+    """Producer-side helper: find the Data satisfying an Interest."""
+    for data in contents:
+        if data.name == interest.name:
+            return data
+    return None

@@ -1,0 +1,140 @@
+"""NDN Interest/Data packets with a TLV wire format.
+
+A small type-length-value scheme in the spirit of the NDN packet
+format: one byte of type, two bytes of length, then the value.  Only
+the fields the forwarding plane needs are modeled (names, nonce,
+lifetime, content, a signature placeholder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import CodecError, TruncatedHeaderError
+from repro.protocols.ndn.names import Name
+
+# TLV type codes
+TLV_INTEREST = 0x05
+TLV_DATA = 0x06
+TLV_NAME = 0x07
+TLV_NONCE = 0x0A
+TLV_LIFETIME = 0x0C
+TLV_CONTENT = 0x15
+TLV_SIGNATURE = 0x16
+
+
+def _tlv(type_code: int, value: bytes) -> bytes:
+    if len(value) > 0xFFFF:
+        raise CodecError(f"TLV value of {len(value)} bytes too long")
+    return bytes([type_code]) + len(value).to_bytes(2, "big") + value
+
+
+def _parse_tlvs(data: bytes) -> List[Tuple[int, bytes]]:
+    entries = []
+    offset = 0
+    while offset < len(data):
+        if offset + 3 > len(data):
+            raise TruncatedHeaderError("truncated TLV header")
+        type_code = data[offset]
+        length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+        offset += 3
+        if offset + length > len(data):
+            raise TruncatedHeaderError("truncated TLV value")
+        entries.append((type_code, data[offset : offset + length]))
+        offset += length
+    return entries
+
+
+def _tlv_map(data: bytes) -> Dict[int, bytes]:
+    mapping: Dict[int, bytes] = {}
+    for type_code, value in _parse_tlvs(data):
+        if type_code in mapping:
+            raise CodecError(f"duplicate TLV type {type_code:#04x}")
+        mapping[type_code] = value
+    return mapping
+
+
+@dataclass(frozen=True)
+class Interest:
+    """A request for named content.
+
+    Parameters
+    ----------
+    name:
+        The requested content name.
+    nonce:
+        Random 32-bit value for loop detection / duplicate suppression.
+    lifetime_ms:
+        How long routers should keep PIT state for this interest.
+    """
+
+    name: Name
+    nonce: int = 0
+    lifetime_ms: int = 4000
+
+    def encode(self) -> bytes:
+        """Serialize to the TLV wire format."""
+        body = _tlv(TLV_NAME, self.name.encode())
+        body += _tlv(TLV_NONCE, self.nonce.to_bytes(4, "big"))
+        body += _tlv(TLV_LIFETIME, self.lifetime_ms.to_bytes(4, "big"))
+        return _tlv(TLV_INTEREST, body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Interest":
+        """Parse an Interest from the TLV wire format."""
+        outer = _parse_tlvs(data)
+        if len(outer) != 1 or outer[0][0] != TLV_INTEREST:
+            raise CodecError("not an Interest packet")
+        fields = _tlv_map(outer[0][1])
+        if TLV_NAME not in fields:
+            raise CodecError("Interest without a name")
+        return cls(
+            name=Name.decode(fields[TLV_NAME]),
+            nonce=int.from_bytes(fields.get(TLV_NONCE, b"\0\0\0\0"), "big"),
+            lifetime_ms=int.from_bytes(
+                fields.get(TLV_LIFETIME, (4000).to_bytes(4, "big")), "big"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Data:
+    """A named content object.
+
+    Parameters
+    ----------
+    name:
+        The content name (must match the Interest to satisfy it).
+    content:
+        Payload bytes.
+    signature:
+        Opaque signature bytes (the forwarding plane only carries them;
+        NDN+OPT adds real path authentication on top).
+    """
+
+    name: Name
+    content: bytes = b""
+    signature: bytes = field(default=b"", repr=False)
+
+    def encode(self) -> bytes:
+        """Serialize to the TLV wire format."""
+        body = _tlv(TLV_NAME, self.name.encode())
+        body += _tlv(TLV_CONTENT, self.content)
+        body += _tlv(TLV_SIGNATURE, self.signature)
+        return _tlv(TLV_DATA, body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Data":
+        """Parse a Data packet from the TLV wire format."""
+        outer = _parse_tlvs(data)
+        if len(outer) != 1 or outer[0][0] != TLV_DATA:
+            raise CodecError("not a Data packet")
+        fields = _tlv_map(outer[0][1])
+        if TLV_NAME not in fields:
+            raise CodecError("Data without a name")
+        return cls(
+            name=Name.decode(fields[TLV_NAME]),
+            content=fields.get(TLV_CONTENT, b""),
+            signature=fields.get(TLV_SIGNATURE, b""),
+        )

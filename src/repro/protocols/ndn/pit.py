@@ -1,0 +1,113 @@
+"""Pending Interest Table.
+
+The PIT records, per content name, which ports interests arrived on so
+returning Data can retrace the reverse path.  Key behaviours (all
+exercised by tests):
+
+- *aggregation*: a second interest for the same name adds its ingress
+  port to the existing entry instead of being forwarded again;
+- *nonce-based duplicate suppression*: the same nonce seen twice is a
+  loop and is reported as a duplicate;
+- *expiry*: entries disappear after their lifetime;
+- *consumption*: a Data packet pops the entry (per the paper's
+  Algorithm 1, a PIT miss means the Data is discarded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.protocols.ndn.names import Name
+
+
+@dataclass
+class PitEntry:
+    """State kept for one pending content name."""
+
+    name: Name
+    in_ports: Set[int] = field(default_factory=set)
+    nonces: Set[int] = field(default_factory=set)
+    expires_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class PitInsertResult:
+    """Outcome of recording one interest."""
+
+    is_new: bool
+    is_duplicate: bool
+
+
+class Pit:
+    """Pending interest table keyed by exact content name.
+
+    Parameters
+    ----------
+    default_lifetime:
+        Entry lifetime in seconds when the interest does not say.
+    """
+
+    def __init__(self, default_lifetime: float = 4.0) -> None:
+        self.default_lifetime = default_lifetime
+        self._entries: Dict[Name, PitEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(
+        self,
+        name: Name,
+        in_port: int,
+        nonce: int = 0,
+        now: float = 0.0,
+        lifetime: Optional[float] = None,
+    ) -> PitInsertResult:
+        """Record an interest arrival.
+
+        Returns whether the entry is new (the interest must be forwarded
+        upstream) and whether the nonce marks a duplicate/loop.
+        """
+        self._expire_entry(name, now)
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = PitEntry(name=name)
+            self._entries[name] = entry
+            is_new = True
+        else:
+            is_new = False
+        is_duplicate = nonce != 0 and nonce in entry.nonces
+        if nonce:
+            entry.nonces.add(nonce)
+        if not is_duplicate:
+            entry.in_ports.add(in_port)
+        life = self.default_lifetime if lifetime is None else lifetime
+        entry.expires_at = max(entry.expires_at, now + life)
+        return PitInsertResult(is_new=is_new, is_duplicate=is_duplicate)
+
+    def satisfy(self, name: Name, now: float = 0.0) -> Optional[Set[int]]:
+        """Consume the entry for ``name``; return its ports or None."""
+        self._expire_entry(name, now)
+        entry = self._entries.pop(name, None)
+        return set(entry.in_ports) if entry else None
+
+    def peek(self, name: Name, now: float = 0.0) -> Optional[PitEntry]:
+        """Inspect an entry without consuming it."""
+        self._expire_entry(name, now)
+        return self._entries.get(name)
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every expired entry; returns how many were removed."""
+        expired = [
+            name
+            for name, entry in self._entries.items()
+            if entry.expires_at <= now
+        ]
+        for name in expired:
+            del self._entries[name]
+        return len(expired)
+
+    def _expire_entry(self, name: Name, now: float) -> None:
+        entry = self._entries.get(name)
+        if entry is not None and entry.expires_at <= now and now > 0:
+            del self._entries[name]

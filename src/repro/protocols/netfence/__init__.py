@@ -1,0 +1,29 @@
+"""NetFence-style in-network congestion policing substrate.
+
+The paper's introduction singles NetFence out as an L3 innovation DIP
+should capture: "NetFence inserts a slim customized header between L3
+and L4 to emulate congestion control (additive increase and
+multiplicative decrease, AIMD) inside the network to mitigate DDoS
+attacks".  This package provides the substrate -- MAC-protected
+congestion tags, bottleneck-router marking, and access-router AIMD
+policing -- which :mod:`repro.realize.netfence` then exposes through
+two new FN keys (the conclusion promises "more L3 protocols with DIP";
+these are that extension).
+"""
+
+from repro.protocols.netfence.monitor import CongestionMonitor
+from repro.protocols.netfence.policer import AimdPolicer, PolicerVerdict
+from repro.protocols.netfence.tags import (
+    CONGESTION_TAG_BITS,
+    CongestionLevel,
+    CongestionTag,
+)
+
+__all__ = [
+    "CongestionTag",
+    "CongestionLevel",
+    "CONGESTION_TAG_BITS",
+    "CongestionMonitor",
+    "AimdPolicer",
+    "PolicerVerdict",
+]

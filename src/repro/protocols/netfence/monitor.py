@@ -1,0 +1,55 @@
+"""Bottleneck congestion detection.
+
+NetFence routers decide the congestion signal from their own load; this
+monitor keeps an exponential estimate of the arrival rate and reports
+CONGESTED while it exceeds the configured capacity threshold.  Plug an
+instance into ``NodeState.local_congestion`` and the ``F_cong``
+operation will feed it every packet and stamp the resulting level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.protocols.netfence.tags import CongestionLevel
+
+
+@dataclass
+class CongestionMonitor:
+    """Arrival-rate-driven congestion signal.
+
+    Parameters
+    ----------
+    capacity:
+        Bytes/second above which the router reports CONGESTED.
+    window:
+        Exponential-averaging window in seconds.
+    """
+
+    capacity: float
+    window: float = 0.1
+    arrival_rate: float = 0.0
+    _last_arrival: float = -1.0
+
+    def observe(self, size: int, now: float) -> None:
+        """Feed one packet arrival into the estimate."""
+        if self._last_arrival < 0:
+            self.arrival_rate = size / self.window
+            self._last_arrival = now
+            return
+        gap = max(1e-9, now - self._last_arrival)
+        self._last_arrival = now
+        weight = math.exp(-gap / self.window)
+        self.arrival_rate = (1.0 - weight) * (size / gap) + weight * self.arrival_rate
+
+    def level(self, now: float) -> CongestionLevel:
+        """The signal to stamp into packets right now."""
+        # Idle links decay toward NORMAL even without arrivals.
+        if self._last_arrival >= 0 and now > self._last_arrival:
+            gap = now - self._last_arrival
+            self.arrival_rate *= math.exp(-gap / self.window)
+            self._last_arrival = now
+        if self.arrival_rate > self.capacity:
+            return CongestionLevel.CONGESTED
+        return CongestionLevel.NORMAL

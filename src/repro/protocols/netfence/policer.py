@@ -1,0 +1,111 @@
+"""Access-router AIMD rate policing.
+
+NetFence pushes congestion control *into the network*: the access
+router keeps one rate allowance per sender and enforces it with a token
+bucket.  Verified congestion feedback drives the classic AIMD update --
+additive increase while the bottleneck reports NORMAL, multiplicative
+decrease on CONGESTED -- so even a flooding sender is throttled at its
+own access router, which is the DDoS-mitigation story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from repro.protocols.netfence.tags import CongestionLevel
+
+
+class PolicerVerdict(Enum):
+    """Outcome of policing one packet."""
+
+    ALLOW = "allow"
+    THROTTLE = "throttle"        # over the sender's current allowance
+    FORGED_TAG = "forged-tag"    # MAC check failed
+
+
+@dataclass
+class _SenderState:
+    rate_limit: float            # bytes/second allowance
+    tokens: float
+    last_refill: float
+    last_feedback: float = -1.0
+
+
+@dataclass
+class AimdPolicer:
+    """Per-sender AIMD rate limiter.
+
+    Parameters
+    ----------
+    initial_rate:
+        Starting allowance in bytes/second.
+    increase_step:
+        Additive increase per NORMAL feedback epoch (bytes/second).
+    decrease_factor:
+        Multiplicative decrease on CONGESTED feedback.
+    min_rate, max_rate:
+        Allowance clamp.
+    feedback_interval:
+        Minimum seconds between two AIMD adjustments for one sender
+        (one adjustment per control epoch, as in AIMD-per-RTT).
+    """
+
+    initial_rate: float = 10_000.0
+    increase_step: float = 1_000.0
+    decrease_factor: float = 0.5
+    min_rate: float = 500.0
+    max_rate: float = 1e9
+    feedback_interval: float = 0.1
+    burst_seconds: float = 0.25
+    _senders: Dict[int, _SenderState] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def _sender(self, sender_id: int, now: float) -> _SenderState:
+        state = self._senders.get(sender_id)
+        if state is None:
+            state = _SenderState(
+                rate_limit=self.initial_rate,
+                tokens=self.initial_rate * self.burst_seconds,
+                last_refill=now,
+            )
+            self._senders[sender_id] = state
+        return state
+
+    def rate_of(self, sender_id: int) -> float:
+        """Current allowance (bytes/second); initial if unseen."""
+        state = self._senders.get(sender_id)
+        return state.rate_limit if state else self.initial_rate
+
+    # ------------------------------------------------------------------
+    def apply_feedback(
+        self, sender_id: int, level: CongestionLevel, now: float
+    ) -> None:
+        """AIMD update from one verified feedback signal."""
+        state = self._sender(sender_id, now)
+        if level is CongestionLevel.NO_FEEDBACK:
+            return
+        if now - state.last_feedback < self.feedback_interval:
+            return
+        state.last_feedback = now
+        if level is CongestionLevel.CONGESTED:
+            state.rate_limit = max(
+                self.min_rate, state.rate_limit * self.decrease_factor
+            )
+        else:
+            state.rate_limit = min(
+                self.max_rate, state.rate_limit + self.increase_step
+            )
+
+    def police(self, sender_id: int, packet_bytes: int, now: float) -> PolicerVerdict:
+        """Charge one packet against the sender's token bucket."""
+        state = self._sender(sender_id, now)
+        elapsed = max(0.0, now - state.last_refill)
+        state.last_refill = now
+        cap = state.rate_limit * self.burst_seconds
+        state.tokens = min(cap, state.tokens + elapsed * state.rate_limit)
+        if state.tokens >= packet_bytes:
+            state.tokens -= packet_bytes
+            return PolicerVerdict.ALLOW
+        return PolicerVerdict.THROTTLE

@@ -1,0 +1,111 @@
+"""MAC-protected congestion tags.
+
+A NetFence-style tag carries the congestion signal a bottleneck router
+stamped into the packet, protected by a MAC under the router's secret
+so that hosts cannot forge "no congestion" and escape policing.
+
+Wire layout (256 bits total):
+
+===========  ==========  ========
+field        bit offset  bit size
+===========  ==========  ========
+sender id    0           32
+level        32          8
+timestamp    40          32
+(reserved)   72          56
+MAC          128         128
+===========  ==========  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import IntEnum
+
+from repro.crypto.mac import mac_bytes
+from repro.errors import HeaderValueError, TruncatedHeaderError
+
+CONGESTION_TAG_BITS = 256
+CONGESTION_TAG_BYTES = CONGESTION_TAG_BITS // 8
+
+
+class CongestionLevel(IntEnum):
+    """The congestion signal a bottleneck stamps (NetFence's L↑ / L↓)."""
+
+    NO_FEEDBACK = 0
+    NORMAL = 1       # below threshold: senders may increase (AI)
+    CONGESTED = 2    # above threshold: senders must decrease (MD)
+
+
+@dataclass(frozen=True)
+class CongestionTag:
+    """One packet's congestion feedback record."""
+
+    sender_id: int
+    level: CongestionLevel = CongestionLevel.NO_FEEDBACK
+    timestamp: int = 0
+    mac: bytes = b"\x00" * 16
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sender_id < (1 << 32):
+            raise HeaderValueError("sender_id must fit in 32 bits")
+        if not 0 <= self.timestamp < (1 << 32):
+            raise HeaderValueError("timestamp must fit in 32 bits")
+        if len(self.mac) != 16:
+            raise HeaderValueError("congestion tag MAC must be 16 bytes")
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to 32 bytes."""
+        out = bytearray(CONGESTION_TAG_BYTES)
+        out[0:4] = self.sender_id.to_bytes(4, "big")
+        out[4] = int(self.level)
+        out[5:9] = self.timestamp.to_bytes(4, "big")
+        out[16:32] = self.mac
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CongestionTag":
+        """Parse 32 bytes."""
+        if len(data) < CONGESTION_TAG_BYTES:
+            raise TruncatedHeaderError(
+                f"congestion tag needs {CONGESTION_TAG_BYTES} bytes, "
+                f"got {len(data)}"
+            )
+        try:
+            level = CongestionLevel(data[4])
+        except ValueError:
+            raise HeaderValueError(
+                f"unknown congestion level {data[4]}"
+            ) from None
+        return cls(
+            sender_id=int.from_bytes(data[0:4], "big"),
+            level=level,
+            timestamp=int.from_bytes(data[5:9], "big"),
+            mac=bytes(data[16:32]),
+        )
+
+    # ------------------------------------------------------------------
+    # MAC protection
+    # ------------------------------------------------------------------
+    def _mac_input(self) -> bytes:
+        return (
+            self.sender_id.to_bytes(4, "big")
+            + bytes([int(self.level)])
+            + self.timestamp.to_bytes(4, "big")
+        )
+
+    def stamped(
+        self, level: CongestionLevel, timestamp: int, key: bytes
+    ) -> "CongestionTag":
+        """Return a copy carrying a fresh, MAC-protected signal."""
+        updated = replace(self, level=level, timestamp=timestamp)
+        return replace(
+            updated, mac=mac_bytes(key, updated._mac_input())
+        )
+
+    def verify(self, key: bytes) -> bool:
+        """Check the tag's MAC (access routers call this)."""
+        return self.mac == mac_bytes(key, self._mac_input())

@@ -1,0 +1,29 @@
+"""OPT (lightweight source authentication and path validation) substrate.
+
+Implements the packet-level machinery the paper decomposes into
+``F_parm`` / ``F_MAC`` / ``F_mark`` / ``F_ver``: the OPT header
+(DataHash, SessionID, Timestamp, PVF, per-hop OPVs), DRKey-style
+dynamic-key derivation, sender-side tag initialization, per-hop tag
+updates, and destination verification.
+"""
+
+from repro.protocols.opt.drkey import label_digest, negotiate_session
+from repro.protocols.opt.header import OPT_BASE_SIZE, OPV_SIZE, OptHeader
+from repro.protocols.opt.router import process_hop
+from repro.protocols.opt.session import OptSession
+from repro.protocols.opt.source import data_hash, initialize_header
+from repro.protocols.opt.verifier import VerificationReport, verify_packet
+
+__all__ = [
+    "OptHeader",
+    "OPT_BASE_SIZE",
+    "OPV_SIZE",
+    "OptSession",
+    "negotiate_session",
+    "label_digest",
+    "initialize_header",
+    "data_hash",
+    "process_hop",
+    "verify_packet",
+    "VerificationReport",
+]

@@ -1,0 +1,163 @@
+"""The OPT packet header.
+
+Layout (bit offsets match the FN triples in Section 3 of the DIP paper;
+the whole header is what DIP carries in its FN locations):
+
+====================  ==========  ========
+field                 bit offset  bit size
+====================  ==========  ========
+DataHash              0           128
+SessionID             128         128
+Timestamp             256         32
+PVF                   288         128
+OPV[i] (i = 0..n-1)   416+128*i   128
+====================  ==========  ========
+
+At one hop (the paper's evaluation setting) the header is 544 bits =
+68 bytes, which together with the DIP basic header and 4 FN triples
+yields Table 2's 98-byte OPT row.  ``F_parm`` reads bits 128..256
+(SessionID), ``F_MAC`` reads bits 0..416 and writes the hop's OPV,
+``F_mark`` updates bits 288..416 (PVF), and ``F_ver`` checks bits
+0..544 at the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import HeaderValueError, TruncatedHeaderError
+
+TAG_SIZE = 16  # bytes of DataHash / PVF / OPV fields
+OPV_SIZE = TAG_SIZE
+OPT_BASE_SIZE = TAG_SIZE + TAG_SIZE + 4 + TAG_SIZE  # 52 bytes before OPVs
+
+# Bit offsets used by the DIP realization (Section 3 FN triples).
+BIT_DATA_HASH = 0
+BIT_SESSION_ID = 128
+BIT_TIMESTAMP = 256
+BIT_PVF = 288
+BIT_OPV0 = 416
+
+
+def header_size(hop_count: int) -> int:
+    """Total OPT header size in bytes for a path of ``hop_count`` routers."""
+    if hop_count < 1:
+        raise HeaderValueError("OPT needs at least one hop")
+    return OPT_BASE_SIZE + OPV_SIZE * hop_count
+
+
+@dataclass(frozen=True)
+class OptHeader:
+    """Parsed OPT header.
+
+    Parameters
+    ----------
+    data_hash:
+        16-byte hash binding the header to the payload.
+    session_id:
+        16-byte session identifier (routers derive dynamic keys from it).
+    timestamp:
+        32-bit sender timestamp.
+    pvf:
+        16-byte path verification field, updated at every hop.
+    opvs:
+        One 16-byte origin/path validation tag per hop.
+    """
+
+    data_hash: bytes
+    session_id: bytes
+    timestamp: int
+    pvf: bytes
+    opvs: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("data_hash", self.data_hash),
+            ("session_id", self.session_id),
+            ("pvf", self.pvf),
+        ):
+            if len(value) != TAG_SIZE:
+                raise HeaderValueError(
+                    f"OPT {name} must be {TAG_SIZE} bytes, got {len(value)}"
+                )
+        if not 0 <= self.timestamp < (1 << 32):
+            raise HeaderValueError("OPT timestamp must fit in 32 bits")
+        if not self.opvs:
+            raise HeaderValueError("OPT header needs at least one OPV slot")
+        for i, opv in enumerate(self.opvs):
+            if len(opv) != OPV_SIZE:
+                raise HeaderValueError(
+                    f"OPV[{i}] must be {OPV_SIZE} bytes, got {len(opv)}"
+                )
+
+    @property
+    def hop_count(self) -> int:
+        """Number of OPV slots (= path length in routers)."""
+        return len(self.opvs)
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return header_size(self.hop_count)
+
+    def encode(self) -> bytes:
+        """Serialize to the wire layout described in the module docstring."""
+        out = bytearray()
+        out += self.data_hash
+        out += self.session_id
+        out += self.timestamp.to_bytes(4, "big")
+        out += self.pvf
+        for opv in self.opvs:
+            out += opv
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, hop_count: int = 0) -> "OptHeader":
+        """Parse a header.
+
+        When ``hop_count`` is 0 it is inferred from the buffer length
+        (which must then be an exact header size).
+        """
+        if hop_count == 0:
+            extra = len(data) - OPT_BASE_SIZE
+            if extra < OPV_SIZE or extra % OPV_SIZE:
+                raise TruncatedHeaderError(
+                    f"{len(data)} bytes is not a valid OPT header size"
+                )
+            hop_count = extra // OPV_SIZE
+        needed = header_size(hop_count)
+        if len(data) < needed:
+            raise TruncatedHeaderError(
+                f"OPT header for {hop_count} hops needs {needed} bytes, "
+                f"got {len(data)}"
+            )
+        opvs = tuple(
+            bytes(data[OPT_BASE_SIZE + i * OPV_SIZE : OPT_BASE_SIZE + (i + 1) * OPV_SIZE])
+            for i in range(hop_count)
+        )
+        return cls(
+            data_hash=bytes(data[0:16]),
+            session_id=bytes(data[16:32]),
+            timestamp=int.from_bytes(data[32:36], "big"),
+            pvf=bytes(data[36:52]),
+            opvs=opvs,
+        )
+
+    def mac_input(self) -> bytes:
+        """Bits 0..416: the region F_MAC reads (everything before OPVs)."""
+        return self.encode()[: OPT_BASE_SIZE]
+
+    def with_pvf(self, pvf: bytes) -> "OptHeader":
+        """Return a copy with a new PVF."""
+        return replace(self, pvf=pvf)
+
+    def with_opv(self, index: int, opv: bytes) -> "OptHeader":
+        """Return a copy with OPV ``index`` replaced."""
+        if not 0 <= index < len(self.opvs):
+            raise HeaderValueError(
+                f"OPV index {index} out of range for {len(self.opvs)} hops"
+            )
+        opvs = list(self.opvs)
+        opvs[index] = bytes(opv)
+        return replace(self, opvs=tuple(opvs))

@@ -1,0 +1,66 @@
+"""Per-hop OPT processing.
+
+On receiving a packet, router ``i`` (paper Section 3, OPT paragraph):
+
+1. derives its dynamic key ``K_i`` from the SessionID and its local
+   secret (the ``F_parm`` step, which also loads the previous
+   validator's node label);
+2. writes its origin/path validation tag
+   ``OPV_i = MAC_{K_i}(DataHash || PVF || prev_label || Timestamp)``
+   (the ``F_MAC`` step -- the MAC input is exactly the bits-0..416
+   region plus the out-of-band label);
+3. updates the path verification field
+   ``PVF = MAC_{K_i}(PVF || DataHash)`` (the ``F_mark`` step).
+
+The OPV binds the hop to what it *saw*; the PVF chain binds the *order*
+of hops, so reordered, skipped, or detoured paths break verification.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import RouterKey
+from repro.crypto.mac import mac_bytes
+from repro.protocols.opt.drkey import label_digest
+from repro.protocols.opt.header import OptHeader
+
+
+def opv_tag(
+    hop_key: bytes, header: OptHeader, prev_label: str, backend: str = "2em"
+) -> bytes:
+    """Compute one hop's OPV over the pre-OPV header region + label."""
+    message = header.mac_input() + label_digest(prev_label)
+    return mac_bytes(hop_key, message, backend=backend)
+
+
+def next_pvf(hop_key: bytes, header: OptHeader, backend: str = "2em") -> bytes:
+    """Chain the PVF forward by one hop."""
+    return mac_bytes(hop_key, header.pvf + header.data_hash, backend=backend)
+
+
+def process_hop(
+    header: OptHeader,
+    hop_key: bytes,
+    hop_index: int,
+    prev_label: str,
+    backend: str = "2em",
+) -> OptHeader:
+    """Apply one router's OPT update and return the new header.
+
+    ``hop_key`` is the router's dynamic key for this session;
+    ``hop_index`` selects the OPV slot; ``prev_label`` is the identity
+    of the upstream node (loaded by ``F_parm``).
+    """
+    tagged = header.with_opv(hop_index, opv_tag(hop_key, header, prev_label, backend))
+    return tagged.with_pvf(next_pvf(hop_key, header, backend))
+
+
+def process_hop_at_router(
+    header: OptHeader,
+    router: RouterKey,
+    hop_index: int,
+    prev_label: str,
+    backend: str = "2em",
+) -> OptHeader:
+    """Like :func:`process_hop` but derives the key from router state."""
+    hop_key = router.dynamic_key(header.session_id)
+    return process_hop(header, hop_key, hop_index, prev_label, backend)

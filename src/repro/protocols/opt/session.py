@@ -1,0 +1,71 @@
+"""Host-side OPT session state.
+
+The session object is what the source holds after key negotiation: the
+session ID that rides in every packet, the ordered list of on-path
+router identities and their dynamic keys, and the source-destination
+key used to seed and finally check the PVF chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.prf import KEY_SIZE
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class OptSession:
+    """An established OPT session.
+
+    Parameters
+    ----------
+    session_id:
+        16-byte identifier carried in the packet header.
+    source_id, dest_id:
+        Endpoint identifiers.
+    path_ids:
+        On-path router identifiers, in forwarding order.
+    hop_keys:
+        The routers' dynamic keys for this session, same order.
+    dest_key:
+        The destination's dynamic key (doubles as the source-destination
+        shared key seeding the PVF).
+    """
+
+    session_id: bytes
+    source_id: str
+    dest_id: str
+    path_ids: Tuple[str, ...]
+    hop_keys: Tuple[bytes, ...]
+    dest_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.session_id) != KEY_SIZE:
+            raise ProtocolError("session_id must be 16 bytes")
+        if len(self.path_ids) != len(self.hop_keys):
+            raise ProtocolError("one hop key per path router required")
+        if not self.path_ids:
+            raise ProtocolError("OPT session needs at least one router")
+        for key in self.hop_keys + (self.dest_key,):
+            if len(key) != KEY_SIZE:
+                raise ProtocolError("dynamic keys must be 16 bytes")
+
+    @property
+    def hop_count(self) -> int:
+        """Number of on-path routers."""
+        return len(self.path_ids)
+
+    def previous_label_for(self, hop_index: int) -> str:
+        """Identity of the node preceding hop ``hop_index``.
+
+        Hop 0 is preceded by the source itself.
+        """
+        if not 0 <= hop_index < self.hop_count:
+            raise ProtocolError(
+                f"hop index {hop_index} out of range for {self.hop_count} hops"
+            )
+        if hop_index == 0:
+            return self.source_id
+        return self.path_ids[hop_index - 1]

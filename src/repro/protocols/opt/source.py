@@ -1,0 +1,57 @@
+"""Sender-side OPT header initialization.
+
+The source hashes the payload into DataHash and seeds the path
+verification field with a MAC under the source-destination key:
+
+    PVF_0 = MAC_{K_sd}(DataHash)
+
+OPV slots start zeroed; each on-path router fills its own
+(:mod:`repro.protocols.opt.router`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.mac import mac_bytes
+from repro.protocols.opt.header import OPV_SIZE, OptHeader
+from repro.protocols.opt.session import OptSession
+
+
+def data_hash(payload: bytes) -> bytes:
+    """16-byte payload digest carried as the header's DataHash."""
+    return hashlib.sha256(payload).digest()[:16]
+
+
+def initial_pvf(session: OptSession, digest: bytes, backend: str = "2em") -> bytes:
+    """PVF_0 = MAC under the source-destination key over the DataHash."""
+    return mac_bytes(session.dest_key, digest, backend=backend)
+
+
+def initialize_header(
+    session: OptSession,
+    payload: bytes,
+    timestamp: int = 0,
+    backend: str = "2em",
+) -> OptHeader:
+    """Build the OPT header the source attaches to ``payload``.
+
+    Parameters
+    ----------
+    session:
+        The negotiated session (provides keys and path length).
+    payload:
+        Packet payload, bound into DataHash.
+    timestamp:
+        32-bit sender timestamp.
+    backend:
+        MAC backend, ``"2em"`` (paper default) or ``"aes"``.
+    """
+    digest = data_hash(payload)
+    return OptHeader(
+        data_hash=digest,
+        session_id=session.session_id,
+        timestamp=timestamp,
+        pvf=initial_pvf(session, digest, backend=backend),
+        opvs=tuple(bytes(OPV_SIZE) for _ in range(session.hop_count)),
+    )

@@ -1,0 +1,116 @@
+"""Destination-side OPT verification (the ``F_ver`` host operation).
+
+The destination re-derives the whole tag chain from what it knows (the
+payload, the session keys, the path order) and compares against the
+header.  Any tampering -- modified payload, skipped hop, reordered
+path, forged tag -- breaks at least one comparison, and the report says
+which hop failed first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.mac import mac_bytes
+from repro.protocols.opt.header import OptHeader
+from repro.protocols.opt.router import opv_tag
+from repro.protocols.opt.session import OptSession
+from repro.protocols.opt.source import data_hash, initial_pvf
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Result of verifying one packet."""
+
+    source_ok: bool
+    path_ok: bool
+    failed_hop: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when both source and path verification passed."""
+        return self.source_ok and self.path_ok
+
+
+def expected_chain(
+    session: OptSession,
+    payload: bytes,
+    timestamp: int,
+    backend: str = "2em",
+) -> Tuple[bytes, Tuple[bytes, ...], Tuple[bytes, ...]]:
+    """Recompute (final PVF, per-hop PVF inputs, per-hop OPVs).
+
+    Returns the PVF as it should be on arrival, the PVF value *entering*
+    each hop, and the expected OPV for each hop.
+    """
+    digest = data_hash(payload)
+    pvf = initial_pvf(session, digest, backend=backend)
+    entering_pvfs = []
+    opvs = []
+    header = OptHeader(
+        data_hash=digest,
+        session_id=session.session_id,
+        timestamp=timestamp,
+        pvf=pvf,
+        opvs=tuple(bytes(16) for _ in range(session.hop_count)),
+    )
+    for hop_index in range(session.hop_count):
+        entering_pvfs.append(header.pvf)
+        prev_label = session.previous_label_for(hop_index)
+        opvs.append(
+            opv_tag(session.hop_keys[hop_index], header, prev_label, backend)
+        )
+        header = header.with_pvf(
+            mac_bytes(
+                session.hop_keys[hop_index],
+                header.pvf + header.data_hash,
+                backend=backend,
+            )
+        )
+    return header.pvf, tuple(entering_pvfs), tuple(opvs)
+
+
+def verify_packet(
+    session: OptSession,
+    header: OptHeader,
+    payload: bytes,
+    backend: str = "2em",
+) -> VerificationReport:
+    """Verify source authenticity and path validity of one packet."""
+    digest = data_hash(payload)
+    if header.data_hash != digest:
+        return VerificationReport(
+            source_ok=False, path_ok=False, detail="DataHash mismatch"
+        )
+    if header.session_id != session.session_id:
+        return VerificationReport(
+            source_ok=False, path_ok=False, detail="unknown session"
+        )
+    if header.hop_count != session.hop_count:
+        return VerificationReport(
+            source_ok=False,
+            path_ok=False,
+            detail=(
+                f"hop count {header.hop_count} != session "
+                f"path length {session.hop_count}"
+            ),
+        )
+
+    final_pvf, _entering, expected_opvs = expected_chain(
+        session, payload, header.timestamp, backend=backend
+    )
+    for hop_index, expected in enumerate(expected_opvs):
+        if header.opvs[hop_index] != expected:
+            return VerificationReport(
+                source_ok=True,
+                path_ok=False,
+                failed_hop=hop_index,
+                detail=f"OPV mismatch at hop {hop_index}",
+            )
+    if header.pvf != final_pvf:
+        return VerificationReport(
+            source_ok=True, path_ok=False, detail="PVF chain mismatch"
+        )
+    return VerificationReport(source_ok=True, path_ok=True)

@@ -1,0 +1,24 @@
+"""XIA (eXpressive Internet Architecture) forwarding substrate.
+
+Implements the parts of XIA the paper decomposes into ``F_DAG`` and
+``F_intent``: typed XIDs (AD/HID/SID/CID), DAG addresses with
+priority-ordered fallback edges, per-principal routing tables, and the
+fallback traversal algorithm.
+"""
+
+from repro.protocols.xia.dag import DagAddress, DagNode
+from repro.protocols.xia.router import XiaHeader, XiaRouter
+from repro.protocols.xia.routing import RouteDecision, XiaRouteTable, route_step
+from repro.protocols.xia.xid import Xid, XidType
+
+__all__ = [
+    "Xid",
+    "XidType",
+    "DagNode",
+    "DagAddress",
+    "XiaRouteTable",
+    "RouteDecision",
+    "route_step",
+    "XiaRouter",
+    "XiaHeader",
+]

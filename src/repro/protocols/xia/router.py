@@ -1,0 +1,69 @@
+"""Native XIA router and packet header.
+
+The XIA header carried here is the part DIP later embeds in its FN
+locations: the destination DAG plus the last-visited-node pointer that
+the fallback traversal updates as the packet moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ProtocolError, TruncatedHeaderError
+from repro.protocols.xia.dag import DagAddress
+from repro.protocols.xia.routing import RouteDecision, XiaRouteTable, route_step
+
+
+@dataclass(frozen=True)
+class XiaHeader:
+    """Destination DAG + traversal pointer.
+
+    ``last_visited`` is -1 until the packet passes its first node that
+    matches a DAG entry.
+    """
+
+    dag: DagAddress
+    last_visited: int = -1
+    hop_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if not -1 <= self.last_visited < len(self.dag.nodes):
+            raise ProtocolError(
+                f"last_visited {self.last_visited} out of range"
+            )
+        if not 0 <= self.hop_limit <= 255:
+            raise ProtocolError("hop_limit must fit in one byte")
+
+    def encode(self) -> bytes:
+        """Serialize: hop limit, pointer (+1 so -1 encodes as 0), DAG."""
+        return (
+            bytes([self.hop_limit, self.last_visited + 1]) + self.dag.encode()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "XiaHeader":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 2:
+            raise TruncatedHeaderError("truncated XIA header")
+        dag, _consumed = DagAddress.decode(data[2:])
+        return cls(dag=dag, last_visited=data[1] - 1, hop_limit=data[0])
+
+    def advanced(self, last_visited: int) -> "XiaHeader":
+        """Copy with an updated traversal pointer and decremented hops."""
+        return replace(
+            self, last_visited=last_visited, hop_limit=self.hop_limit - 1
+        )
+
+
+class XiaRouter:
+    """One XIA node: a route table plus the fallback traversal."""
+
+    def __init__(self, node_id: str = "xia") -> None:
+        self.node_id = node_id
+        self.table = XiaRouteTable()
+
+    def process(self, header: XiaHeader) -> RouteDecision:
+        """Route one packet; the caller applies ``advanced()`` on forward."""
+        if header.hop_limit == 0:
+            return RouteDecision(action="drop", reason="hop limit expired")
+        return route_step(header.dag, header.last_visited, self.table)

@@ -1,0 +1,85 @@
+"""Typed XIA identifiers.
+
+An XID is a (principal type, 160-bit identifier) pair.  XIA's key idea
+is that the set of principal types is open: routers forward on the
+types they understand and *fall back* along DAG edges for the ones they
+do not.  We implement the four classic types.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import ProtocolError
+
+XID_ID_SIZE = 20  # bytes (XIA uses 160-bit intrinsically secure ids)
+
+
+class XidType(IntEnum):
+    """XIA principal types."""
+
+    AD = 0x10   # autonomous domain
+    HID = 0x11  # host
+    SID = 0x12  # service
+    CID = 0x13  # content
+
+
+@dataclass(frozen=True)
+class Xid:
+    """One typed identifier.
+
+    Parameters
+    ----------
+    xtype:
+        Principal type.
+    identifier:
+        20-byte intrinsically-secure identifier (hash of the key /
+        content / service description).
+    """
+
+    xtype: XidType
+    identifier: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.identifier) != XID_ID_SIZE:
+            raise ProtocolError(
+                f"XID identifier must be {XID_ID_SIZE} bytes, "
+                f"got {len(self.identifier)}"
+            )
+
+    @classmethod
+    def from_name(cls, xtype: XidType, name: str) -> "Xid":
+        """Derive a deterministic XID from a human-readable name.
+
+        Mirrors XIA's intrinsic security: the identifier *is* a hash of
+        the principal (here a name stands in for key/content bytes).
+        """
+        digest = hashlib.sha256(f"{xtype.name}:{name}".encode()).digest()
+        return cls(xtype, digest[:XID_ID_SIZE])
+
+    @classmethod
+    def for_content(cls, content: bytes) -> "Xid":
+        """CID whose identifier is the hash of the content itself."""
+        return cls(XidType.CID, hashlib.sha256(content).digest()[:XID_ID_SIZE])
+
+    def encode(self) -> bytes:
+        """1 type byte + 20 identifier bytes."""
+        return bytes([self.xtype]) + self.identifier
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Xid":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 1 + XID_ID_SIZE:
+            raise ProtocolError("truncated XID")
+        try:
+            xtype = XidType(data[0])
+        except ValueError:
+            raise ProtocolError(f"unknown XID type {data[0]:#04x}") from None
+        return cls(xtype, bytes(data[1 : 1 + XID_ID_SIZE]))
+
+    def __str__(self) -> str:
+        return f"{self.xtype.name}:{self.identifier.hex()[:8]}"
+
+    ENCODED_SIZE = 1 + XID_ID_SIZE

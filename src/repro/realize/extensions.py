@@ -1,0 +1,85 @@
+"""Composable FN add-ons (telemetry, passport) for any DIP header.
+
+DIP's composability is not limited to whole protocols: any header can
+take extra FNs as long as target fields are laid out consistently.
+These helpers append extension FNs and their fields to an existing
+header, which is exactly the kind of operator-driven, on-the-fly
+recomposition Section 2.4 describes for ``F_pass``.
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.operations.passport import passport_tag
+
+
+def with_telemetry(header: DipHeader) -> DipHeader:
+    """Append an F_tel FN and its 32-bit hop counter to a header."""
+    counter_loc = len(header.locations) * 8
+    fn = FieldOperation(
+        field_loc=counter_loc, field_len=32, key=OperationKey.TELEMETRY
+    )
+    return DipHeader(
+        fns=header.fns + (fn,),
+        locations=header.locations + bytes(4),
+        next_header=header.next_header,
+        hop_limit=header.hop_limit,
+        parallel=header.parallel,
+        reserved=header.reserved,
+    )
+
+
+def with_telemetry_array(header: DipHeader, slots: int) -> DipHeader:
+    """Append an F_tel_array FN with ``slots`` pre-allocated hop slots.
+
+    INT-MD style: the sender budgets the space, participating routers
+    fill one 64-bit slot each (node digest + timestamp), and the
+    receiver reads the path back out with
+    :func:`repro.core.operations.telemetry.read_telemetry_array`.
+    """
+    if not 1 <= slots <= 255:
+        raise ValueError("slots must be 1..255")
+    from repro.core.operations.telemetry import ARRAY_HEADER_BITS, SLOT_BITS
+
+    field_bits = ARRAY_HEADER_BITS + slots * SLOT_BITS
+    array_loc = len(header.locations) * 8
+    fn = FieldOperation(
+        field_loc=array_loc,
+        field_len=field_bits,
+        key=OperationKey.TELEMETRY_ARRAY,
+    )
+    array = bytes([slots, 0]) + bytes(slots * SLOT_BITS // 8)
+    return DipHeader(
+        fns=header.fns + (fn,),
+        locations=header.locations + array,
+        next_header=header.next_header,
+        hop_limit=header.hop_limit,
+        parallel=header.parallel,
+        reserved=header.reserved,
+    )
+
+
+def with_passport(
+    header: DipHeader, label: bytes, key: bytes, payload: bytes
+) -> DipHeader:
+    """Prepend an F_pass FN; the label record lands after existing fields.
+
+    The tag is computed over the label and the payload the packet will
+    carry, so it must be built per packet.
+    """
+    if len(label) != 16:
+        raise ValueError("passport label must be 16 bytes")
+    record_loc = len(header.locations) * 8
+    fn = FieldOperation(
+        field_loc=record_loc, field_len=256, key=OperationKey.PASS
+    )
+    tag = passport_tag(key, label, payload)
+    return DipHeader(
+        fns=(fn,) + header.fns,
+        locations=header.locations + label + tag,
+        next_header=header.next_header,
+        hop_limit=header.hop_limit,
+        parallel=header.parallel,
+        reserved=header.reserved,
+    )

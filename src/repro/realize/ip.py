@@ -1,0 +1,77 @@
+"""IP forwarding realized with DIP (Section 3, "IP Forwarding").
+
+The destination address sits in the lower bits of the FN locations and
+the source address in the upper bits; an address-match FN forwards on
+the destination and ``F_source`` declares the source:
+
+- IPv4: ``(loc 0, len 32, key F_32_match)`` + ``(loc 32, len 32,
+  key F_source)``, locations = dst || src (8 bytes) -> 26-byte header
+  (Table 2, "DIP-32 forwarding");
+- IPv6: ``(loc 0, len 128, key F_128_match)`` + ``(loc 128, len 128,
+  key F_source)``, locations = dst || src (32 bytes) -> 50-byte header
+  (Table 2, "DIP-128 forwarding").
+
+(Table 1 keys are used; the prose of Section 3 swaps keys 1 and 2
+relative to Table 1 -- see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.errors import HeaderValueError
+
+
+def build_ipv4_header(
+    dst: int, src: int, hop_limit: int = 64, parallel: bool = False
+) -> DipHeader:
+    """DIP-32 forwarding header (26 bytes)."""
+    for name, addr in (("dst", dst), ("src", src)):
+        if not 0 <= addr < (1 << 32):
+            raise HeaderValueError(f"IPv4 {name} address out of range")
+    return DipHeader(
+        fns=(
+            FieldOperation(field_loc=0, field_len=32, key=OperationKey.MATCH_32),
+            FieldOperation(field_loc=32, field_len=32, key=OperationKey.SOURCE),
+        ),
+        locations=dst.to_bytes(4, "big") + src.to_bytes(4, "big"),
+        hop_limit=hop_limit,
+        parallel=parallel,
+    )
+
+
+def build_ipv6_header(
+    dst: int, src: int, hop_limit: int = 64, parallel: bool = False
+) -> DipHeader:
+    """DIP-128 forwarding header (50 bytes)."""
+    for name, addr in (("dst", dst), ("src", src)):
+        if not 0 <= addr < (1 << 128):
+            raise HeaderValueError(f"IPv6 {name} address out of range")
+    return DipHeader(
+        fns=(
+            FieldOperation(field_loc=0, field_len=128, key=OperationKey.MATCH_128),
+            FieldOperation(field_loc=128, field_len=128, key=OperationKey.SOURCE),
+        ),
+        locations=dst.to_bytes(16, "big") + src.to_bytes(16, "big"),
+        hop_limit=hop_limit,
+        parallel=parallel,
+    )
+
+
+def build_ipv4_packet(
+    dst: int, src: int, payload: bytes = b"", hop_limit: int = 64
+) -> DipPacket:
+    """A complete DIP-32 forwarding packet."""
+    return DipPacket(
+        header=build_ipv4_header(dst, src, hop_limit), payload=payload
+    )
+
+
+def build_ipv6_packet(
+    dst: int, src: int, payload: bytes = b"", hop_limit: int = 64
+) -> DipPacket:
+    """A complete DIP-128 forwarding packet."""
+    return DipPacket(
+        header=build_ipv6_header(dst, src, hop_limit), payload=payload
+    )

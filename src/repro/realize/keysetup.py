@@ -1,0 +1,84 @@
+"""In-band key negotiation realized with DIP.
+
+``build_key_setup_packet`` composes IPv4 forwarding with the
+``F_keysetup`` collection FN (Section 3-style composition; footnote 3's
+"key negotiation process").  The destination reads the collected hops
+with :func:`repro.core.operations.keysetup.read_collected_keys`,
+appends its own dynamic key, and :func:`assemble_session` turns the
+round trip into the same :class:`~repro.protocols.opt.session.OptSession`
+the offline :func:`~repro.protocols.opt.drkey.negotiate_session`
+produces -- byte-identical keys, asserted by tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.operations.keysetup import field_bits_for
+from repro.crypto.keys import RouterKey
+from repro.protocols.opt.drkey import make_session_id
+from repro.protocols.opt.session import OptSession
+
+ADDRESS_BITS = 64
+
+
+def build_key_setup_packet(
+    dst: int,
+    src: int,
+    source_id: str,
+    dest_id: str,
+    nonce: bytes,
+    max_hops: int = 8,
+    hop_limit: int = 64,
+) -> DipPacket:
+    """Source-side construction of the key-collection packet."""
+    session_id = make_session_id(source_id, dest_id, nonce)
+    fns = (
+        FieldOperation(field_loc=0, field_len=32, key=OperationKey.MATCH_32),
+        FieldOperation(field_loc=32, field_len=32, key=OperationKey.SOURCE),
+        FieldOperation(
+            field_loc=ADDRESS_BITS,
+            field_len=field_bits_for(max_hops),
+            key=OperationKey.KEYSETUP,
+        ),
+    )
+    region = (
+        session_id
+        + bytes([max_hops, 0])
+        + bytes(max_hops * 28)
+    )
+    header = DipHeader(
+        fns=fns,
+        locations=dst.to_bytes(4, "big") + src.to_bytes(4, "big") + region,
+        hop_limit=hop_limit,
+    )
+    return DipPacket(header=header)
+
+
+def assemble_session(
+    source_id: str,
+    dest_id: str,
+    session_id: bytes,
+    collected: Sequence[Tuple[str, bytes]],
+    destination_key: bytes,
+) -> OptSession:
+    """Source-side: build the OPT session from the negotiation reply."""
+    return OptSession(
+        session_id=session_id,
+        source_id=source_id,
+        dest_id=dest_id,
+        path_ids=tuple(node_id for node_id, _key in collected),
+        hop_keys=tuple(key for _node_id, key in collected),
+        dest_key=destination_key,
+    )
+
+
+def destination_reply(
+    dest: RouterKey, session_id: bytes
+) -> bytes:
+    """Destination-side: its dynamic key for the session (the piece the
+    reply message adds to the collected list)."""
+    return dest.dynamic_key(session_id)

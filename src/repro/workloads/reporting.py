@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the same rows/series the paper reports (Figure 2
+series, Table 2 rows); these helpers keep that output aligned and
+stable enough to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print a titled table.
+
+    When the ``REPRO_REPORT_DIR`` environment variable is set, the table
+    is additionally written to ``<dir>/<slug-of-title>.txt`` so
+    benchmark runs leave paper-style artifacts behind.
+    """
+    rendered = f"== {title} ==\n" + format_table(headers, rows)
+    print("\n" + rendered)
+    report_dir = os.environ.get("REPRO_REPORT_DIR")
+    if report_dir:
+        os.makedirs(report_dir, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+        path = os.path.join(report_dir, f"{slug}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")

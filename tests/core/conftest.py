@@ -1,0 +1,19 @@
+"""Shared fixtures for core-layer tests."""
+
+import pytest
+
+from repro.core.operations.base import OperationContext
+from repro.core.state import NodeState
+from repro.util.bitview import BitView
+
+
+@pytest.fixture
+def state():
+    return NodeState(node_id="test-router")
+
+
+def make_context(state, locations: bytes, **kwargs) -> OperationContext:
+    """Build an operation context over a locations blob."""
+    return OperationContext(
+        state=state, locations=BitView(locations), **kwargs
+    )

@@ -1,0 +1,119 @@
+"""Tests for host-side construction and reception."""
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.host import HostStack
+from repro.core.packet import DipPacket
+from repro.core.state import NodeState
+from repro.crypto.keys import RouterKey
+from repro.errors import UnknownOperationError
+from repro.protocols.opt import negotiate_session, process_hop
+from repro.protocols.opt.source import initialize_header
+from repro.realize.opt import build_opt_header_from, opt_fns
+
+
+@pytest.fixture
+def session():
+    return negotiate_session(
+        "src", "dst", [RouterKey("r0")], RouterKey("dst"), nonce=b"h"
+    )
+
+
+class TestConstruction:
+    def test_send_wraps_packet(self):
+        host = HostStack()
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, 1),), locations=bytes(4)
+        )
+        packet = host.send(header, payload=b"pp")
+        assert packet.payload == b"pp" and packet.header == header
+
+    def test_unavailable_fn_rejected(self):
+        host = HostStack(available_fns={1, 3})
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, OperationKey.FIB),), locations=bytes(4)
+        )
+        with pytest.raises(UnknownOperationError):
+            host.send(header)
+
+    def test_learn_available_fns(self):
+        host = HostStack(available_fns=set())
+        host.learn_available_fns({1, 2, 3})
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, 1),), locations=bytes(4)
+        )
+        host.send(header)  # now allowed
+
+    def test_unrestricted_by_default(self):
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, 99),), locations=bytes(4)
+        )
+        HostStack().send(header)
+
+    def test_field_ranges_checked_at_send(self):
+        from repro.errors import FieldRangeError
+
+        header = DipHeader(
+            fns=(FieldOperation(0, 64, 1),), locations=bytes(4)
+        )
+        with pytest.raises(FieldRangeError):
+            HostStack().send(header)
+
+
+class TestReception:
+    def _verified_packet(self, session, payload=b"data"):
+        opt = initialize_header(session, payload, timestamp=1)
+        opt = process_hop(opt, session.hop_keys[0], 0, "src")
+        return DipPacket(header=build_opt_header_from(opt), payload=payload)
+
+    def _host_with_session(self, session):
+        state = NodeState(node_id="dst")
+        state.opt_sessions[session.session_id] = session
+        return HostStack(state=state)
+
+    def test_accepts_valid_opt(self, session):
+        host = self._host_with_session(session)
+        result = host.receive(self._verified_packet(session))
+        assert result.accepted
+        assert result.scratch["opt_report"].ok
+
+    def test_rejects_tampered_payload(self, session):
+        host = self._host_with_session(session)
+        packet = self._verified_packet(session)
+        import dataclasses
+
+        bad = dataclasses.replace(packet, payload=b"evil")
+        result = host.receive(bad)
+        assert not result.accepted
+
+    def test_router_fns_not_executed_at_host(self, session):
+        """Only tag==1 FNs run on reception."""
+        host = self._host_with_session(session)
+        result = host.receive(self._verified_packet(session))
+        # notes mention only the VERIFY fn
+        assert len(result.notes) == 1 and "VERIFY" in result.notes[0]
+
+    def test_unknown_host_fn_ignored(self):
+        host = HostStack()
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, 99, tag=True),), locations=bytes(4)
+        )
+        result = host.receive(DipPacket(header=header))
+        assert result.accepted
+        assert "ignored" in result.notes[0]
+
+    def test_host_operation_error_rejects(self, session):
+        """F_ver for an unknown session fails the packet."""
+        host = HostStack()  # no sessions
+        result = host.receive(self._verified_packet(session))
+        assert not result.accepted
+        assert "failed" in result.notes[-1]
+
+    def test_packet_without_host_fns_accepted(self):
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, 1),), locations=bytes(4)
+        )
+        result = HostStack().receive(DipPacket(header=header))
+        assert result.accepted and result.notes == ()

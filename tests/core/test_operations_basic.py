@@ -1,0 +1,168 @@
+"""Tests for the address-match, source, and NDN operations."""
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.operations.base import Decision
+from repro.core.operations.fib import FibOperation, digest_name
+from repro.core.operations.match import Match32Operation, Match128Operation
+from repro.core.operations.pit import PitOperation
+from repro.core.operations.source import SourceOperation
+from repro.errors import OperationError
+from repro.protocols.ndn.cs import ContentStore
+from repro.protocols.ndn.packets import Data
+from tests.core.conftest import make_context
+
+
+class TestMatch32:
+    def test_lpm_forward(self, state):
+        state.fib_v4.insert(0x0A000000, 8, 7)
+        ctx = make_context(state, (0x0A010203).to_bytes(4, "big"))
+        result = Match32Operation().execute(ctx, FieldOperation(0, 32, 1))
+        assert result.decision is Decision.FORWARD and result.ports == (7,)
+
+    def test_local_delivery(self, state):
+        state.add_local_v4(0x0A010203)
+        ctx = make_context(state, (0x0A010203).to_bytes(4, "big"))
+        result = Match32Operation().execute(ctx, FieldOperation(0, 32, 1))
+        assert result.decision is Decision.DELIVER
+
+    def test_no_route_drops(self, state):
+        ctx = make_context(state, (0x0A010203).to_bytes(4, "big"))
+        result = Match32Operation().execute(ctx, FieldOperation(0, 32, 1))
+        assert result.decision is Decision.DROP
+
+    def test_wrong_field_len_rejected(self, state):
+        ctx = make_context(state, bytes(8))
+        with pytest.raises(OperationError):
+            Match32Operation().execute(ctx, FieldOperation(0, 64, 1))
+
+    def test_reads_at_offset(self, state):
+        state.fib_v4.insert(0x0A000000, 8, 3)
+        ctx = make_context(state, bytes(2) + (0x0A000001).to_bytes(4, "big"))
+        result = Match32Operation().execute(ctx, FieldOperation(16, 32, 1))
+        assert result.decision is Decision.FORWARD
+
+
+class TestMatch128:
+    def test_lpm_forward(self, state):
+        prefix = 0x20010DB8 << 96
+        state.fib_v6.insert(prefix, 32, 9)
+        ctx = make_context(state, (prefix | 1).to_bytes(16, "big"))
+        result = Match128Operation().execute(ctx, FieldOperation(0, 128, 2))
+        assert result.decision is Decision.FORWARD and result.ports == (9,)
+
+    def test_local_delivery(self, state):
+        state.add_local_v6(42)
+        ctx = make_context(state, (42).to_bytes(16, "big"))
+        result = Match128Operation().execute(ctx, FieldOperation(0, 128, 2))
+        assert result.decision is Decision.DELIVER
+
+    def test_wrong_len_rejected(self, state):
+        ctx = make_context(state, bytes(16))
+        with pytest.raises(OperationError):
+            Match128Operation().execute(ctx, FieldOperation(0, 32, 2))
+
+
+class TestSource:
+    def test_records_address_in_scratch(self, state):
+        ctx = make_context(state, (0xC0A80101).to_bytes(4, "big"))
+        result = SourceOperation().execute(ctx, FieldOperation(0, 32, 3))
+        assert result.decision is Decision.CONTINUE
+        assert ctx.scratch["source_address"] == 0xC0A80101
+        assert ctx.scratch["source_address_bits"] == 32
+
+
+class TestFib:
+    def test_forward_and_pit_record(self, state):
+        state.name_fib_digest.insert(0xABCD0000, 16, 5)
+        ctx = make_context(
+            state, (0xABCD1234).to_bytes(4, "big"), ingress_port=2
+        )
+        result = FibOperation().execute(ctx, FieldOperation(0, 32, 4))
+        assert result.decision is Decision.FORWARD and result.ports == (5,)
+        assert result.state_bytes > 0
+        entry = state.pit.peek(digest_name(0xABCD1234))
+        assert entry is not None and entry.in_ports == {2}
+
+    def test_aggregation_drops(self, state):
+        state.name_fib_digest.insert(0xABCD0000, 16, 5)
+        ctx1 = make_context(
+            state, (0xABCD1234).to_bytes(4, "big"), ingress_port=2
+        )
+        FibOperation().execute(ctx1, FieldOperation(0, 32, 4))
+        ctx2 = make_context(
+            state, (0xABCD1234).to_bytes(4, "big"), ingress_port=3
+        )
+        result = FibOperation().execute(ctx2, FieldOperation(0, 32, 4))
+        assert result.decision is Decision.DROP
+        assert "aggregated" in result.note
+        assert state.pit.peek(digest_name(0xABCD1234)).in_ports == {2, 3}
+
+    def test_no_route_rolls_back_pit(self, state):
+        ctx = make_context(state, (0x12345678).to_bytes(4, "big"))
+        result = FibOperation().execute(ctx, FieldOperation(0, 32, 4))
+        assert result.decision is Decision.DROP
+        assert state.pit.peek(digest_name(0x12345678)) is None
+
+    def test_producer_local_delivers(self, state):
+        state.local_digests.add(0x12345678)
+        ctx = make_context(state, (0x12345678).to_bytes(4, "big"))
+        result = FibOperation().execute(ctx, FieldOperation(0, 32, 4))
+        assert result.decision is Decision.DELIVER
+
+    def test_cache_hit_replies_to_ingress(self, state):
+        state.content_store = ContentStore(capacity=4)
+        state.content_store.insert(Data(digest_name(0x99), b"cached"))
+        ctx = make_context(state, (0x99).to_bytes(4, "big"), ingress_port=6)
+        result = FibOperation().execute(ctx, FieldOperation(0, 32, 4))
+        assert result.decision is Decision.FORWARD and result.ports == (6,)
+        assert ctx.scratch["cache_data"].content == b"cached"
+
+    def test_wrong_len_rejected(self, state):
+        ctx = make_context(state, bytes(8))
+        with pytest.raises(OperationError):
+            FibOperation().execute(ctx, FieldOperation(0, 64, 4))
+
+
+class TestPit:
+    def test_hit_forwards_to_request_ports(self, state):
+        state.pit.insert(digest_name(0x42), in_port=1)
+        state.pit.insert(digest_name(0x42), in_port=2)
+        ctx = make_context(state, (0x42).to_bytes(4, "big"), ingress_port=9)
+        result = PitOperation().execute(ctx, FieldOperation(0, 32, 5))
+        assert result.decision is Decision.FORWARD
+        assert result.ports == (1, 2)
+
+    def test_hit_consumes_entry(self, state):
+        state.pit.insert(digest_name(0x42), in_port=1)
+        ctx = make_context(state, (0x42).to_bytes(4, "big"))
+        PitOperation().execute(ctx, FieldOperation(0, 32, 5))
+        assert state.pit.peek(digest_name(0x42)) is None
+
+    def test_miss_drops(self, state):
+        ctx = make_context(state, (0x42).to_bytes(4, "big"))
+        result = PitOperation().execute(ctx, FieldOperation(0, 32, 5))
+        assert result.decision is Decision.DROP and "PIT miss" in result.note
+
+    def test_ingress_excluded_unless_only_port(self, state):
+        state.pit.insert(digest_name(0x42), in_port=3)
+        ctx = make_context(state, (0x42).to_bytes(4, "big"), ingress_port=3)
+        result = PitOperation().execute(ctx, FieldOperation(0, 32, 5))
+        assert result.ports == (3,)  # fall back to the recorded port
+
+    def test_caches_payload_when_store_enabled(self, state):
+        state.content_store = ContentStore(capacity=4)
+        state.pit.insert(digest_name(0x42), in_port=1)
+        ctx = make_context(
+            state, (0x42).to_bytes(4, "big"), payload=b"the content"
+        )
+        PitOperation().execute(ctx, FieldOperation(0, 32, 5))
+        assert state.content_store.lookup(digest_name(0x42)).content == (
+            b"the content"
+        )
+
+    def test_wrong_len_rejected(self, state):
+        ctx = make_context(state, bytes(8))
+        with pytest.raises(OperationError):
+            PitOperation().execute(ctx, FieldOperation(0, 64, 5))

@@ -1,0 +1,95 @@
+"""Tests for the extension operations (F_pass, F_tel)."""
+
+import pytest
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import Decision
+from repro.core.operations.passport import PassOperation, passport_tag
+from repro.core.operations.telemetry import TelemetryOperation
+from repro.errors import OperationError
+from tests.core.conftest import make_context
+
+LABEL = b"\x11" * 16
+KEY = b"\x22" * 16
+PASS_FN = FieldOperation(0, 256, 12)
+TEL_FN = FieldOperation(0, 32, 13)
+
+
+def pass_locations(label=LABEL, key=KEY, payload=b"content"):
+    return label + passport_tag(key, label, payload)
+
+
+class TestPassOperation:
+    def test_disabled_is_noop(self, state):
+        ctx = make_context(state, pass_locations(), payload=b"content")
+        result = PassOperation().execute(ctx, PASS_FN)
+        assert result.decision is Decision.CONTINUE
+        assert ctx.scratch["passport_ok"]
+
+    def test_valid_label_passes(self, state):
+        state.passport_enabled = True
+        state.passport_keys[LABEL] = KEY
+        ctx = make_context(state, pass_locations(), payload=b"content")
+        result = PassOperation().execute(ctx, PASS_FN)
+        assert result.decision is Decision.CONTINUE
+        assert ctx.scratch["passport_ok"]
+
+    def test_unknown_label_drops(self, state):
+        state.passport_enabled = True
+        ctx = make_context(state, pass_locations(), payload=b"content")
+        result = PassOperation().execute(ctx, PASS_FN)
+        assert result.decision is Decision.DROP
+        assert not ctx.scratch["passport_ok"]
+
+    def test_wrong_tag_drops(self, state):
+        state.passport_enabled = True
+        state.passport_keys[LABEL] = KEY
+        bad = LABEL + bytes(16)
+        ctx = make_context(state, bad, payload=b"content")
+        result = PassOperation().execute(ctx, PASS_FN)
+        assert result.decision is Decision.DROP
+
+    def test_label_spliced_onto_other_content_drops(self, state):
+        """A valid (label, tag) cannot authorize different payload."""
+        state.passport_enabled = True
+        state.passport_keys[LABEL] = KEY
+        ctx = make_context(
+            state, pass_locations(payload=b"original"), payload=b"poison"
+        )
+        result = PassOperation().execute(ctx, PASS_FN)
+        assert result.decision is Decision.DROP
+
+    def test_wrong_field_size_rejected(self, state):
+        ctx = make_context(state, bytes(32))
+        with pytest.raises(OperationError):
+            PassOperation().execute(ctx, FieldOperation(0, 128, 12))
+
+
+class TestTelemetryOperation:
+    def test_increments_counter_and_records(self, state):
+        ctx = make_context(state, bytes(4), ingress_port=3, now=1.5)
+        result = TelemetryOperation().execute(ctx, TEL_FN)
+        assert result.decision is Decision.CONTINUE
+        assert ctx.locations.get_uint(0, 32) == 1
+        assert len(state.telemetry) == 1
+        record = state.telemetry[0]
+        assert record.node_id == "test-router"
+        assert record.ingress_port == 3
+        assert record.timestamp == 1.5
+
+    def test_counter_chains_across_hops(self, state):
+        ctx = make_context(state, bytes(4))
+        TelemetryOperation().execute(ctx, TEL_FN)
+        ctx2 = make_context(state, ctx.locations.to_bytes())
+        TelemetryOperation().execute(ctx2, TEL_FN)
+        assert ctx2.locations.get_uint(0, 32) == 2
+
+    def test_counter_wraps(self, state):
+        ctx = make_context(state, b"\xff\xff\xff\xff")
+        TelemetryOperation().execute(ctx, TEL_FN)
+        assert ctx.locations.get_uint(0, 32) == 0
+
+    def test_wrong_size_rejected(self, state):
+        ctx = make_context(state, bytes(4))
+        with pytest.raises(OperationError):
+            TelemetryOperation().execute(ctx, FieldOperation(0, 16, 13))

@@ -1,0 +1,127 @@
+"""Tests for the congestion/policing/DPS operation modules."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.operations.base import Decision
+from repro.core.operations.congestion import (
+    CongMarkOperation,
+    PoliceOperation,
+)
+from repro.core.operations.dps import DpsOperation
+from repro.errors import OperationError
+from repro.protocols.dps.csfq import CsfqCore, encode_rate_label
+from repro.protocols.netfence.policer import AimdPolicer
+from repro.protocols.netfence.tags import CongestionLevel, CongestionTag
+from tests.core.conftest import make_context
+
+CONG_FN = FieldOperation(0, 256, OperationKey.CONG_MARK)
+POLICE_FN = FieldOperation(0, 256, OperationKey.POLICE)
+DPS_FN = FieldOperation(0, 32, OperationKey.DPS)
+
+
+def tag_locations(tag=None):
+    tag = tag if tag is not None else CongestionTag(sender_id=7)
+    return tag.encode()
+
+
+class TestCongMark:
+    def test_noop_without_role(self, state):
+        ctx = make_context(state, tag_locations())
+        result = CongMarkOperation().execute(ctx, CONG_FN)
+        assert result.decision is Decision.CONTINUE
+        assert ctx.locations.to_bytes() == tag_locations()
+
+    def test_stamps_and_macs(self, state):
+        state.local_congestion = CongestionLevel.CONGESTED
+        ctx = make_context(state, tag_locations(), now=1.5)
+        CongMarkOperation().execute(ctx, CONG_FN)
+        stamped = CongestionTag.decode(ctx.locations.to_bytes())
+        assert stamped.level is CongestionLevel.CONGESTED
+        assert stamped.timestamp == 1500
+        assert stamped.verify(state.netfence_domain_key)
+
+    def test_wrong_field_size(self, state):
+        state.local_congestion = CongestionLevel.NORMAL
+        ctx = make_context(state, tag_locations())
+        with pytest.raises(OperationError):
+            CongMarkOperation().execute(ctx, FieldOperation(0, 128, 14))
+
+
+class TestPolice:
+    def test_noop_without_role(self, state):
+        ctx = make_context(state, tag_locations())
+        result = PoliceOperation().execute(ctx, POLICE_FN)
+        assert result.decision is Decision.CONTINUE
+
+    def test_allows_within_rate(self, state):
+        state.policer = AimdPolicer(initial_rate=1e6)
+        ctx = make_context(state, tag_locations(), payload=b"x" * 100)
+        result = PoliceOperation().execute(ctx, POLICE_FN)
+        assert result.decision is Decision.CONTINUE
+
+    def test_throttles_over_rate(self, state):
+        state.policer = AimdPolicer(initial_rate=100, burst_seconds=0.1)
+        decisions = []
+        for i in range(10):
+            ctx = make_context(
+                state, tag_locations(), payload=b"x" * 500, now=i * 0.001
+            )
+            decisions.append(
+                PoliceOperation().execute(ctx, POLICE_FN).decision
+            )
+        assert Decision.DROP in decisions
+
+    def test_verified_feedback_applies_aimd(self, state):
+        state.policer = AimdPolicer(initial_rate=8000)
+        tag = CongestionTag(sender_id=7).stamped(
+            CongestionLevel.CONGESTED, 5, state.netfence_domain_key
+        )
+        ctx = make_context(state, tag_locations(tag), now=1.0)
+        PoliceOperation().execute(ctx, POLICE_FN)
+        assert state.policer.rate_of(7) == 4000
+
+    def test_forged_feedback_dropped(self, state):
+        state.policer = AimdPolicer(initial_rate=8000)
+        tag = CongestionTag(sender_id=7).stamped(
+            CongestionLevel.CONGESTED, 5, state.netfence_domain_key
+        )
+        forged = dataclasses.replace(tag, level=CongestionLevel.NORMAL)
+        ctx = make_context(state, tag_locations(forged), now=1.0)
+        result = PoliceOperation().execute(ctx, POLICE_FN)
+        assert result.decision is Decision.DROP
+        assert state.policer.rate_of(7) == 8000  # feedback NOT applied
+
+
+class TestDps:
+    def test_noop_without_role(self, state):
+        ctx = make_context(state, (0).to_bytes(4, "big"))
+        result = DpsOperation().execute(ctx, DPS_FN)
+        assert result.decision is Decision.CONTINUE
+
+    def test_uncongested_passes(self, state):
+        state.csfq = CsfqCore(capacity=1e9)
+        label = encode_rate_label(1000.0)
+        ctx = make_context(state, label.to_bytes(4, "big"), payload=b"x" * 100)
+        result = DpsOperation().execute(ctx, DPS_FN)
+        assert result.decision is Decision.CONTINUE
+
+    def test_hog_dropped_under_congestion(self, state):
+        state.csfq = CsfqCore(capacity=1000.0)
+        label = encode_rate_label(1e6)
+        decisions = []
+        for i in range(50):
+            ctx = make_context(
+                state, label.to_bytes(4, "big"),
+                payload=b"x" * 500, now=i * 0.001,
+            )
+            decisions.append(DpsOperation().execute(ctx, DPS_FN).decision)
+        assert Decision.DROP in decisions
+
+    def test_wrong_field_size(self, state):
+        state.csfq = CsfqCore(capacity=1000.0)
+        ctx = make_context(state, bytes(4))
+        with pytest.raises(OperationError):
+            DpsOperation().execute(ctx, FieldOperation(0, 16, 16))

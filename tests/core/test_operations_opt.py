@@ -1,0 +1,217 @@
+"""Tests for the OPT operation modules (F_parm / F_MAC / F_mark / F_ver).
+
+The key cross-check: running the three router-side FNs over the DIP
+locations region must produce byte-identical results to the *native*
+OPT per-hop update, and the host-side F_ver must accept exactly what
+the native verifier accepts.
+"""
+
+import pytest
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import Decision
+from repro.core.operations.mac import MacOperation
+from repro.core.operations.mark import MarkOperation
+from repro.core.operations.parm import ParmOperation
+from repro.core.operations.verify import VerifyOperation
+from repro.core.state import NodeState
+from repro.crypto.keys import RouterKey
+from repro.errors import (
+    FieldRangeError,
+    OperationError,
+    OperationStateError,
+)
+from repro.protocols.opt import negotiate_session
+from repro.protocols.opt.header import OptHeader
+from repro.protocols.opt.router import process_hop
+from repro.protocols.opt.source import initialize_header
+from tests.core.conftest import make_context
+
+PAYLOAD = b"payload under test"
+
+PARM_FN = FieldOperation(128, 128, 6)
+MAC_FN = FieldOperation(0, 416, 7)
+MARK_FN = FieldOperation(288, 128, 8)
+VER_FN = FieldOperation(0, 544, 9, tag=True)
+
+
+@pytest.fixture
+def session():
+    return negotiate_session(
+        "src", "dst", [RouterKey("hop-router")], RouterKey("dst"), nonce=b"x"
+    )
+
+
+@pytest.fixture
+def router_state(session):
+    state = NodeState(node_id="hop-router")
+    state.opt_positions[session.session_id] = 0
+    state.neighbor_labels[1] = "src"
+    return state
+
+
+def initial_locations(session):
+    return initialize_header(session, PAYLOAD, timestamp=5).encode()
+
+
+class TestParm:
+    def test_loads_key_and_labels(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session), ingress_port=1)
+        result = ParmOperation().execute(ctx, PARM_FN)
+        assert result.decision is Decision.CONTINUE
+        assert ctx.scratch["opt_session_id"] == session.session_id
+        assert ctx.scratch["opt_key"] == session.hop_keys[0]
+        assert ctx.scratch["opt_hop_index"] == 0
+        assert ctx.scratch["opt_prev_label"] == "src"
+
+    def test_unknown_ingress_label_defaults(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session), ingress_port=99)
+        ParmOperation().execute(ctx, PARM_FN)
+        assert ctx.scratch["opt_prev_label"] == "unknown"
+
+    def test_wrong_len_rejected(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session))
+        with pytest.raises(OperationError):
+            ParmOperation().execute(ctx, FieldOperation(128, 64, 6))
+
+
+class TestMacAndMark:
+    def test_matches_native_processing(self, session, router_state):
+        """F_parm;F_MAC;F_mark == native process_hop, byte for byte."""
+        ctx = make_context(router_state, initial_locations(session), ingress_port=1)
+        ParmOperation().execute(ctx, PARM_FN)
+        MacOperation().execute(ctx, MAC_FN)
+        MarkOperation().execute(ctx, MARK_FN)
+
+        native = process_hop(
+            initialize_header(session, PAYLOAD, timestamp=5),
+            session.hop_keys[0],
+            0,
+            "src",
+        )
+        assert ctx.locations.to_bytes() == native.encode()
+
+    def test_mac_requires_parm(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session))
+        with pytest.raises(OperationStateError):
+            MacOperation().execute(ctx, MAC_FN)
+
+    def test_mark_requires_parm(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session))
+        with pytest.raises(OperationStateError):
+            MarkOperation().execute(ctx, MARK_FN)
+
+    def test_mac_opv_slot_out_of_range(self, session, router_state):
+        router_state.opt_positions[session.session_id] = 5  # no such slot
+        ctx = make_context(router_state, initial_locations(session), ingress_port=1)
+        ParmOperation().execute(ctx, PARM_FN)
+        with pytest.raises(FieldRangeError):
+            MacOperation().execute(ctx, MAC_FN)
+
+    def test_mark_wrong_len(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session), ingress_port=1)
+        ParmOperation().execute(ctx, PARM_FN)
+        with pytest.raises(OperationError):
+            MarkOperation().execute(ctx, FieldOperation(288, 64, 8))
+
+    def test_mark_needs_room_for_data_hash(self, session, router_state):
+        ctx = make_context(router_state, initial_locations(session), ingress_port=1)
+        ParmOperation().execute(ctx, PARM_FN)
+        with pytest.raises(FieldRangeError):
+            MarkOperation().execute(ctx, FieldOperation(0, 128, 8))
+
+    def test_aes_backend_differs(self, session):
+        state_2em = NodeState(node_id="hop-router", mac_backend="2em")
+        state_aes = NodeState(node_id="hop-router", mac_backend="aes")
+        for state in (state_2em, state_aes):
+            state.opt_positions[session.session_id] = 0
+            state.neighbor_labels[1] = "src"
+        outputs = []
+        for state in (state_2em, state_aes):
+            ctx = make_context(state, initial_locations(session), ingress_port=1)
+            ParmOperation().execute(ctx, PARM_FN)
+            MacOperation().execute(ctx, MAC_FN)
+            outputs.append(ctx.locations.to_bytes())
+        assert outputs[0] != outputs[1]
+
+
+class TestVerify:
+    def _processed_locations(self, session, router_state):
+        ctx = make_context(
+            router_state, initial_locations(session),
+            ingress_port=1, payload=PAYLOAD,
+        )
+        ParmOperation().execute(ctx, PARM_FN)
+        MacOperation().execute(ctx, MAC_FN)
+        MarkOperation().execute(ctx, MARK_FN)
+        return ctx.locations.to_bytes()
+
+    def test_accepts_honest_walk(self, session, router_state):
+        host = NodeState(node_id="dst")
+        host.opt_sessions[session.session_id] = session
+        ctx = make_context(
+            host, self._processed_locations(session, router_state),
+            payload=PAYLOAD, at_host=True,
+        )
+        result = VerifyOperation().execute(ctx, VER_FN)
+        assert result.decision is Decision.DELIVER
+        assert ctx.scratch["opt_report"].ok
+
+    def test_rejects_tampered_payload(self, session, router_state):
+        host = NodeState(node_id="dst")
+        host.opt_sessions[session.session_id] = session
+        ctx = make_context(
+            host, self._processed_locations(session, router_state),
+            payload=b"wrong", at_host=True,
+        )
+        result = VerifyOperation().execute(ctx, VER_FN)
+        assert result.decision is Decision.DROP
+        assert not ctx.scratch["opt_report"].ok
+
+    def test_router_skips(self, session, router_state):
+        ctx = make_context(
+            router_state, initial_locations(session), at_host=False
+        )
+        result = VerifyOperation().execute(ctx, VER_FN)
+        assert result.decision is Decision.CONTINUE
+
+    def test_unknown_session_raises(self, session, router_state):
+        host = NodeState(node_id="dst")  # no sessions installed
+        ctx = make_context(
+            host, self._processed_locations(session, router_state),
+            payload=PAYLOAD, at_host=True,
+        )
+        with pytest.raises(OperationStateError):
+            VerifyOperation().execute(ctx, VER_FN)
+
+    def test_bad_field_size_rejected(self, session):
+        host = NodeState(node_id="dst")
+        host.opt_sessions[session.session_id] = session
+        ctx = make_context(
+            host, initial_locations(session), payload=PAYLOAD, at_host=True
+        )
+        with pytest.raises(OperationError):
+            VerifyOperation().execute(ctx, FieldOperation(0, 100, 9, tag=True))
+
+    def test_offset_embedding_ndn_opt_layout(self, session, router_state):
+        """The OPT FNs work at a 32-bit offset (NDN+OPT embedding)."""
+        locations = b"\xde\xad\xbe\xef" + initial_locations(session)
+        ctx = make_context(router_state, locations, ingress_port=1)
+        ParmOperation().execute(ctx, FieldOperation(160, 128, 6))
+        MacOperation().execute(ctx, FieldOperation(32, 416, 7))
+        MarkOperation().execute(ctx, FieldOperation(320, 128, 8))
+        native = process_hop(
+            initialize_header(session, PAYLOAD, timestamp=5),
+            session.hop_keys[0], 0, "src",
+        )
+        assert ctx.locations.to_bytes() == b"\xde\xad\xbe\xef" + native.encode()
+        # and the embedded header still verifies at the host
+        host = NodeState(node_id="dst")
+        host.opt_sessions[session.session_id] = session
+        host_ctx = make_context(
+            host, ctx.locations.to_bytes(), payload=PAYLOAD, at_host=True
+        )
+        result = VerifyOperation().execute(
+            host_ctx, FieldOperation(32, 544, 9, tag=True)
+        )
+        assert result.decision is Decision.DELIVER

@@ -1,0 +1,105 @@
+"""Tests for the INT-MD-style telemetry array operation."""
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.operations.base import Decision
+from repro.core.operations.telemetry import (
+    ARRAY_HEADER_BITS,
+    SLOT_BITS,
+    TelemetryArrayOperation,
+    node_digest32,
+    read_telemetry_array,
+)
+from repro.core.state import NodeState
+from repro.errors import OperationError
+from repro.realize.extensions import with_telemetry_array
+from repro.realize.ip import build_ipv4_header
+from tests.core.conftest import make_context
+
+
+def array_locations(slots=3, used=0):
+    return bytes([slots, used]) + bytes(slots * SLOT_BITS // 8)
+
+
+def array_fn(slots=3, loc=0):
+    return FieldOperation(
+        loc, ARRAY_HEADER_BITS + slots * SLOT_BITS,
+        OperationKey.TELEMETRY_ARRAY,
+    )
+
+
+class TestTelemetryArray:
+    def test_first_hop_writes_slot_zero(self, state):
+        ctx = make_context(state, array_locations(), now=1.25)
+        result = TelemetryArrayOperation().execute(ctx, array_fn())
+        assert result.decision is Decision.CONTINUE
+        records = read_telemetry_array(ctx.locations.to_bytes())
+        assert records == [(node_digest32("test-router"), 1250)]
+
+    def test_successive_hops_append(self, state):
+        locations = array_locations()
+        for hop, node_id in enumerate(("r1", "r2", "r3")):
+            node = NodeState(node_id=node_id)
+            ctx = make_context(node, locations, now=float(hop))
+            TelemetryArrayOperation().execute(ctx, array_fn())
+            locations = ctx.locations.to_bytes()
+        records = read_telemetry_array(locations)
+        assert [digest for digest, _ in records] == [
+            node_digest32("r1"), node_digest32("r2"), node_digest32("r3"),
+        ]
+
+    def test_full_array_untouched(self, state):
+        locations = array_locations(slots=1, used=1)
+        ctx = make_context(state, locations)
+        result = TelemetryArrayOperation().execute(ctx, array_fn(slots=1))
+        assert "full" in result.note
+        assert ctx.locations.to_bytes() == locations
+
+    def test_mismatched_field_size_rejected(self, state):
+        ctx = make_context(state, array_locations(slots=3))
+        with pytest.raises(OperationError):
+            TelemetryArrayOperation().execute(ctx, array_fn(slots=2))
+
+    def test_too_small_field_rejected(self, state):
+        ctx = make_context(state, bytes(4))
+        with pytest.raises(OperationError):
+            TelemetryArrayOperation().execute(
+                ctx, FieldOperation(0, 16, OperationKey.TELEMETRY_ARRAY)
+            )
+
+
+class TestWithTelemetryArray:
+    def test_appends_fn_and_space(self):
+        base = build_ipv4_header(1, 2)
+        extended = with_telemetry_array(base, slots=4)
+        assert extended.fns[-1].key == OperationKey.TELEMETRY_ARRAY
+        assert extended.loc_len == base.loc_len + 2 + 4 * 8
+        extended.validate_field_ranges()
+
+    def test_slot_bounds(self):
+        base = build_ipv4_header(1, 2)
+        with pytest.raises(ValueError):
+            with_telemetry_array(base, slots=0)
+        with pytest.raises(ValueError):
+            with_telemetry_array(base, slots=256)
+
+    def test_end_to_end_over_processor(self):
+        from repro.core.packet import DipPacket
+        from repro.core.processor import RouterProcessor
+
+        header = with_telemetry_array(build_ipv4_header(0x0A000001, 2), 4)
+        packet = DipPacket(header=header)
+        current = packet
+        for node_id in ("edge", "core", "exit"):
+            node = NodeState(node_id=node_id)
+            node.fib_v4.insert(0x0A000000, 8, 1)
+            result = RouterProcessor(node).process(current, now=0.5)
+            assert result.decision is Decision.FORWARD
+            current = result.packet
+        tail = current.header.locations[8:]  # after dst||src
+        records = read_telemetry_array(tail)
+        assert [d for d, _ in records] == [
+            node_digest32("edge"), node_digest32("core"),
+            node_digest32("exit"),
+        ]

@@ -1,0 +1,123 @@
+"""Tests for the XIA operations (F_DAG / F_intent)."""
+
+import pytest
+
+from repro.core.fn import FieldOperation
+from repro.core.operations.base import Decision
+from repro.core.operations.dag import DagOperation, IntentOperation
+from repro.errors import OperationStateError
+from repro.protocols.xia.dag import DagAddress
+from repro.protocols.xia.router import XiaHeader
+from repro.protocols.xia.xid import Xid, XidType
+from tests.core.conftest import make_context
+
+CID = Xid.for_content(b"chunk")
+AD = Xid.from_name(XidType.AD, "ad")
+HID = Xid.from_name(XidType.HID, "host")
+
+
+def xia_locations(dag=None, last_visited=-1, hop_limit=8):
+    dag = dag if dag is not None else DagAddress.with_fallback(CID, [AD, HID])
+    return XiaHeader(
+        dag=dag, last_visited=last_visited, hop_limit=hop_limit
+    ).encode()
+
+
+def fns_for(locations):
+    bits = len(locations) * 8
+    return (
+        FieldOperation(0, bits, 10),
+        FieldOperation(0, bits, 11),
+    )
+
+
+class TestDagOperation:
+    def test_parses_into_scratch(self, state):
+        locations = xia_locations()
+        ctx = make_context(state, locations)
+        dag_fn, _ = fns_for(locations)
+        result = DagOperation().execute(ctx, dag_fn)
+        assert result.decision is Decision.CONTINUE
+        assert ctx.scratch["xia_current"] == -1
+        assert not ctx.scratch["xia_delivered"]
+
+    def test_advances_through_local_nodes(self, state):
+        state.xia_table.add_local(AD)
+        locations = xia_locations()
+        ctx = make_context(state, locations)
+        DagOperation().execute(ctx, fns_for(locations)[0])
+        assert ctx.scratch["xia_current"] == 0  # moved onto the AD node
+
+    def test_detects_local_intent(self, state):
+        state.xia_table.add_local(AD)
+        state.xia_table.add_local(CID)
+        locations = xia_locations()
+        ctx = make_context(state, locations)
+        DagOperation().execute(ctx, fns_for(locations)[0])
+        assert ctx.scratch["xia_delivered"]
+
+    def test_hop_limit_expiry(self, state):
+        locations = xia_locations(hop_limit=0)
+        ctx = make_context(state, locations)
+        result = DagOperation().execute(ctx, fns_for(locations)[0])
+        assert result.decision is Decision.DROP
+
+
+class TestIntentOperation:
+    def run_both(self, state, locations):
+        ctx = make_context(state, locations)
+        dag_fn, intent_fn = fns_for(locations)
+        DagOperation().execute(ctx, dag_fn)
+        return ctx, IntentOperation().execute(ctx, intent_fn)
+
+    def test_requires_dag_first(self, state):
+        locations = xia_locations()
+        ctx = make_context(state, locations)
+        with pytest.raises(OperationStateError):
+            IntentOperation().execute(ctx, fns_for(locations)[1])
+
+    def test_delivers_at_intent(self, state):
+        state.xia_table.add_local(AD)
+        state.xia_table.add_local(CID)
+        _, result = self.run_both(state, xia_locations())
+        assert result.decision is Decision.DELIVER
+
+    def test_forwards_by_priority(self, state):
+        state.xia_table.add_route(AD, 1)
+        state.xia_table.add_route(CID, 9)
+        _, result = self.run_both(state, xia_locations())
+        assert result.decision is Decision.FORWARD and result.ports == (9,)
+
+    def test_fallback_forward(self, state):
+        state.xia_table.add_route(AD, 1)
+        _, result = self.run_both(state, xia_locations())
+        assert result.decision is Decision.FORWARD and result.ports == (1,)
+
+    def test_unroutable_drops(self, state):
+        _, result = self.run_both(state, xia_locations())
+        assert result.decision is Decision.DROP
+
+    def test_forward_updates_header_in_locations(self, state):
+        """Pointer and hop limit are written back into the field."""
+        state.xia_table.add_local(AD)
+        state.xia_table.add_route(HID, 4)
+        ctx, result = self.run_both(state, xia_locations(hop_limit=8))
+        assert result.decision is Decision.FORWARD
+        rewritten = XiaHeader.decode(ctx.locations.to_bytes())
+        assert rewritten.last_visited == 0  # advanced onto the AD
+        assert rewritten.hop_limit == 7
+
+    def test_resume_from_written_pointer(self, state):
+        """A second router continues from the updated header."""
+        first = NodeStateFactory = state
+        first.xia_table.add_local(AD)
+        first.xia_table.add_route(HID, 4)
+        ctx, _ = self.run_both(first, xia_locations(hop_limit=8))
+
+        from repro.core.state import NodeState
+
+        second = NodeState(node_id="next-router")
+        second.xia_table.add_local(HID)
+        second.xia_table.add_local(CID)
+        _, result = self.run_both(second, ctx.locations.to_bytes())
+        assert result.decision is Decision.DELIVER

@@ -1,0 +1,61 @@
+"""Tests for full DIP packets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fn import FieldOperation
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.errors import HeaderValueError
+
+
+def make_packet(payload=b"data"):
+    header = DipHeader(
+        fns=(FieldOperation(0, 32, 1),), locations=bytes(4)
+    )
+    return DipPacket(header=header, payload=payload)
+
+
+class TestDipPacket:
+    def test_size(self):
+        packet = make_packet(b"1234")
+        assert packet.size == packet.header.header_length + 4
+
+    def test_roundtrip(self):
+        packet = make_packet(b"hello world")
+        assert DipPacket.decode(packet.encode()) == packet
+
+    def test_empty_payload(self):
+        packet = make_packet(b"")
+        assert DipPacket.decode(packet.encode()) == packet
+
+    def test_with_header(self):
+        packet = make_packet()
+        new_header = packet.header.with_hop_limit(1)
+        assert packet.with_header(new_header).header.hop_limit == 1
+        assert packet.header.hop_limit == 64  # original untouched
+
+    def test_padded_to(self):
+        packet = make_packet(b"x")
+        padded = packet.padded_to(128)
+        assert padded.size == 128
+        assert padded.payload.startswith(b"x")
+        assert set(padded.payload[1:]) == {0}
+
+    def test_padded_to_fill_byte(self):
+        padded = make_packet(b"").padded_to(64, fill=0xAB)
+        assert set(padded.payload) == {0xAB}
+
+    def test_padded_to_too_small(self):
+        packet = make_packet(b"x" * 100)
+        with pytest.raises(HeaderValueError):
+            packet.padded_to(50)
+
+    def test_padded_to_exact_size_noop(self):
+        packet = make_packet(b"x")
+        assert packet.padded_to(packet.size) == packet
+
+    @given(st.binary(max_size=512))
+    def test_property_roundtrip(self, payload):
+        packet = make_packet(payload)
+        assert DipPacket.decode(packet.encode()) == packet

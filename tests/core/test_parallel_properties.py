@@ -1,0 +1,73 @@
+"""Property tests for the modular-parallelism analysis."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.fn import FieldOperation
+from repro.core.processor import fns_conflict, parallel_levels
+
+fn_strategy = st.builds(
+    FieldOperation,
+    field_loc=st.integers(min_value=0, max_value=512),
+    field_len=st.integers(min_value=1, max_value=256),
+    key=st.integers(min_value=1, max_value=19),
+    tag=st.just(False),
+)
+
+
+@given(st.lists(fn_strategy, min_size=1, max_size=10))
+def test_property_conflicting_fns_never_share_a_level(fns):
+    levels = parallel_levels(fns)
+    for i in range(len(fns)):
+        for j in range(i + 1, len(fns)):
+            if fns_conflict(fns[i], fns[j]):
+                assert levels[i] != levels[j]
+
+
+@given(st.lists(fn_strategy, min_size=1, max_size=10))
+def test_property_levels_respect_program_order(fns):
+    """A later conflicting FN always lands on a strictly later level."""
+    levels = parallel_levels(fns)
+    for i in range(len(fns)):
+        for j in range(i + 1, len(fns)):
+            if fns_conflict(fns[i], fns[j]):
+                assert levels[j] > levels[i]
+
+
+@given(st.lists(fn_strategy, min_size=1, max_size=10))
+def test_property_level_count_bounded_by_chain(fns):
+    """Levels never exceed the FN count, and a fully-independent list
+    collapses to one level."""
+    levels = parallel_levels(fns)
+    assert max(levels) < len(fns)
+    if not any(
+        fns_conflict(a, b)
+        for i, a in enumerate(fns)
+        for b in fns[i + 1 :]
+    ):
+        assert set(levels) == {0}
+
+
+@given(a=fn_strategy, b=fn_strategy)
+def test_property_conflict_symmetry(a, b):
+    assert fns_conflict(a, b) == fns_conflict(b, a)
+
+
+@given(a=fn_strategy)
+def test_property_self_conflict(a):
+    """Any FN with a real field conflicts with itself (same bits)."""
+    assert fns_conflict(a, a)
+
+
+@given(st.lists(fn_strategy, min_size=2, max_size=8))
+def test_property_parallel_cycles_never_exceed_sequential(fns):
+    """On any program, critical path <= sum (the model never slows
+    packets down)."""
+    from repro.dataplane.costs import CycleCostModel
+
+    model = CycleCostModel()
+    costs = [model.fn_cycles(fn) for fn in fns]
+    levels = parallel_levels(fns)
+    per_level = {}
+    for level, cost in zip(levels, costs):
+        per_level[level] = max(per_level.get(level, 0), cost)
+    assert sum(per_level.values()) <= sum(costs)

@@ -1,0 +1,59 @@
+"""Tests for the NodeState container."""
+
+import pytest
+
+from repro.core.state import NodeState, TelemetryRecord
+
+
+class TestNodeState:
+    def test_defaults(self):
+        state = NodeState(node_id="n1")
+        assert state.router_key.node_id == "n1"
+        assert state.mac_backend == "2em"
+        assert state.default_port is None
+        assert state.content_store.capacity == 0
+        assert len(state.netfence_domain_key) == 16
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            NodeState(node_id="n1", mac_backend="des")
+
+    def test_local_addresses(self):
+        state = NodeState(node_id="n1")
+        state.add_local_v4(42)
+        state.add_local_v6(1 << 100)
+        assert 42 in state.local_v4
+        assert (1 << 100) in state.local_v6
+
+    def test_neighbor_labels(self):
+        state = NodeState(node_id="n1")
+        state.neighbor_labels[3] = "upstream"
+        assert state.neighbor_label(3) == "upstream"
+        assert state.neighbor_label(9) is None
+
+    def test_router_key_deterministic_by_node_id(self):
+        a = NodeState(node_id="same")
+        b = NodeState(node_id="same")
+        session = b"\x01" * 16
+        assert a.router_key.dynamic_key(session) == b.router_key.dynamic_key(
+            session
+        )
+
+    def test_states_do_not_share_tables(self):
+        a = NodeState(node_id="a")
+        b = NodeState(node_id="b")
+        a.fib_v4.insert(0, 0, 1)
+        assert b.fib_v4.lookup(5) is None
+        a.telemetry.append(TelemetryRecord("a", 0, 0.0))
+        assert not b.telemetry
+
+    def test_netfence_domain_key_shared_by_default(self):
+        """Same-domain nodes agree on the tag key out of the box."""
+        assert (
+            NodeState(node_id="x").netfence_domain_key
+            == NodeState(node_id="y").netfence_domain_key
+        )
+
+    def test_explicit_domain_key_respected(self):
+        state = NodeState(node_id="x", netfence_domain_key=b"\x07" * 16)
+        assert state.netfence_domain_key == b"\x07" * 16

@@ -1,0 +1,55 @@
+"""Tests for the from-scratch AES-128 against FIPS-197 vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES128
+
+
+class TestAesVectors:
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES128(key).decrypt_block(ciphertext) == expected
+
+
+class TestAesValidation:
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(b"too-short")
+
+    def test_wrong_block_size_rejected(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"short")
+
+    def test_key_dependence(self):
+        block = bytes(16)
+        assert (
+            AES128(bytes(16)).encrypt_block(block)
+            != AES128(b"\x01" + bytes(15)).encrypt_block(block)
+        )
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_property_roundtrip(key, block):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

@@ -1,0 +1,79 @@
+"""Tests for router/host key material containers."""
+
+import pytest
+
+from repro.crypto.keys import KeyStore, RouterKey, secret_from_seed
+
+
+class TestSecretFromSeed:
+    def test_deterministic_and_distinct(self):
+        assert secret_from_seed("a") == secret_from_seed("a")
+        assert secret_from_seed("a") != secret_from_seed("b")
+        assert len(secret_from_seed("a")) == 16
+
+
+class TestRouterKey:
+    def test_dynamic_key_deterministic_per_session(self):
+        router = RouterKey("r1")
+        session = b"\x01" * 16
+        assert router.dynamic_key(session) == router.dynamic_key(session)
+
+    def test_dynamic_key_varies_by_session(self):
+        router = RouterKey("r1")
+        assert router.dynamic_key(b"\x01" * 16) != router.dynamic_key(
+            b"\x02" * 16
+        )
+
+    def test_dynamic_key_varies_by_router(self):
+        session = b"\x03" * 16
+        assert RouterKey("r1").dynamic_key(session) != RouterKey(
+            "r2"
+        ).dynamic_key(session)
+
+    def test_same_node_id_reproduces_keys(self):
+        """Secrets are seeded by node id, so simulations are stable."""
+        session = b"\x04" * 16
+        assert RouterKey("r9").dynamic_key(session) == RouterKey(
+            "r9"
+        ).dynamic_key(session)
+
+    def test_explicit_secret_must_be_16_bytes(self):
+        with pytest.raises(ValueError):
+            RouterKey("r1", local_secret=b"short")
+
+    def test_clear_cache_keeps_determinism(self):
+        router = RouterKey("r1")
+        session = b"\x05" * 16
+        first = router.dynamic_key(session)
+        router.clear_cache()
+        assert router.dynamic_key(session) == first
+
+
+class TestKeyStore:
+    def test_install_and_fetch(self):
+        store = KeyStore()
+        keys = [bytes([i]) * 16 for i in range(3)]
+        store.install_path_keys(b"\x01" * 16, keys)
+        assert store.path_keys(b"\x01" * 16) == keys
+        assert store.has_session(b"\x01" * 16)
+
+    def test_missing_session_raises(self):
+        with pytest.raises(KeyError):
+            KeyStore().path_keys(b"\x00" * 16)
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore().install_path_keys(b"\x01" * 16, [b"short"])
+
+    def test_drop_session(self):
+        store = KeyStore()
+        store.install_path_keys(b"\x01" * 16, [bytes(16)])
+        store.drop_session(b"\x01" * 16)
+        assert not store.has_session(b"\x01" * 16)
+        store.drop_session(b"\x01" * 16)  # idempotent
+
+    def test_returned_list_is_a_copy(self):
+        store = KeyStore()
+        store.install_path_keys(b"\x01" * 16, [bytes(16)])
+        store.path_keys(b"\x01" * 16).append(b"\xff" * 16)
+        assert len(store.path_keys(b"\x01" * 16)) == 1

@@ -1,0 +1,82 @@
+"""Tests for CBC-MAC over 2EM/AES."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.even_mansour import EvenMansour2
+from repro.crypto.mac import CbcMac, mac_bytes
+
+KEY = bytes(range(16))
+
+
+class TestCbcMac:
+    def test_tag_size(self):
+        assert len(CbcMac(EvenMansour2(KEY)).compute(b"msg")) == 16
+
+    def test_deterministic(self):
+        mac = CbcMac(EvenMansour2(KEY))
+        assert mac.compute(b"hello") == mac.compute(b"hello")
+
+    def test_message_sensitivity(self):
+        mac = CbcMac(EvenMansour2(KEY))
+        assert mac.compute(b"hello") != mac.compute(b"hellp")
+
+    def test_key_sensitivity(self):
+        a = CbcMac(EvenMansour2(KEY)).compute(b"hello")
+        b = CbcMac(EvenMansour2(b"\x01" * 16)).compute(b"hello")
+        assert a != b
+
+    def test_length_extension_resistance_basic(self):
+        """m and m||0x00 padding-collision must not share tags."""
+        mac = CbcMac(EvenMansour2(KEY))
+        assert mac.compute(b"abc") != mac.compute(b"abc\x80")
+        assert mac.compute(b"") != mac.compute(b"\x00" * 16)
+
+    def test_verify(self):
+        mac = CbcMac(EvenMansour2(KEY))
+        tag = mac.compute(b"data")
+        assert mac.verify(b"data", tag)
+        assert not mac.verify(b"data!", tag)
+
+    def test_empty_message(self):
+        assert len(CbcMac(EvenMansour2(KEY)).compute(b"")) == 16
+
+    def test_block_boundary_messages(self):
+        mac = CbcMac(EvenMansour2(KEY))
+        tags = {mac.compute(bytes(n)) for n in (15, 16, 17, 31, 32, 33)}
+        assert len(tags) == 6  # all distinct
+
+    def test_aes_backend_works(self):
+        assert len(CbcMac(AES128(KEY)).compute(b"msg")) == 16
+
+    def test_backends_disagree(self):
+        """2EM and AES are different PRFs -- tags must differ."""
+        assert mac_bytes(KEY, b"m", "2em") != mac_bytes(KEY, b"m", "aes")
+
+    def test_rejects_non_128_bit_cipher(self):
+        class FakeCipher:
+            BLOCK_SIZE = 8
+
+        with pytest.raises(ValueError):
+            CbcMac(FakeCipher())
+
+    def test_mac_bytes_unknown_backend(self):
+        with pytest.raises(ValueError):
+            mac_bytes(KEY, b"m", backend="des")
+
+
+@given(
+    message=st.binary(max_size=200),
+    tweak=st.integers(min_value=0, max_value=199),
+)
+def test_property_single_byte_change_changes_tag(message, tweak):
+    if not message:
+        return
+    index = tweak % len(message)
+    mutated = (
+        message[:index]
+        + bytes([message[index] ^ 0x01])
+        + message[index + 1 :]
+    )
+    assert mac_bytes(KEY, message) != mac_bytes(KEY, mutated)

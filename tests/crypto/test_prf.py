@@ -1,0 +1,41 @@
+"""Tests for the PRF / key-derivation layer."""
+
+import pytest
+
+from repro.crypto.prf import KEY_SIZE, derive_key, prf
+
+KEY = b"\x11" * KEY_SIZE
+
+
+class TestPrf:
+    def test_output_size(self):
+        assert len(prf(KEY, b"message")) == KEY_SIZE
+
+    def test_deterministic(self):
+        assert prf(KEY, b"m") == prf(KEY, b"m")
+
+    def test_message_and_key_sensitivity(self):
+        assert prf(KEY, b"m1") != prf(KEY, b"m2")
+        assert prf(KEY, b"m") != prf(b"\x22" * 16, b"m")
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            prf(b"short", b"m")
+
+
+class TestDeriveKey:
+    def test_label_chaining_separates_keys(self):
+        session = b"\xaa" * 16
+        base = derive_key(KEY, session)
+        labelled = derive_key(KEY, session, b"role-a")
+        other_label = derive_key(KEY, session, b"role-b")
+        assert len({bytes(base), bytes(labelled), bytes(other_label)}) == 3
+
+    def test_multi_label_order_matters(self):
+        session = b"\xbb" * 16
+        assert derive_key(KEY, session, b"a", b"b") != derive_key(
+            KEY, session, b"b", b"a"
+        )
+
+    def test_session_separation(self):
+        assert derive_key(KEY, b"\x01" * 16) != derive_key(KEY, b"\x02" * 16)

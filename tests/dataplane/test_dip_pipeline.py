@@ -1,0 +1,184 @@
+"""Equivalence: the hardware-shaped pipeline vs the reference
+interpreter, across every protocol realization.
+"""
+
+import pytest
+
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.registry import default_registry
+from repro.core.state import NodeState
+from repro.crypto.keys import RouterKey
+from repro.dataplane.dip_pipeline import DipPipeline
+from repro.dataplane.pipeline import PipelineConfig
+from repro.errors import PipelineConstraintError
+from repro.protocols.opt import negotiate_session
+from repro.protocols.xia import DagAddress, Xid, XidType
+from repro.realize.derived import build_ndn_opt_interest
+from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
+from repro.realize.ndn import build_data_packet, build_interest_packet, name_digest
+from repro.realize.opt import build_opt_packet
+from repro.realize.xia import build_xia_packet
+
+
+def paired_states(node_id="dp"):
+    """Two identical NodeStates (pipeline and processor must not share
+    mutable PIT/cache state or the comparison is confounded)."""
+    states = []
+    for _ in range(2):
+        state = NodeState(node_id=node_id)
+        state.fib_v4.insert(0x0A000000, 8, 2)
+        state.fib_v6.insert(0x20010DB8 << 96, 32, 3)
+        state.name_fib_digest.insert(name_digest("/eq"), 32, 4)
+        state.neighbor_labels[1] = "src"
+        states.append(state)
+    return states
+
+
+def assert_equivalent(packet, configure=None, ingress=1):
+    state_a, state_b = paired_states()
+    if configure is not None:
+        configure(state_a)
+        configure(state_b)
+    reference = RouterProcessor(state_a).process(packet, ingress_port=ingress)
+    pipeline = DipPipeline(state_b).process(packet, ingress_port=ingress)
+    assert pipeline.decision == reference.decision
+    assert pipeline.ports == reference.ports
+    if reference.packet is None:
+        assert pipeline.packet is None
+    else:
+        assert pipeline.packet == reference.packet
+    return pipeline
+
+
+class TestEquivalence:
+    def test_ipv4(self):
+        assert_equivalent(build_ipv4_packet(0x0A000001, 7, payload=b"x"))
+
+    def test_ipv4_no_route(self):
+        assert_equivalent(build_ipv4_packet(0x7F000001, 7))
+
+    def test_ipv6(self):
+        assert_equivalent(
+            build_ipv6_packet((0x20010DB8 << 96) | 5, 9, payload=b"y")
+        )
+
+    def test_ndn_interest(self):
+        assert_equivalent(build_interest_packet("/eq", payload=b"z"))
+
+    def test_ndn_data_pit_miss(self):
+        assert_equivalent(build_data_packet("/eq", b"content"))
+
+    def test_ndn_data_pit_hit(self):
+        from repro.core.operations.fib import digest_name
+
+        def arm_pit(state):
+            state.pit.insert(digest_name(name_digest("/eq")), in_port=6)
+
+        result = assert_equivalent(
+            build_data_packet("/eq", b"content"), configure=arm_pit
+        )
+        assert result.ports == (6,)
+
+    def test_opt(self):
+        session = negotiate_session(
+            "src", "d", [RouterKey("dp")], RouterKey("d"), nonce=b"eq"
+        )
+
+        def arm_opt(state):
+            state.opt_positions[session.session_id] = 0
+            state.default_port = 9
+
+        result = assert_equivalent(
+            build_opt_packet(session, b"payload"), configure=arm_opt
+        )
+        assert result.decision is Decision.FORWARD
+
+    def test_ndn_opt(self):
+        session = negotiate_session(
+            "src", "d", [RouterKey("dp")], RouterKey("d"), nonce=b"eq2"
+        )
+
+        def arm(state):
+            state.opt_positions[session.session_id] = 0
+
+        assert_equivalent(
+            build_ndn_opt_interest("/eq", session, b"p"), configure=arm
+        )
+
+    def test_xia(self):
+        cid = Xid.for_content(b"eq-chunk")
+        ad = Xid.from_name(XidType.AD, "eq-ad")
+        dag = DagAddress.with_fallback(cid, [ad])
+
+        def arm(state):
+            state.xia_table.add_route(ad, 5)
+
+        result = assert_equivalent(build_xia_packet(dag), configure=arm)
+        assert result.ports == (5,)
+
+    def test_unsupported_path_critical(self):
+        session = negotiate_session(
+            "src", "d", [RouterKey("dp")], RouterKey("d"), nonce=b"eq3"
+        )
+        packet = build_ndn_opt_interest("/eq", session, b"p")
+        state_a, state_b = paired_states()
+        limited = default_registry().restricted({1, 2, 3, 4, 5})
+        reference = RouterProcessor(state_a, registry=limited).process(
+            packet, ingress_port=1
+        )
+        pipeline = DipPipeline(state_b, registry=limited).process(
+            packet, ingress_port=1
+        )
+        assert (
+            pipeline.decision
+            == reference.decision
+            == Decision.UNSUPPORTED
+        )
+        assert pipeline.unsupported_key == reference.unsupported_key
+
+
+class TestHardwareConstraints:
+    def test_stage_budget_rejects_long_programs(self):
+        from repro.core.fn import FieldOperation
+        from repro.core.header import DipHeader
+        from repro.core.packet import DipPacket
+
+        fns = tuple(FieldOperation(0, 8, 13) for _ in range(6))
+        packet = DipPacket(header=DipHeader(fns=fns, locations=b"\x00"))
+        state, _ = paired_states()
+        pipeline = DipPipeline(state, max_fns=4)
+        with pytest.raises(PipelineConstraintError):
+            pipeline.process(packet)
+
+    def test_unroll_cannot_exceed_global_budget(self):
+        state, _ = paired_states()
+        with pytest.raises(PipelineConstraintError):
+            DipPipeline(state, max_fns=20, config=PipelineConfig(max_stages=12))
+
+    def test_host_fns_consume_no_stage(self):
+        session = negotiate_session(
+            "src", "d", [RouterKey("dp")], RouterKey("d"), nonce=b"eq4"
+        )
+        state, _ = paired_states()
+        state.opt_positions[session.session_id] = 0
+        state.default_port = 9
+        # 4 FNs must parse, but only the 3 router FNs need stages.
+        pipeline = DipPipeline(state, max_fns=4)
+        result = pipeline.process(
+            build_opt_packet(session, b"p"), ingress_port=1
+        )
+        assert result.decision is Decision.FORWARD
+        assert result.stages_executed == 3
+
+    def test_parser_rejects_truncated(self):
+        state, _ = paired_states()
+        pipeline = DipPipeline(state)
+        import dataclasses
+
+        packet = build_ipv4_packet(0x0A000001, 7)
+        # Craft a DipPacket whose encode() yields truncated bytes by
+        # decoding a truncated buffer -> decode raises, so instead feed
+        # the pipeline a packet with corrupted fn_num via raw parse.
+        raw = packet.encode()[:8]  # cut inside the FN triples
+        parse = pipeline.parser.parse(raw)
+        assert not parse.accepted

@@ -1,0 +1,81 @@
+"""Property fuzz: DipPipeline and RouterProcessor must agree.
+
+Random (valid) headers from the realization space, random state --
+whatever the reference interpreter decides, the hardware-shaped
+pipeline must decide identically.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.processor import RouterProcessor
+from repro.core.state import NodeState
+from repro.dataplane.dip_pipeline import DipPipeline
+from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
+from repro.realize.ndn import build_data_packet, build_interest_packet
+from repro.realize.xia import build_xia_packet
+from repro.protocols.xia import DagAddress, Xid, XidType
+
+
+def random_state(rng: random.Random) -> NodeState:
+    state = NodeState(node_id=f"fz-{rng.randint(0, 3)}")
+    for _ in range(rng.randint(0, 12)):
+        plen = rng.randint(1, 24)
+        state.fib_v4.insert(
+            rng.getrandbits(plen) << (32 - plen), plen, rng.randint(0, 7)
+        )
+    for _ in range(rng.randint(0, 8)):
+        plen = rng.randint(8, 48)
+        state.fib_v6.insert(
+            rng.getrandbits(plen) << (128 - plen), plen, rng.randint(0, 7)
+        )
+    for _ in range(rng.randint(0, 12)):
+        state.name_fib_digest.insert(rng.getrandbits(32), 32, rng.randint(0, 7))
+    for _ in range(rng.randint(0, 4)):
+        state.xia_table.add_route(
+            Xid.from_name(XidType.AD, f"ad{rng.randint(0, 5)}"),
+            rng.randint(0, 7),
+        )
+    if rng.random() < 0.3:
+        state.default_port = rng.randint(0, 7)
+    return state
+
+
+def random_packet(rng: random.Random):
+    kind = rng.randrange(5)
+    if kind == 0:
+        return build_ipv4_packet(
+            rng.getrandbits(32), rng.getrandbits(32),
+            payload=bytes(rng.randrange(32)),
+        )
+    if kind == 1:
+        return build_ipv6_packet(rng.getrandbits(128), rng.getrandbits(128))
+    if kind == 2:
+        return build_interest_packet(rng.getrandbits(32))
+    if kind == 3:
+        return build_data_packet(rng.getrandbits(32), b"c")
+    ad = Xid.from_name(XidType.AD, f"ad{rng.randint(0, 5)}")
+    cid = Xid.for_content(rng.getrandbits(64).to_bytes(8, "big"))
+    return build_xia_packet(DagAddress.with_fallback(cid, [ad]))
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_property_pipeline_matches_interpreter(seed):
+    rng = random.Random(seed)
+    packet = random_packet(rng)
+    # identical but independent states for the two execution paths
+    state_a = random_state(random.Random(seed + 1))
+    state_b = random_state(random.Random(seed + 1))
+    ingress = rng.randint(0, 7)
+
+    reference = RouterProcessor(state_a).process(packet, ingress_port=ingress)
+    pipeline = DipPipeline(state_b).process(packet, ingress_port=ingress)
+
+    assert pipeline.decision == reference.decision, (
+        reference.notes, pipeline.notes,
+    )
+    assert pipeline.ports == reference.ports
+    if reference.packet is not None:
+        assert pipeline.packet == reference.packet

@@ -1,0 +1,147 @@
+"""Tests for runtime reprogramming (staged FN upgrades)."""
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.registry import default_registry
+from repro.core.state import NodeState
+from repro.core.operations.telemetry import TelemetryOperation
+from repro.core.operations.passport import PassOperation
+from repro.dataplane.pipeline import PipelineConfig
+from repro.dataplane.runtime import RuntimeManager
+from repro.errors import DataplaneError, PipelineConstraintError
+from repro.realize.ip import build_ipv4_packet
+
+
+@pytest.fixture
+def live_node():
+    state = NodeState(node_id="live")
+    state.fib_v4.insert(0x0A000000, 8, 1)
+    registry = default_registry().restricted({1, 2, 3})  # bare IP router
+    processor = RouterProcessor(state, registry=registry)
+    return state, registry, processor
+
+
+class TestStagedInstall:
+    def test_staged_update_invisible_until_activation(self, live_node):
+        state, registry, processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation(), note="add telemetry")
+        assert not registry.supports(OperationKey.TELEMETRY)
+        manager.activate()
+        assert registry.supports(OperationKey.TELEMETRY)
+        assert manager.version == 1
+
+    def test_processor_behaviour_changes_after_activation(self, live_node):
+        state, registry, processor = live_node
+        header = DipHeader(
+            fns=(
+                FieldOperation(0, 32, OperationKey.MATCH_32),
+                FieldOperation(32, 32, OperationKey.TELEMETRY),
+            ),
+            locations=(0x0A000001).to_bytes(4, "big") + bytes(4),
+        )
+        packet = DipPacket(header=header)
+        before = processor.process(packet)
+        assert before.decision is Decision.FORWARD
+        assert not state.telemetry  # telemetry FN ignored
+
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation())
+        manager.activate()
+        after = processor.process(packet)
+        assert after.decision is Decision.FORWARD
+        assert len(state.telemetry) == 1  # now it executes
+
+    def test_double_stage_rejected(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation())
+        with pytest.raises(DataplaneError):
+            manager.stage_install(PassOperation())
+
+    def test_abort_discards(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation())
+        manager.abort()
+        with pytest.raises(DataplaneError):
+            manager.activate()
+        assert not registry.supports(OperationKey.TELEMETRY)
+
+
+class TestStagedRemove:
+    def test_remove(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_remove(OperationKey.MATCH_128)
+        manager.activate()
+        assert not registry.supports(OperationKey.MATCH_128)
+
+    def test_remove_missing_rejected(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        with pytest.raises(DataplaneError):
+            manager.stage_remove(OperationKey.MAC)  # not installed
+
+
+class TestValidation:
+    def test_program_validation_catches_stranding(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_remove(OperationKey.MATCH_32)
+        packet = build_ipv4_packet(0x0A000001, 2)
+        with pytest.raises(PipelineConstraintError):
+            manager.validate_staged_against(packet.header.fns)
+
+    def test_program_validation_passes_compatible(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation())
+        manager.validate_staged_against(build_ipv4_packet(1, 2).header.fns)
+
+    def test_stage_budget_enforced(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(
+            registry, PipelineConfig(max_stages=1)
+        )
+        manager.stage_install(TelemetryOperation())
+        with pytest.raises(PipelineConstraintError):
+            manager.validate_staged_against(build_ipv4_packet(1, 2).header.fns)
+
+    def test_validate_without_stage_rejected(self, live_node):
+        _state, registry, _processor = live_node
+        with pytest.raises(DataplaneError):
+            RuntimeManager(registry).validate_staged_against(())
+
+
+class TestRollbackAndAudit:
+    def test_rollback_restores(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation())
+        manager.activate()
+        manager.rollback()
+        assert not registry.supports(OperationKey.TELEMETRY)
+        assert registry.supports(OperationKey.MATCH_32)
+
+    def test_rollback_without_history_rejected(self, live_node):
+        _state, registry, _processor = live_node
+        with pytest.raises(DataplaneError):
+            RuntimeManager(registry).rollback()
+
+    def test_audit_log(self, live_node):
+        _state, registry, _processor = live_node
+        manager = RuntimeManager(registry)
+        manager.stage_install(TelemetryOperation(), note="during attack")
+        manager.activate()
+        manager.stage_remove(OperationKey.TELEMETRY)
+        manager.activate()
+        manager.rollback()
+        actions = [(r.version, r.action) for r in manager.log]
+        assert actions == [(1, "install"), (2, "remove"), (3, "rollback")]
+        assert manager.log[0].note == "during attack"
+        assert registry.supports(OperationKey.TELEMETRY)

@@ -1,0 +1,176 @@
+"""Tests for match-action tables and the staged pipeline."""
+
+import pytest
+
+from repro.dataplane.parser import ParseState, Parser
+from repro.dataplane.pipeline import (
+    Pipeline,
+    PipelineConfig,
+    Stage,
+    TableBinding,
+)
+from repro.dataplane.tables import (
+    ExactTable,
+    LpmMatchTable,
+    TableEntry,
+    TernaryTable,
+)
+from repro.errors import DataplaneError, PipelineConstraintError
+
+FORWARD_3 = TableEntry("forward", (3,))
+
+
+class TestExactTable:
+    def test_insert_match(self):
+        table = ExactTable("t")
+        table.insert(5, FORWARD_3)
+        assert table.match(5) == FORWARD_3
+        assert table.match(6) is None
+
+    def test_capacity(self):
+        table = ExactTable("t", size=1)
+        table.insert(1, FORWARD_3)
+        with pytest.raises(DataplaneError):
+            table.insert(2, FORWARD_3)
+        table.insert(1, TableEntry("drop"))  # replace is fine
+        assert table.match(1).action == "drop"
+
+    def test_remove(self):
+        table = ExactTable("t")
+        table.insert(1, FORWARD_3)
+        assert table.remove(1)
+        assert not table.remove(1)
+
+
+class TestLpmMatchTable:
+    def test_longest_prefix(self):
+        table = LpmMatchTable("t", width=32)
+        table.insert(0x0A000000, 8, TableEntry("forward", (1,)))
+        table.insert(0x0A010000, 16, TableEntry("forward", (2,)))
+        assert table.match(0x0A010203).data == (2,)
+        assert table.match(0x0A990000).data == (1,)
+        assert table.match(0x0B000000) is None
+
+    def test_capacity(self):
+        table = LpmMatchTable("t", width=32, size=1)
+        table.insert(0, 0, FORWARD_3)
+        with pytest.raises(DataplaneError):
+            table.insert(0x80000000, 1, FORWARD_3)
+        # the rejected entry left no residue
+        assert table.match(0x80000001) == FORWARD_3
+
+    def test_replace_allowed_at_capacity(self):
+        table = LpmMatchTable("t", width=32, size=1)
+        table.insert(0, 0, FORWARD_3)
+        table.insert(0, 0, TableEntry("drop"))  # replace, not grow
+        assert table.match(5).action == "drop"
+        assert len(table) == 1
+
+
+class TestTernaryTable:
+    def test_masked_match_priority(self):
+        table = TernaryTable("t")
+        table.insert(0x10, 0xF0, priority=1, entry=TableEntry("forward", (1,)))
+        table.insert(0x12, 0xFF, priority=9, entry=TableEntry("forward", (2,)))
+        assert table.match(0x12).data == (2,)  # exact, higher priority
+        assert table.match(0x15).data == (1,)  # masked match
+        assert table.match(0x25) is None
+
+    def test_capacity(self):
+        table = TernaryTable("t", size=1)
+        table.insert(0, 0, 0, FORWARD_3)
+        with pytest.raises(DataplaneError):
+            table.insert(1, 1, 0, FORWARD_3)
+
+
+def simple_parser():
+    return Parser(
+        [ParseState(name="s", extracts=(("dst", 8), ("flag", 8)))], start="s"
+    )
+
+
+class TestPipeline:
+    def test_forward_action(self):
+        table = ExactTable("fib")
+        table.insert(0x0A, TableEntry("forward", (7,)))
+        pipe = Pipeline(
+            simple_parser(),
+            [Stage("s0", [TableBinding(table, key_field="dst")])],
+        )
+        phv = pipe.apply(b"\x0a\x00")
+        assert phv.egress_spec == 7 and not phv.drop
+
+    def test_miss_action_drop(self):
+        table = ExactTable("fib")
+        pipe = Pipeline(
+            simple_parser(),
+            [Stage("s0", [TableBinding(table, "dst", miss_action="drop")])],
+        )
+        assert pipe.apply(b"\x0a\x00").drop
+
+    def test_drop_short_circuits_stages(self):
+        first = ExactTable("a")
+        second = ExactTable("b")
+        second.insert(0, TableEntry("forward", (9,)))
+        pipe = Pipeline(
+            simple_parser(),
+            [
+                Stage("s0", [TableBinding(first, "dst", miss_action="drop")]),
+                Stage("s1", [TableBinding(second, "flag")]),
+            ],
+        )
+        phv = pipe.apply(b"\x0a\x00")
+        assert phv.drop and phv.egress_spec == -1
+
+    def test_set_field_action(self):
+        table = ExactTable("rewrite")
+        table.insert(0x0A, TableEntry("set_field", ("flag", 0xFF)))
+        pipe = Pipeline(
+            simple_parser(), [Stage("s0", [TableBinding(table, "dst")])]
+        )
+        assert pipe.apply(b"\x0a\x00").get("flag") == 0xFF
+
+    def test_unparseable_packet_dropped(self):
+        pipe = Pipeline(simple_parser(), [])
+        assert pipe.apply(b"\x0a").drop  # too short
+
+    def test_stage_budget_enforced(self):
+        stages = [Stage(f"s{i}") for i in range(13)]
+        with pytest.raises(PipelineConstraintError):
+            Pipeline(simple_parser(), stages, PipelineConfig(max_stages=12))
+
+    def test_tables_per_stage_budget(self):
+        bindings = [
+            TableBinding(ExactTable(f"t{i}"), "dst") for i in range(5)
+        ]
+        with pytest.raises(PipelineConstraintError):
+            Pipeline(
+                simple_parser(),
+                [Stage("s0", bindings)],
+                PipelineConfig(max_tables_per_stage=4),
+            )
+
+    def test_unknown_action_rejected(self):
+        table = ExactTable("t")
+        table.insert(0x0A, TableEntry("teleport", ()))
+        pipe = Pipeline(
+            simple_parser(), [Stage("s0", [TableBinding(table, "dst")])]
+        )
+        with pytest.raises(DataplaneError):
+            pipe.apply(b"\x0a\x00")
+
+    def test_custom_action(self):
+        seen = []
+
+        def custom(phv, data):
+            seen.append(data)
+
+        table = ExactTable("t")
+        table.insert(0x0A, TableEntry("record", ("hello",)))
+        pipe = Pipeline(
+            simple_parser(),
+            [Stage("s0", [TableBinding(table, "dst")])],
+            actions={"record": custom},
+        )
+        pipe.apply(b"\x0a\x00")
+        assert seen == [("hello",)]

@@ -1,0 +1,111 @@
+"""Link-failure recovery and XIA service chains."""
+
+import pytest
+
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.netsim.apps import ConsumerApp, ProducerApp
+from repro.protocols.xia import DagAddress, Xid, XidType
+from repro.realize.ndn import name_digest
+from repro.realize.xia import build_xia_packet
+
+CONTENT = {name_digest("/flaky/item"): b"survives"}
+
+
+class TestLinkFailureRecovery:
+    def build(self):
+        topo = Topology()
+        consumer = topo.add(HostNode("consumer", topo.engine, topo.trace))
+        router = topo.add(DipRouterNode("r", topo.engine, topo.trace))
+        producer = topo.add(
+            HostNode("producer", topo.engine, topo.trace,
+                     app=ProducerApp(CONTENT))
+        )
+        topo.connect("consumer", 0, "r", 1)
+        upstream = topo.connect("r", 2, "producer", 0)
+        for digest in CONTENT:
+            router.state.name_fib_digest.insert(digest, 32, 2)
+        return topo, consumer, router, producer, upstream
+
+    def test_retransmission_rides_out_a_flap(self):
+        topo, consumer, router, producer, upstream = self.build()
+        digest = next(iter(CONTENT))
+        app = ConsumerApp(timeout=0.3, max_attempts=4).attach(consumer)
+
+        upstream.up = False  # the upstream link is down at send time
+        app.fetch(digest)
+        topo.engine.schedule(0.5, setattr, upstream, "up", True)
+        topo.run()
+
+        assert len(app.completed) == 1
+        record = app.records[digest]
+        assert record.attempts >= 2  # at least one retransmission
+        assert record.content == b"survives"
+        assert upstream.frames_dropped >= 1
+
+    def test_permanent_failure_gives_up(self):
+        topo, consumer, router, producer, upstream = self.build()
+        digest = next(iter(CONTENT))
+        app = ConsumerApp(timeout=0.1, max_attempts=2).attach(consumer)
+        upstream.up = False
+        app.fetch(digest)
+        topo.run()
+        assert app.gave_up == [digest]
+        assert producer.stats.received == 0
+
+
+class TestXiaServiceChain:
+    def test_chain_visits_services_in_order(self):
+        firewall = Xid.from_name(XidType.SID, "firewall")
+        cache = Xid.from_name(XidType.SID, "cache")
+        dest = Xid.from_name(XidType.HID, "server")
+        dag = DagAddress.service_chain([firewall, cache], dest)
+        assert dag.intent == dest
+        # no shortcut edges: each service has exactly one successor
+        assert dag.entry_edges == (0,)
+        assert dag.nodes[0].edges == (1,)
+        assert dag.nodes[1].edges == (2,)
+
+    def test_chain_over_netsim(self):
+        firewall = Xid.from_name(XidType.SID, "fw")
+        dest = Xid.from_name(XidType.HID, "srv")
+        dag = DagAddress.service_chain([firewall], dest)
+
+        topo = Topology()
+        client = topo.add(HostNode("client", topo.engine, topo.trace))
+        ingress = topo.add(DipRouterNode("ingress", topo.engine, topo.trace))
+        middlebox = topo.add(DipRouterNode("middlebox", topo.engine, topo.trace))
+        server_router = topo.add(
+            DipRouterNode("server-rt", topo.engine, topo.trace)
+        )
+        topo.connect("client", 0, "ingress", 1)
+        topo.connect("ingress", 2, "middlebox", 1)
+        topo.connect("middlebox", 2, "server-rt", 1)
+
+        ingress.state.xia_table.add_route(firewall, 2)
+        middlebox.state.xia_table.add_local(firewall)  # service runs here
+        middlebox.state.xia_table.add_route(dest, 2)
+        server_router.state.xia_table.add_local(firewall)
+        server_router.state.xia_table.add_local(dest)
+
+        client.send_packet(build_xia_packet(dag, payload=b"req"))
+        topo.run()
+        assert len(server_router.local_inbox) == 1
+
+    def test_service_cannot_be_skipped(self):
+        """A router knowing a direct route to the final intent must NOT
+        bypass the unvisited service (no shortcut edge exists)."""
+        firewall = Xid.from_name(XidType.SID, "fw2")
+        dest = Xid.from_name(XidType.HID, "srv2")
+        dag = DagAddress.service_chain([firewall], dest)
+
+        from repro.protocols.xia.routing import XiaRouteTable, route_step
+
+        table = XiaRouteTable()
+        table.add_route(dest, 9)  # tempting shortcut
+        decision = route_step(dag, -1, table)
+        # the only successor of the entry is the firewall, unroutable here
+        assert decision.action == "drop"
+
+    def test_empty_chain_is_direct(self):
+        dest = Xid.from_name(XidType.HID, "d")
+        assert DagAddress.service_chain([], dest) == DagAddress.direct(dest)

@@ -1,0 +1,185 @@
+"""In-band key negotiation end to end.
+
+The headline assertion: a session negotiated *on the wire* (key-setup
+packet out, reply back) is byte-identical to one produced by the
+offline :func:`negotiate_session` shortcut -- and immediately usable
+for OPT traffic that verifies at the destination.
+"""
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.operations.keysetup import (
+    KeySetupOperation,
+    field_bits_for,
+    read_collected_keys,
+)
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.crypto.keys import RouterKey
+from repro.errors import OperationError
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.protocols.opt import negotiate_session, verify_packet
+from repro.protocols.opt.drkey import make_session_id
+from repro.realize.keysetup import (
+    assemble_session,
+    build_key_setup_packet,
+    destination_reply,
+)
+from repro.realize.opt import build_opt_packet, extract_opt_header
+from tests.core.conftest import make_context
+
+DST = 0x0A000009
+SRC = 0x0B000001
+
+
+@pytest.fixture
+def state():
+    return NodeState(node_id="test-router")
+
+
+class TestKeySetupOperation:
+    def _locations(self, max_hops=2, session=b"\x01" * 16):
+        return session + bytes([max_hops, 0]) + bytes(max_hops * 28)
+
+    def _fn(self, max_hops=2):
+        return FieldOperation(0, field_bits_for(max_hops), OperationKey.KEYSETUP)
+
+    def test_deposits_node_and_key(self, state):
+        ctx = make_context(state, self._locations())
+        result = KeySetupOperation().execute(ctx, self._fn())
+        assert result.decision is Decision.CONTINUE
+        session_id, collected = read_collected_keys(ctx.locations.to_bytes())
+        assert collected == [
+            (
+                "test-router",
+                state.router_key.dynamic_key(b"\x01" * 16),
+            )
+        ]
+
+    def test_slots_fill_in_path_order(self, state):
+        locations = self._locations(max_hops=3)
+        node_ids = ["alpha", "beta", "gamma"]
+        for node_id in node_ids:
+            node = NodeState(node_id=node_id)
+            ctx = make_context(node, locations)
+            KeySetupOperation().execute(ctx, self._fn(3))
+            locations = ctx.locations.to_bytes()
+        _sid, collected = read_collected_keys(locations)
+        assert [n for n, _ in collected] == node_ids
+
+    def test_exhausted_slots_drop(self, state):
+        locations = self._locations(max_hops=1)
+        ctx = make_context(state, locations)
+        KeySetupOperation().execute(ctx, self._fn(1))
+        ctx2 = make_context(
+            NodeState(node_id="next"), ctx.locations.to_bytes()
+        )
+        result = KeySetupOperation().execute(ctx2, self._fn(1))
+        assert result.decision is Decision.DROP
+
+    def test_oversized_node_id_rejected(self):
+        node = NodeState(node_id="this-node-id-is-way-too-long")
+        ctx = make_context(node, self._locations())
+        with pytest.raises(OperationError):
+            KeySetupOperation().execute(ctx, self._fn())
+
+    def test_slot_count_mismatch_rejected(self, state):
+        ctx = make_context(state, self._locations(max_hops=3))
+        with pytest.raises(OperationError):
+            KeySetupOperation().execute(ctx, self._fn(2))
+
+
+class TestWireNegotiationMatchesOffline:
+    def test_round_trip_equals_negotiate_session(self):
+        """Walk the setup packet through 3 routers by hand; the
+        assembled session equals the offline negotiation."""
+        router_ids = ["r-one", "r-two", "r-three"]
+        packet = build_key_setup_packet(
+            DST, SRC, "src-host", "dst-host", nonce=b"wire", max_hops=4
+        )
+        current = packet
+        for node_id in router_ids:
+            state = NodeState(node_id=node_id)
+            state.fib_v4.insert(0x0A000000, 8, 2)
+            result = RouterProcessor(state).process(current)
+            assert result.decision is Decision.FORWARD
+            current = result.packet
+
+        session_id, collected = read_collected_keys(
+            current.header.locations, field_loc_bits=64
+        )
+        assert session_id == make_session_id("src-host", "dst-host", b"wire")
+        dest = RouterKey("dst-host")
+        wire_session = assemble_session(
+            "src-host", "dst-host", session_id, collected,
+            destination_reply(dest, session_id),
+        )
+        offline = negotiate_session(
+            "src-host", "dst-host",
+            [RouterKey(node_id) for node_id in router_ids],
+            dest, nonce=b"wire",
+        )
+        assert wire_session == offline
+
+    def test_negotiated_session_carries_verified_traffic(self):
+        """Full story over netsim: negotiate, then send OPT data."""
+        topo = Topology()
+        source = topo.add(HostNode("src-host", topo.engine, topo.trace))
+        routers = [
+            topo.add(DipRouterNode(f"kr{i}", topo.engine, topo.trace))
+            for i in range(2)
+        ]
+        dest_box = {}
+
+        def dest_app(host, packet, port):
+            # The destination answers key-setup packets with its key.
+            if any(
+                fn.key == OperationKey.KEYSETUP for fn in packet.header.fns
+            ):
+                session_id, collected = read_collected_keys(
+                    packet.header.locations, field_loc_bits=64
+                )
+                dest_box["session_id"] = session_id
+                dest_box["collected"] = collected
+                dest_box["dest_key"] = host.stack.state.router_key.dynamic_key(
+                    session_id
+                )
+
+        dest = topo.add(
+            HostNode("dst-host", topo.engine, topo.trace, app=dest_app)
+        )
+        topo.connect("src-host", 0, "kr0", 1)
+        topo.connect("kr0", 2, "kr1", 1)
+        topo.connect("kr1", 2, "dst-host", 0)
+        topo.wire_neighbor_labels()
+        for router in routers:
+            router.state.fib_v4.insert(0x0A000000, 8, 2)
+            router.state.default_port = 2
+        dest.stack.state.add_local_v4(DST)
+
+        # phase 1: negotiate on the wire
+        source.send_packet(
+            build_key_setup_packet(
+                DST, SRC, "src-host", "dst-host", nonce=b"e2e", max_hops=4
+            )
+        )
+        topo.run()
+        assert "collected" in dest_box
+        session = assemble_session(
+            "src-host", "dst-host", dest_box["session_id"],
+            dest_box["collected"], dest_box["dest_key"],
+        )
+        assert session.path_ids == ("kr0", "kr1")
+
+        # phase 2: ship OPT traffic under the negotiated session
+        dest.app = None
+        dest.inbox.clear()  # drop the delivered setup packet
+        dest.stack.state.opt_sessions[session.session_id] = session
+        for position, router in enumerate(routers):
+            router.state.opt_positions[session.session_id] = position
+        source.send_packet(build_opt_packet(session, b"negotiated!", 7))
+        topo.run()
+        assert len(dest.inbox) == 1
+        _packet, result = dest.inbox[-1]
+        assert result.scratch["opt_report"].ok

@@ -1,0 +1,101 @@
+"""Section 2.4 interop scenarios over the simulator: tunnels and
+header strip/re-add at borders.
+"""
+
+from repro.core.compat import rewrap_from_legacy, strip_to_legacy, wrap_legacy_packet
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.netsim import (
+    BorderRouterNode,
+    HostNode,
+    LegacyRouterNode,
+    Topology,
+)
+from repro.protocols.ip.addresses import parse_ipv4
+from repro.protocols.ip.ipv4 import IPv4Header
+from repro.realize.ndn import (
+    build_data_packet,
+    build_interest_packet,
+    install_name_route,
+)
+
+TUN_A = parse_ipv4("192.0.2.1")
+TUN_B = parse_ipv4("192.0.2.2")
+
+
+class TestTunnelAcrossLegacyCore:
+    def build(self):
+        topo = Topology()
+        host_a = topo.add(HostNode("host-a", topo.engine, topo.trace))
+        dip_a = topo.add(BorderRouterNode("dip-a", topo.engine, trace=topo.trace))
+        legacy = topo.add(LegacyRouterNode("legacy", topo.engine, topo.trace))
+        dip_b = topo.add(BorderRouterNode("dip-b", topo.engine, trace=topo.trace))
+
+        def producer_app(host, packet, port):
+            digest = int.from_bytes(packet.header.locations[:4], "big")
+            host.send_packet(build_data_packet(digest, b"remote"), port=port)
+
+        host_b = topo.add(
+            HostNode("host-b", topo.engine, topo.trace, app=producer_app)
+        )
+        topo.connect("host-a", 0, "dip-a", 1)
+        topo.connect("dip-a", 2, "legacy", 1)
+        topo.connect("legacy", 2, "dip-b", 2)
+        topo.connect("dip-b", 1, "host-b", 0)
+        install_name_route(dip_a.state, "/remote", 2)
+        install_name_route(dip_b.state, "/remote", 1)
+        dip_a.add_tunnel(2, TUN_A, TUN_B)
+        dip_b.add_tunnel(2, TUN_B, TUN_A)
+        legacy.router.add_route_v4(TUN_B, 32, 2)
+        legacy.router.add_route_v4(TUN_A, 32, 1)
+        return topo, host_a, dip_a, legacy, dip_b, host_b
+
+    def test_interest_and_data_cross_tunnel(self):
+        topo, host_a, dip_a, legacy, dip_b, host_b = self.build()
+        host_a.send_packet(build_interest_packet("/remote/file"))
+        topo.run()
+        assert len(host_a.inbox) == 1
+        assert host_a.inbox[0][0].payload == b"remote"
+        # the legacy core moved exactly two tunnel packets
+        assert legacy.stats.forwarded == 2
+        assert len(topo.trace.of_kind("encapsulate")) == 2
+        assert len(topo.trace.of_kind("decapsulate")) == 2
+
+    def test_legacy_router_never_sees_dip(self):
+        topo, host_a, dip_a, legacy, dip_b, host_b = self.build()
+        host_a.send_packet(build_interest_packet("/remote/file"))
+        topo.run()
+        assert legacy.stats.dropped == 0  # everything parseable IPv4
+
+
+class TestHeaderStripRewrap:
+    def test_legacy_view_forwards_natively(self):
+        """A stripped DIP packet is a plain IPv4 packet legacy gear
+        forwards; rewrapping restores FN processing."""
+        inner = IPv4Header(
+            src=parse_ipv4("172.16.0.1"),
+            dst=parse_ipv4("10.1.2.3"),
+            total_length=20 + 4,
+        ).encode() + b"DATA"
+        wrapped = wrap_legacy_packet(inner, "ipv4")
+
+        # DIP side forwards by the embedded destination.
+        state = NodeState(node_id="border")
+        state.fib_v4.insert(parse_ipv4("10.0.0.0"), 8, 7)
+        result = RouterProcessor(state).process(wrapped)
+        assert result.decision is Decision.FORWARD and result.ports == (7,)
+
+        # Outbound border strips; a legacy router forwards natively.
+        stripped = strip_to_legacy(wrapped)
+        from repro.protocols.ip.router import IpRouter
+
+        legacy = IpRouter("legacy")
+        legacy.add_route_v4(parse_ipv4("10.0.0.0"), 8, 3)
+        legacy_result = legacy.forward_v4(stripped)
+        assert legacy_result.egress_port == 3
+
+        # Inbound border re-adds the DIP framing; FNs work again.
+        rewrapped = rewrap_from_legacy(legacy_result.packet, wrapped)
+        again = RouterProcessor(state).process(rewrapped)
+        assert again.decision is Decision.FORWARD and again.ports == (7,)
+        assert rewrapped.payload == b"DATA"

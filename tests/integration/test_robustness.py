@@ -1,0 +1,166 @@
+"""Robustness / failure-injection tests.
+
+A router must never crash on hostile input: decoding arbitrary bytes
+and processing arbitrary (well-formed but meaningless) FN programs may
+reject packets, but only ever via the library's own exception hierarchy
+or a clean DROP decision.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.fn import FieldOperation
+from repro.core.header import DipHeader
+from repro.core.host import HostStack
+from repro.core.packet import DipPacket
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.errors import ReproError
+from repro.protocols.ndn.packets import Data, Interest
+from repro.protocols.opt.header import OptHeader
+from repro.protocols.xia.dag import DagAddress
+from repro.realize.ndn import name_digest
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300)
+def test_fuzz_dip_packet_decode_never_crashes(data):
+    """Arbitrary bytes either decode or raise a ReproError."""
+    try:
+        packet = DipPacket.decode(data)
+    except ReproError:
+        return
+    # anything that decoded must re-encode consistently
+    assert DipPacket.decode(packet.encode()) == packet
+
+
+@given(st.binary(max_size=200))
+def test_fuzz_substrate_decoders_never_crash(data):
+    for decoder in (
+        Interest.decode,
+        Data.decode,
+        OptHeader.decode,
+        DagAddress.decode,
+    ):
+        try:
+            decoder(data)
+        except ReproError:
+            pass
+
+
+fn_strategy = st.builds(
+    FieldOperation,
+    field_loc=st.integers(min_value=0, max_value=2000),
+    field_len=st.integers(min_value=0, max_value=2000),
+    key=st.integers(min_value=1, max_value=25),
+    tag=st.booleans(),
+)
+
+
+def make_state():
+    state = NodeState(node_id="fuzz-router")
+    state.fib_v4.insert(0, 0, 1)
+    state.fib_v6.insert(0, 0, 1)
+    state.name_fib_digest.insert(0, 0, 1)
+    return state
+
+
+@given(
+    fns=st.lists(fn_strategy, max_size=8),
+    locations=st.binary(max_size=256),
+    payload=st.binary(max_size=64),
+)
+@settings(max_examples=300, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+def test_fuzz_processor_never_crashes(fns, locations, payload):
+    """Random FN programs: forward, deliver, drop, or ReproError --
+    never an arbitrary exception, never corrupted state."""
+    header_kwargs = dict(fns=tuple(fns), locations=locations)
+    try:
+        header = DipHeader(**header_kwargs)
+    except ReproError:
+        return
+    packet = DipPacket(header=header, payload=payload)
+    processor = RouterProcessor(make_state())
+    try:
+        result = processor.process(packet, ingress_port=1, now=1.0)
+    except ReproError:
+        return
+    assert result.decision in (
+        Decision.FORWARD,
+        Decision.DELIVER,
+        Decision.DROP,
+        Decision.UNSUPPORTED,
+    )
+    if result.decision is Decision.FORWARD:
+        assert result.packet is not None
+        # rewritten packets always stay decodable
+        assert DipPacket.decode(result.packet.encode()) == result.packet
+
+
+@given(
+    fns=st.lists(fn_strategy, max_size=6),
+    locations=st.binary(max_size=128),
+    payload=st.binary(max_size=32),
+)
+@settings(max_examples=200, deadline=None)
+def test_fuzz_host_receive_never_crashes(fns, locations, payload):
+    try:
+        header = DipHeader(fns=tuple(fns), locations=locations)
+    except ReproError:
+        return
+    packet = DipPacket(header=header, payload=payload)
+    try:
+        result = HostStack().receive(packet)
+    except ReproError:
+        return
+    assert isinstance(result.accepted, bool)
+
+
+class TestHostileInputsDirected:
+    """Hand-picked nasty cases beyond the fuzzers."""
+
+    def test_truncated_mid_fn_triple(self):
+        good = DipHeader(
+            fns=(FieldOperation(0, 32, 4),), locations=bytes(4)
+        ).encode()
+        for cut in range(len(good)):
+            with pytest.raises(ReproError):
+                header, _ = DipHeader.decode(good[:cut])
+                if header.header_length == cut:
+                    raise ReproError("actually complete")  # pragma: no cover
+
+    def test_fn_pointing_past_locations(self):
+        header = DipHeader(
+            fns=(FieldOperation(100, 32, 4),), locations=bytes(4)
+        )
+        processor = RouterProcessor(make_state())
+        with pytest.raises(ReproError):
+            processor.process(DipPacket(header=header))
+
+    def test_advertised_locations_longer_than_packet(self):
+        raw = bytearray(
+            DipHeader(fns=(), locations=bytes(8)).encode()
+        )
+        # bump the 10-bit loc-len field without appending bytes
+        raw[4:6] = ((100 << 1)).to_bytes(2, "big")
+        with pytest.raises(ReproError):
+            DipPacket.decode(bytes(raw))
+
+    def test_interest_loop_self_consumption(self):
+        """F_FIB then F_PIT on the same digest is the poisoning combo;
+        without a cache it must terminate cleanly."""
+        state = make_state()
+        digest = name_digest("/x")
+        header = DipHeader(
+            fns=(FieldOperation(0, 32, 4), FieldOperation(0, 32, 5)),
+            locations=digest.to_bytes(4, "big"),
+        )
+        result = RouterProcessor(state).process(DipPacket(header=header))
+        assert result.decision in (Decision.FORWARD, Decision.DROP)
+
+    def test_255_fns_hits_limit_not_crash(self):
+        fns = tuple(FieldOperation(0, 8, 13) for _ in range(255))
+        header = DipHeader(fns=fns, locations=bytes(1))
+        result = RouterProcessor(make_state()).process(DipPacket(header=header))
+        assert result.decision is Decision.DROP  # FN-count limit

@@ -1,0 +1,172 @@
+"""Security scenarios from Section 2.4.
+
+- content poisoning via strategically combined F_FIB + F_PIT, with and
+  without the F_pass defense;
+- resource-exhaustion packets stopped by the processing limits;
+- dynamically enabling F_pass "on the fly upon detecting content
+  poisoning attacks".
+"""
+
+from repro.core.limits import ProcessingLimits
+from repro.core.operations.fib import digest_name
+from repro.core.operations.passport import passport_tag
+from repro.core.processor import Decision, RouterProcessor
+from repro.core.state import NodeState
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.protocols.ndn.cs import ContentStore
+from repro.realize.ndn import (
+    build_data_packet,
+    build_interest_packet,
+    name_digest,
+)
+
+VICTIM_NAME = "/bank/login-page"
+LABEL = b"\x11" * 16
+AS_KEY = b"\x22" * 16
+
+
+def caching_router():
+    state = NodeState(node_id="cache-router")
+    state.content_store = ContentStore(capacity=16)
+    state.name_fib_digest.insert(name_digest(VICTIM_NAME), 32, 5)
+    return state
+
+
+def poisoned_packet(payload=b"EVIL PAGE"):
+    """Attacker combines F_FIB and F_PIT in one packet: the FIB op
+    plants PIT state, the PIT op immediately consumes it and gets the
+    malicious payload cached."""
+    digest = name_digest(VICTIM_NAME)
+    header = DipHeader(
+        fns=(
+            FieldOperation(0, 32, OperationKey.FIB),
+            FieldOperation(0, 32, OperationKey.PIT),
+        ),
+        locations=digest.to_bytes(4, "big"),
+    )
+    return DipPacket(header=header, payload=payload)
+
+
+class TestContentPoisoning:
+    def test_attack_succeeds_without_defense(self):
+        state = caching_router()
+        processor = RouterProcessor(state)
+        result = processor.process(poisoned_packet(), ingress_port=9)
+        assert result.decision is Decision.FORWARD
+        cached = state.content_store.lookup(digest_name(name_digest(VICTIM_NAME)))
+        assert cached is not None and cached.content == b"EVIL PAGE"
+
+    def test_poisoned_cache_serves_victims(self):
+        """Follow-up interests get the attacker's content -- the harm."""
+        state = caching_router()
+        processor = RouterProcessor(state)
+        processor.process(poisoned_packet(), ingress_port=9)
+        victim = processor.process(
+            build_interest_packet(VICTIM_NAME), ingress_port=3
+        )
+        assert victim.scratch.get("cache_data").content == b"EVIL PAGE"
+
+    def test_fpass_blocks_attack(self):
+        """With F_pass enabled, the unlabeled combination is dropped."""
+        state = caching_router()
+        state.passport_enabled = True
+        state.passport_keys[LABEL] = AS_KEY
+        # The operator requires F_pass in front of stateful ops: packets
+        # without a valid label record are rejected by policy -- model
+        # this as the attacker *having* to include the F_pass FN (the
+        # AS drops packets without it when under attack).
+        attack = poisoned_packet()
+        fns = (
+            FieldOperation(32, 256, OperationKey.PASS),
+        ) + attack.header.fns
+        forged = DipPacket(
+            header=DipHeader(
+                fns=fns,
+                locations=attack.header.locations + bytes(32),  # no valid tag
+            ),
+            payload=attack.payload,
+        )
+        result = RouterProcessor(state).process(forged, ingress_port=9)
+        assert result.decision is Decision.DROP
+        assert state.content_store.lookup(
+            digest_name(name_digest(VICTIM_NAME))
+        ) is None
+
+    def test_legitimate_labelled_data_passes_fpass(self):
+        state = caching_router()
+        state.passport_enabled = True
+        state.passport_keys[LABEL] = AS_KEY
+        state.pit.insert(digest_name(name_digest(VICTIM_NAME)), in_port=3)
+        payload = b"REAL PAGE"
+        tag = passport_tag(AS_KEY, LABEL, payload)
+        header = DipHeader(
+            fns=(
+                FieldOperation(32, 256, OperationKey.PASS),
+                FieldOperation(0, 32, OperationKey.PIT),
+            ),
+            locations=(
+                name_digest(VICTIM_NAME).to_bytes(4, "big") + LABEL + tag
+            ),
+        )
+        result = RouterProcessor(state).process(
+            DipPacket(header=header, payload=payload), ingress_port=5
+        )
+        assert result.decision is Decision.FORWARD and result.ports == (3,)
+
+    def test_fpass_enabled_on_the_fly(self):
+        """Dynamic policy: off (cheap) until an attack is detected."""
+        state = caching_router()
+        state.passport_keys[LABEL] = AS_KEY
+        processor = RouterProcessor(state)
+        attack = poisoned_packet()
+        fns = (FieldOperation(32, 256, OperationKey.PASS),) + attack.header.fns
+        forged = DipPacket(
+            header=DipHeader(
+                fns=fns, locations=attack.header.locations + bytes(32)
+            ),
+            payload=attack.payload,
+        )
+        # Defense off: forged label record is not even checked.
+        assert (
+            processor.process(forged, ingress_port=9).decision
+            is Decision.FORWARD
+        )
+        # Operator detects poisoning and flips the switch.
+        state.content_store.clear()
+        state.pit.satisfy(digest_name(name_digest(VICTIM_NAME)))
+        state.passport_enabled = True
+        assert (
+            processor.process(forged, ingress_port=9).decision
+            is Decision.DROP
+        )
+
+
+class TestResourceLimits:
+    def test_fn_flood_rejected(self):
+        """A packet advertising many FNs is dropped up front."""
+        state = NodeState(node_id="r")
+        state.limits = ProcessingLimits(max_fn_count=8)
+        fns = tuple(FieldOperation(0, 32, 13) for _ in range(32))
+        packet = DipPacket(header=DipHeader(fns=fns, locations=bytes(4)))
+        result = RouterProcessor(state).process(packet)
+        assert result.decision is Decision.DROP
+        assert not state.telemetry  # nothing executed
+
+    def test_state_exhaustion_bounded(self):
+        """Per-packet PIT state consumption is capped."""
+        state = NodeState(node_id="r")
+        state.limits = ProcessingLimits(max_state_bytes=64)
+        state.name_fib_digest.insert(0, 0, 1)  # default route
+        # two FIB ops on distinct fields -> two PIT entries -> over cap
+        header = DipHeader(
+            fns=(
+                FieldOperation(0, 32, OperationKey.FIB),
+                FieldOperation(32, 32, OperationKey.FIB),
+            ),
+            locations=(7).to_bytes(4, "big") + (9).to_bytes(4, "big"),
+        )
+        result = RouterProcessor(state).process(DipPacket(header=header))
+        assert result.decision is Decision.DROP
+        assert "state budget" in " ".join(result.notes)

@@ -1,0 +1,140 @@
+"""Tests for the discrete-event engine and links."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Engine
+from repro.netsim.links import Link
+from repro.netsim.messages import Frame
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0.2, seen.append, "late")
+        engine.schedule(0.1, seen.append, "early")
+        engine.run()
+        assert seen == ["early", "late"]
+        assert engine.now == pytest.approx(0.2)
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        seen = []
+        for label in ("a", "b", "c"):
+            engine.schedule(0.5, seen.append, label)
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            engine.schedule(0.1, seen.append, "second")
+
+        engine.schedule(0.0, first)
+        engine.run()
+        assert seen == ["first", "second"]
+
+    def test_run_until(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, seen.append, "early")
+        engine.schedule(5.0, seen.append, "late")
+        engine.run(until=2.0)
+        assert seen == ["early"]
+        assert engine.now == pytest.approx(2.0)
+        assert engine.pending == 1
+        engine.run()
+        assert seen == ["early", "late"]
+
+    def test_max_events_budget(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(0.1, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        processed = engine.run(max_events=10)
+        assert processed == 10
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(0.7, seen.append, "x")
+        engine.run()
+        assert engine.now == pytest.approx(0.7) and seen == ["x"]
+
+
+class FakeNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def receive(self, frame, port):
+        self.received.append((frame, port))
+
+
+class TestLink:
+    def test_delivers_to_peer_with_delay(self):
+        engine = Engine()
+        link = Link(engine, delay=0.25)
+        a, b = FakeNode("a"), FakeNode("b")
+        link.attach(a, 1)
+        link.attach(b, 2)
+        frame = Frame.legacy("ipv4", b"x" * 10)
+        assert link.transmit("a", frame)
+        engine.run()
+        assert b.received == [(frame, 2)]
+        assert engine.now == pytest.approx(0.25)
+        assert link.frames_delivered == 1
+
+    def test_bandwidth_adds_serialization_delay(self):
+        engine = Engine()
+        link = Link(engine, delay=0.0, bandwidth=100.0)  # 100 B/s
+        a, b = FakeNode("a"), FakeNode("b")
+        link.attach(a, 1)
+        link.attach(b, 1)
+        link.transmit("a", Frame.legacy("ipv4", b"x" * 50))
+        engine.run()
+        assert engine.now == pytest.approx(0.5)
+
+    def test_queue_tail_drop(self):
+        engine = Engine()
+        link = Link(engine, delay=1.0, queue_capacity=1)
+        a, b = FakeNode("a"), FakeNode("b")
+        link.attach(a, 1)
+        link.attach(b, 1)
+        assert link.transmit("a", Frame.legacy("ipv4", b"1"))
+        assert not link.transmit("a", Frame.legacy("ipv4", b"2"))
+        assert link.frames_dropped == 1
+        engine.run()
+        assert len(b.received) == 1
+
+    def test_bidirectional(self):
+        engine = Engine()
+        link = Link(engine)
+        a, b = FakeNode("a"), FakeNode("b")
+        link.attach(a, 1)
+        link.attach(b, 1)
+        link.transmit("b", Frame.legacy("ipv4", b"x"))
+        engine.run()
+        assert a.received and not b.received
+
+    def test_third_endpoint_rejected(self):
+        link = Link(Engine())
+        link.attach(FakeNode("a"), 1)
+        link.attach(FakeNode("b"), 1)
+        with pytest.raises(SimulationError):
+            link.attach(FakeNode("c"), 1)
+
+    def test_peer_of_unknown(self):
+        link = Link(Engine())
+        with pytest.raises(SimulationError):
+            link.peer_of("ghost")

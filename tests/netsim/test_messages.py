@@ -1,0 +1,39 @@
+"""Tests for the link-layer frame wrapper."""
+
+from repro.netsim.messages import (
+    KIND_CONTROL,
+    KIND_DIP,
+    KIND_IPV4,
+    Frame,
+)
+from repro.realize.ip import build_ipv4_packet
+
+
+class TestFrame:
+    def test_dip_frame_carries_size(self):
+        packet = build_ipv4_packet(1, 2, payload=b"abc")
+        frame = Frame.dip(packet)
+        assert frame.kind == KIND_DIP
+        assert frame.size == packet.size
+        assert frame.data is packet
+
+    def test_legacy_frame_copies_bytes(self):
+        raw = bytearray(b"\x45\x00")
+        frame = Frame.legacy(KIND_IPV4, raw)
+        raw[0] = 0
+        assert frame.data == b"\x45\x00"
+        assert frame.size == 2
+
+    def test_control_frame_default_size(self):
+        frame = Frame.control(("id", "message"))
+        assert frame.kind == KIND_CONTROL
+        assert frame.size == 32
+        assert Frame.control("m", size=8).size == 8
+
+    def test_frames_are_immutable(self):
+        frame = Frame.legacy(KIND_IPV4, b"x")
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            frame.size = 99

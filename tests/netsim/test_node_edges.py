@@ -1,0 +1,69 @@
+"""Edge cases for simulated nodes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import DipRouterNode, HostNode, Topology
+from repro.netsim.engine import Engine
+from repro.netsim.links import Link
+from repro.netsim.messages import Frame
+from repro.netsim.nodes import Node
+from repro.realize.ndn import build_interest_packet
+
+
+class TestNodeBasics:
+    def test_send_on_unwired_port_traces_error(self):
+        topo = Topology()
+        host = topo.add(HostNode("h", topo.engine, topo.trace))
+        assert not host.send(5, Frame.legacy("ipv4", b"x"))
+        errors = topo.trace.of_kind("tx-error")
+        assert errors and "port 5" in errors[0].detail
+
+    def test_base_node_receive_abstract(self):
+        node = Node("base", Engine())
+        with pytest.raises(NotImplementedError):
+            node.receive(Frame.legacy("ipv4", b"x"), 0)
+
+    def test_double_attach_same_port_rejected(self):
+        engine = Engine()
+        node = Node("n", engine)
+        node.attach_link(1, Link(engine))
+        with pytest.raises(SimulationError):
+            node.attach_link(1, Link(engine))
+
+    def test_host_rejects_legacy_frames(self):
+        topo = Topology()
+        host = topo.add(HostNode("h", topo.engine, topo.trace))
+        peer = topo.add(HostNode("p", topo.engine, topo.trace))
+        topo.connect("h", 0, "p", 0)
+        host.send(0, Frame.legacy("ipv4", b"\x45\x00"))
+        topo.run()
+        assert peer.stats.dropped == 1
+
+    def test_router_delivers_to_local_inbox(self):
+        topo = Topology()
+        host = topo.add(HostNode("h", topo.engine, topo.trace))
+        router = topo.add(DipRouterNode("r", topo.engine, topo.trace))
+        topo.connect("h", 0, "r", 1)
+        digest = 0x1234
+        router.state.local_digests.add(digest)
+        host.send_packet(build_interest_packet(digest))
+        topo.run()
+        assert len(router.local_inbox) == 1
+        assert router.stats.delivered == 1
+
+    def test_on_deliver_hook_called(self):
+        topo = Topology()
+        host = topo.add(HostNode("h", topo.engine, topo.trace))
+        seen = []
+
+        class HookedRouter(DipRouterNode):
+            def on_deliver(self, packet, port):
+                seen.append((packet, port))
+
+        router = topo.add(HookedRouter("r", topo.engine, topo.trace))
+        topo.connect("h", 0, "r", 1)
+        router.state.local_digests.add(7)
+        host.send_packet(build_interest_packet(7))
+        topo.run()
+        assert len(seen) == 1 and seen[0][1] == 1

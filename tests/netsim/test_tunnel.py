@@ -1,0 +1,40 @@
+"""Tests for DIP-in-IPv4 tunneling."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.netsim.tunnel import (
+    TUNNEL_PROTOCOL,
+    decapsulate_dip,
+    encapsulate_dip,
+    is_tunnel_packet,
+)
+from repro.protocols.ip.ipv4 import IPv4Header
+from repro.realize.ndn import build_interest_packet
+
+
+class TestTunnel:
+    def test_roundtrip(self):
+        packet = build_interest_packet("/a", payload=b"pp")
+        raw = encapsulate_dip(packet, src_v4=1, dst_v4=2)
+        assert decapsulate_dip(raw) == packet
+
+    def test_outer_header_fields(self):
+        packet = build_interest_packet("/a")
+        raw = encapsulate_dip(packet, src_v4=0x0A000001, dst_v4=0x0A000002)
+        outer = IPv4Header.decode(raw)
+        assert outer.protocol == TUNNEL_PROTOCOL
+        assert outer.src == 0x0A000001 and outer.dst == 0x0A000002
+        assert outer.total_length == len(raw)
+
+    def test_is_tunnel_packet(self):
+        packet = build_interest_packet("/a")
+        assert is_tunnel_packet(encapsulate_dip(packet, 1, 2))
+        plain = IPv4Header(src=1, dst=2).encode()
+        assert not is_tunnel_packet(plain)
+        assert not is_tunnel_packet(b"garbage")
+
+    def test_decapsulate_non_tunnel_rejected(self):
+        plain = IPv4Header(src=1, dst=2).encode()
+        with pytest.raises(CodecError):
+            decapsulate_dip(plain)

@@ -1,0 +1,150 @@
+"""Tests for the EPIC substrate (header codec + MAC machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import RouterKey
+from repro.errors import HeaderValueError, TruncatedHeaderError
+from repro.protocols.epic.header import (
+    EPIC_BASE_SIZE,
+    HVF_SIZE,
+    EpicHeader,
+    header_size,
+)
+from repro.protocols.epic.packets import (
+    build_header,
+    destination_check,
+    hop_check,
+    hvf_value,
+    spent_hvf_value,
+)
+from repro.protocols.opt import negotiate_session
+
+PAYLOAD = b"epic payload"
+
+
+@pytest.fixture
+def session():
+    routers = [RouterKey(f"ep{i}") for i in range(3)]
+    return negotiate_session("s", "d", routers, RouterKey("d"), nonce=b"ee")
+
+
+def make_header(hops=2):
+    return EpicHeader(
+        session_id=b"\x01" * 16,
+        timestamp=7,
+        counter=9,
+        dvf=b"\x02" * 16,
+        hvfs=tuple(bytes([i]) * 4 for i in range(hops)),
+    )
+
+
+class TestEpicHeaderCodec:
+    def test_sizes(self):
+        assert header_size(1) == 44
+        assert header_size(4) == EPIC_BASE_SIZE + 4 * HVF_SIZE
+        with pytest.raises(HeaderValueError):
+            header_size(0)
+
+    def test_roundtrip(self):
+        header = make_header(3)
+        assert EpicHeader.decode(header.encode()) == header
+        assert EpicHeader.decode(header.encode(), hop_count=3) == header
+
+    def test_bad_lengths(self):
+        with pytest.raises(TruncatedHeaderError):
+            EpicHeader.decode(bytes(43))
+        with pytest.raises(TruncatedHeaderError):
+            EpicHeader.decode(bytes(45))
+        with pytest.raises(TruncatedHeaderError):
+            EpicHeader.decode(bytes(44), hop_count=2)
+
+    def test_field_validation(self):
+        with pytest.raises(HeaderValueError):
+            EpicHeader(b"short", 0, 0, bytes(16), (bytes(4),))
+        with pytest.raises(HeaderValueError):
+            EpicHeader(bytes(16), 1 << 32, 0, bytes(16), (bytes(4),))
+        with pytest.raises(HeaderValueError):
+            EpicHeader(bytes(16), 0, 0, bytes(16), ())
+        with pytest.raises(HeaderValueError):
+            EpicHeader(bytes(16), 0, 0, bytes(16), (bytes(3),))
+
+    def test_with_hvf(self):
+        header = make_header(2)
+        updated = header.with_hvf(1, b"\xff" * 4)
+        assert updated.hvfs[1] == b"\xff" * 4
+        assert updated.hvfs[0] == header.hvfs[0]
+        with pytest.raises(HeaderValueError):
+            header.with_hvf(2, bytes(4))
+
+    @given(
+        hops=st.integers(min_value=1, max_value=8),
+        timestamp=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        counter=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_property_roundtrip(self, hops, timestamp, counter):
+        header = EpicHeader(
+            session_id=bytes(16),
+            timestamp=timestamp,
+            counter=counter,
+            dvf=bytes(16),
+            hvfs=tuple(bytes(4) for _ in range(hops)),
+        )
+        assert EpicHeader.decode(header.encode()) == header
+
+
+class TestEpicMacs:
+    def test_source_hvfs_verify_at_each_hop(self, session):
+        header = build_header(session, PAYLOAD, timestamp=1, counter=2)
+        for index, hop_key in enumerate(session.hop_keys):
+            assert hop_check(header, hop_key, index)
+
+    def test_destination_check(self, session):
+        header = build_header(session, PAYLOAD, timestamp=1, counter=2)
+        assert destination_check(header, session.dest_key, PAYLOAD)
+        assert not destination_check(header, session.dest_key, b"other")
+
+    def test_per_packet_uniqueness(self, session):
+        """Different counters give different HVFs (every packet checked)."""
+        a = build_header(session, PAYLOAD, timestamp=1, counter=1)
+        b = build_header(session, PAYLOAD, timestamp=1, counter=2)
+        assert a.hvfs != b.hvfs and a.dvf != b.dvf
+
+    def test_hvf_bound_to_hop_index(self, session):
+        sid = session.session_id
+        assert hvf_value(session.hop_keys[0], sid, 1, 2, 0) != hvf_value(
+            session.hop_keys[0], sid, 1, 2, 1
+        )
+
+    def test_wrong_key_fails(self, session):
+        header = build_header(session, PAYLOAD, timestamp=1, counter=2)
+        rogue = RouterKey("rogue").dynamic_key(session.session_id)
+        assert not hop_check(header, rogue, 0)
+
+    def test_spent_hvf_no_longer_verifies(self, session):
+        header = build_header(session, PAYLOAD, timestamp=1, counter=2)
+        spent = spent_hvf_value(
+            session.hop_keys[0], header.hvfs[0], header.counter
+        )
+        replayed = header.with_hvf(0, spent)
+        assert not hop_check(replayed, session.hop_keys[0], 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(flip=st.integers(min_value=0, max_value=10_000))
+    def test_property_header_bitflip_detected_somewhere(self, flip):
+        """Any single-byte flip breaks a hop check or the DVF."""
+        routers = [RouterKey(f"pp{i}") for i in range(3)]
+        session = negotiate_session(
+            "s", "d", routers, RouterKey("d"), nonce=b"pf"
+        )
+        header = build_header(session, PAYLOAD, timestamp=1, counter=2)
+        raw = bytearray(header.encode())
+        index = flip % len(raw)
+        raw[index] ^= 0x01
+        mutated = EpicHeader.decode(bytes(raw), hop_count=session.hop_count)
+        hop_results = [
+            hop_check(mutated, key, i)
+            for i, key in enumerate(session.hop_keys)
+        ]
+        dest = destination_check(mutated, session.dest_key, PAYLOAD)
+        assert not (all(hop_results) and dest)

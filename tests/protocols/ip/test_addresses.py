@@ -1,0 +1,82 @@
+"""Tests for IPv4/IPv6 address parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.ip.addresses import (
+    format_ipv4,
+    format_ipv6,
+    parse_ipv4,
+    parse_ipv6,
+    prefix_of,
+)
+
+
+class TestIpv4:
+    def test_parse_basic(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_format_basic(self):
+        assert format_ipv4(0x0A000001) == "10.0.0.1"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "01.2.3.4", ""]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            format_ipv4(1 << 32)
+        with pytest.raises(ProtocolError):
+            format_ipv4(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_property_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestIpv6:
+    def test_parse_full_form(self):
+        assert parse_ipv6("0:0:0:0:0:0:0:1") == 1
+
+    def test_parse_compressed(self):
+        assert parse_ipv6("::1") == 1
+        assert parse_ipv6("2001:db8::") == 0x20010DB8 << 96
+        assert parse_ipv6("::") == 0
+
+    def test_format_compresses_longest_run(self):
+        assert format_ipv6(1) == "::1"
+        assert format_ipv6(0x20010DB8 << 96 | 1) == "2001:db8::1"
+
+    def test_format_no_compression_of_single_zero(self):
+        # one zero group is not compressed per RFC 5952
+        value = parse_ipv6("1:0:2:3:4:5:6:7")
+        assert format_ipv6(value) == "1:0:2:3:4:5:6:7"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1::2::3", "1:2:3", "12345::", "::g", "1:2:3:4:5:6:7:8:9", ":::"],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_ipv6(bad)
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_property_roundtrip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestPrefixOf:
+    def test_masks_low_bits(self):
+        assert prefix_of(0x0A0B0C0D, 8, 32) == 0x0A000000
+        assert prefix_of(0x0A0B0C0D, 32, 32) == 0x0A0B0C0D
+        assert prefix_of(0x0A0B0C0D, 0, 32) == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ProtocolError):
+            prefix_of(0, 33, 32)

@@ -1,0 +1,138 @@
+"""Tests for the IPv4/IPv6 header codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError, HeaderValueError, TruncatedHeaderError
+from repro.protocols.ip.ipv4 import (
+    IPV4_HEADER_SIZE,
+    IPv4Header,
+    internet_checksum,
+)
+from repro.protocols.ip.ipv6 import IPV6_HEADER_SIZE, IPv6Header
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 -> checksum 0x220d
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_header_with_checksum_sums_to_zero(self):
+        header = IPv4Header(src=1, dst=2).encode()
+        assert internet_checksum(header) == 0
+
+
+class TestIPv4Header:
+    def test_size(self):
+        assert len(IPv4Header(src=1, dst=2).encode()) == IPV4_HEADER_SIZE
+
+    def test_roundtrip(self):
+        header = IPv4Header(
+            src=0x0A000001,
+            dst=0xC0A80101,
+            ttl=17,
+            protocol=6,
+            total_length=100,
+            identification=0x1234,
+            dscp=0x2E,
+            flags=2,
+            fragment_offset=99,
+        )
+        assert IPv4Header.decode(header.encode()) == header
+
+    def test_checksum_verification(self):
+        raw = bytearray(IPv4Header(src=1, dst=2).encode())
+        raw[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(CodecError):
+            IPv4Header.decode(bytes(raw))
+        # but skippable
+        IPv4Header.decode(bytes(raw), verify_checksum=False)
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedHeaderError):
+            IPv4Header.decode(b"\x45\x00")
+
+    def test_wrong_version(self):
+        raw = bytearray(IPv4Header(src=1, dst=2).encode())
+        raw[0] = 0x65
+        with pytest.raises(CodecError):
+            IPv4Header.decode(bytes(raw))
+
+    def test_options_unsupported(self):
+        raw = bytearray(IPv4Header(src=1, dst=2).encode())
+        raw[0] = 0x46  # IHL 6
+        with pytest.raises(CodecError):
+            IPv4Header.decode(bytes(raw))
+
+    def test_decremented(self):
+        header = IPv4Header(src=1, dst=2, ttl=2)
+        assert header.decremented().ttl == 1
+        with pytest.raises(HeaderValueError):
+            IPv4Header(src=1, dst=2, ttl=0).decremented()
+
+    def test_field_range_validation(self):
+        with pytest.raises(HeaderValueError):
+            IPv4Header(src=1 << 32, dst=0)
+        with pytest.raises(HeaderValueError):
+            IPv4Header(src=0, dst=0, ttl=256)
+        with pytest.raises(HeaderValueError):
+            IPv4Header(src=0, dst=0, total_length=10)
+
+    @given(
+        src=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        dst=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        ttl=st.integers(min_value=0, max_value=255),
+    )
+    def test_property_roundtrip(self, src, dst, ttl):
+        header = IPv4Header(src=src, dst=dst, ttl=ttl)
+        assert IPv4Header.decode(header.encode()) == header
+
+
+class TestIPv6Header:
+    def test_size(self):
+        assert len(IPv6Header(src=1, dst=2).encode()) == IPV6_HEADER_SIZE
+
+    def test_roundtrip(self):
+        header = IPv6Header(
+            src=(1 << 127) | 5,
+            dst=0x20010DB8 << 96,
+            hop_limit=3,
+            next_header=17,
+            payload_length=1000,
+            traffic_class=0xAB,
+            flow_label=0xFFFFF,
+        )
+        assert IPv6Header.decode(header.encode()) == header
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedHeaderError):
+            IPv6Header.decode(bytes(10))
+
+    def test_wrong_version(self):
+        raw = bytearray(IPv6Header(src=1, dst=2).encode())
+        raw[0] = 0x45
+        with pytest.raises(CodecError):
+            IPv6Header.decode(bytes(raw))
+
+    def test_decremented(self):
+        assert IPv6Header(src=1, dst=2, hop_limit=2).decremented().hop_limit == 1
+        with pytest.raises(HeaderValueError):
+            IPv6Header(src=1, dst=2, hop_limit=0).decremented()
+
+    def test_field_ranges(self):
+        with pytest.raises(HeaderValueError):
+            IPv6Header(src=1 << 128, dst=0)
+        with pytest.raises(HeaderValueError):
+            IPv6Header(src=0, dst=0, flow_label=1 << 20)
+
+    @given(
+        src=st.integers(min_value=0, max_value=(1 << 128) - 1),
+        dst=st.integers(min_value=0, max_value=(1 << 128) - 1),
+    )
+    def test_property_roundtrip(self, src, dst):
+        header = IPv6Header(src=src, dst=dst)
+        assert IPv6Header.decode(header.encode()) == header

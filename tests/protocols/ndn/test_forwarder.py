@@ -1,0 +1,80 @@
+"""Tests for the native NDN forwarder."""
+
+import pytest
+
+from repro.protocols.ndn.forwarder import NdnForwarder, serve_interest
+from repro.protocols.ndn.names import Name
+from repro.protocols.ndn.packets import Data, Interest
+
+
+@pytest.fixture
+def forwarder():
+    fw = NdnForwarder("fw", cache_capacity=4)
+    fw.add_route("/seu", 7)
+    return fw
+
+
+class TestInterestPath:
+    def test_forward_via_fib(self, forwarder):
+        decision = forwarder.on_interest(
+            Interest(Name.parse("/seu/x"), nonce=1), in_port=1
+        )
+        assert decision.action == "forward" and decision.ports == (7,)
+
+    def test_no_route_drops(self, forwarder):
+        decision = forwarder.on_interest(
+            Interest(Name.parse("/other/x"), nonce=1), in_port=1
+        )
+        assert decision.action == "drop"
+        assert forwarder.stats.interests_dropped == 1
+
+    def test_aggregation(self, forwarder):
+        forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=1), 1)
+        second = forwarder.on_interest(
+            Interest(Name.parse("/seu/x"), nonce=2), 2
+        )
+        assert second.action == "drop"
+        assert "aggregated" in second.reason
+        assert forwarder.stats.interests_aggregated == 1
+
+    def test_duplicate_nonce_loop(self, forwarder):
+        forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=5), 1)
+        dup = forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=5), 3)
+        assert dup.action == "drop" and "nonce" in dup.reason
+
+
+class TestDataPath:
+    def test_data_retraces_pit(self, forwarder):
+        forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=1), 1)
+        forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=2), 2)
+        decision = forwarder.on_data(Data(Name.parse("/seu/x"), b"c"), 7)
+        assert decision.action == "forward"
+        assert set(decision.ports) == {1, 2}
+
+    def test_pit_miss_drops(self, forwarder):
+        decision = forwarder.on_data(Data(Name.parse("/seu/x"), b"c"), 7)
+        assert decision.action == "drop" and "PIT miss" in decision.reason
+
+    def test_data_populates_cache(self, forwarder):
+        forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=1), 1)
+        forwarder.on_data(Data(Name.parse("/seu/x"), b"c"), 7)
+        hit = forwarder.on_interest(Interest(Name.parse("/seu/x"), nonce=3), 2)
+        assert hit.action == "satisfy-from-cache"
+        assert hit.cached_data.content == b"c"
+        assert forwarder.stats.cache_satisfied == 1
+
+    def test_cacheless_router(self):
+        fw = NdnForwarder("no-cache", cache_capacity=0)
+        fw.add_route("/seu", 7)
+        fw.on_interest(Interest(Name.parse("/seu/x"), nonce=1), 1)
+        fw.on_data(Data(Name.parse("/seu/x"), b"c"), 7)
+        again = fw.on_interest(Interest(Name.parse("/seu/x"), nonce=2), 2)
+        assert again.action == "forward"  # no cache to answer from
+
+
+class TestServeInterest:
+    def test_finds_matching_data(self):
+        contents = [Data(Name.parse("/a"), b"1"), Data(Name.parse("/b"), b"2")]
+        found = serve_interest(Interest(Name.parse("/b")), contents)
+        assert found.content == b"2"
+        assert serve_interest(Interest(Name.parse("/c")), contents) is None

@@ -1,0 +1,81 @@
+"""Tests for the Interest/Data TLV wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError, TruncatedHeaderError
+from repro.protocols.ndn.names import Name
+from repro.protocols.ndn.packets import Data, Interest
+
+
+class TestInterest:
+    def test_roundtrip(self):
+        interest = Interest(
+            Name.parse("/a/b"), nonce=0xDEADBEEF, lifetime_ms=1234
+        )
+        assert Interest.decode(interest.encode()) == interest
+
+    def test_defaults_roundtrip(self):
+        interest = Interest(Name.parse("/x"))
+        decoded = Interest.decode(interest.encode())
+        assert decoded.nonce == 0
+        assert decoded.lifetime_ms == 4000
+
+    def test_not_an_interest(self):
+        data = Data(Name.parse("/x")).encode()
+        with pytest.raises(CodecError):
+            Interest.decode(data)
+
+    def test_truncated(self):
+        encoded = Interest(Name.parse("/x")).encode()
+        with pytest.raises(TruncatedHeaderError):
+            Interest.decode(encoded[:-2])
+
+    def test_garbage(self):
+        with pytest.raises((CodecError, TruncatedHeaderError)):
+            Interest.decode(b"\x05\x00")
+
+
+class TestData:
+    def test_roundtrip(self):
+        data = Data(Name.parse("/a/b"), content=b"payload", signature=b"sig")
+        assert Data.decode(data.encode()) == data
+
+    def test_empty_content(self):
+        data = Data(Name.parse("/a"))
+        assert Data.decode(data.encode()).content == b""
+
+    def test_not_a_data(self):
+        interest = Interest(Name.parse("/x")).encode()
+        with pytest.raises(CodecError):
+            Data.decode(interest)
+
+    def test_name_required(self):
+        # hand-craft a Data TLV with no name inside
+        raw = bytes([0x06]) + (3).to_bytes(2, "big") + bytes(
+            [0x15]
+        ) + (0).to_bytes(2, "big")
+        with pytest.raises(CodecError):
+            Data.decode(raw)
+
+    def test_duplicate_tlv_rejected(self):
+        name_tlv = bytes([0x07]) + (2).to_bytes(2, "big") + b"\x00\x00"
+        body = name_tlv + name_tlv
+        raw = bytes([0x06]) + len(body).to_bytes(2, "big") + body
+        with pytest.raises(CodecError):
+            Data.decode(raw)
+
+
+@given(
+    components=st.lists(
+        st.binary(min_size=1, max_size=8), min_size=1, max_size=4
+    ),
+    content=st.binary(max_size=64),
+    nonce=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_property_roundtrips(components, content, nonce):
+    name = Name(components)
+    interest = Interest(name, nonce=nonce)
+    assert Interest.decode(interest.encode()) == interest
+    data = Data(name, content=content)
+    assert Data.decode(data.encode()) == data

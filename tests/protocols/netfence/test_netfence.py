@@ -1,0 +1,144 @@
+"""Tests for the NetFence-style congestion substrate."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeaderValueError, TruncatedHeaderError
+from repro.protocols.netfence.policer import AimdPolicer, PolicerVerdict
+from repro.protocols.netfence.tags import (
+    CONGESTION_TAG_BYTES,
+    CongestionLevel,
+    CongestionTag,
+)
+
+KEY = b"\x55" * 16
+
+
+class TestCongestionTag:
+    def test_roundtrip(self):
+        tag = CongestionTag(
+            sender_id=42,
+            level=CongestionLevel.CONGESTED,
+            timestamp=1234,
+            mac=b"\x0f" * 16,
+        )
+        assert CongestionTag.decode(tag.encode()) == tag
+        assert len(tag.encode()) == CONGESTION_TAG_BYTES
+
+    def test_truncated(self):
+        with pytest.raises(TruncatedHeaderError):
+            CongestionTag.decode(bytes(10))
+
+    def test_unknown_level_rejected(self):
+        raw = bytearray(CongestionTag(sender_id=1).encode())
+        raw[4] = 0xEE
+        with pytest.raises(HeaderValueError):
+            CongestionTag.decode(bytes(raw))
+
+    def test_field_validation(self):
+        with pytest.raises(HeaderValueError):
+            CongestionTag(sender_id=1 << 32)
+        with pytest.raises(HeaderValueError):
+            CongestionTag(sender_id=1, mac=b"short")
+
+    def test_stamp_and_verify(self):
+        tag = CongestionTag(sender_id=7)
+        stamped = tag.stamped(CongestionLevel.CONGESTED, 99, KEY)
+        assert stamped.level is CongestionLevel.CONGESTED
+        assert stamped.timestamp == 99
+        assert stamped.verify(KEY)
+        assert not stamped.verify(b"\x66" * 16)
+
+    def test_any_field_tamper_breaks_mac(self):
+        stamped = CongestionTag(sender_id=7).stamped(
+            CongestionLevel.CONGESTED, 99, KEY
+        )
+        for mutated in (
+            dataclasses.replace(stamped, level=CongestionLevel.NORMAL),
+            dataclasses.replace(stamped, sender_id=8),
+            dataclasses.replace(stamped, timestamp=100),
+        ):
+            assert not mutated.verify(KEY)
+
+    @given(
+        sender=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        level=st.sampled_from(list(CongestionLevel)),
+        timestamp=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_property_roundtrip(self, sender, level, timestamp):
+        tag = CongestionTag(sender, level, timestamp, bytes(16))
+        assert CongestionTag.decode(tag.encode()) == tag
+
+
+class TestAimdPolicer:
+    def test_multiplicative_decrease(self):
+        policer = AimdPolicer(initial_rate=8000, decrease_factor=0.5)
+        policer.apply_feedback(1, CongestionLevel.CONGESTED, now=1.0)
+        assert policer.rate_of(1) == 4000
+
+    def test_additive_increase(self):
+        policer = AimdPolicer(initial_rate=8000, increase_step=500)
+        policer.apply_feedback(1, CongestionLevel.NORMAL, now=1.0)
+        assert policer.rate_of(1) == 8500
+
+    def test_feedback_rate_limited_per_epoch(self):
+        policer = AimdPolicer(initial_rate=8000, feedback_interval=1.0)
+        policer.apply_feedback(1, CongestionLevel.CONGESTED, now=1.0)
+        policer.apply_feedback(1, CongestionLevel.CONGESTED, now=1.5)
+        assert policer.rate_of(1) == 4000  # second one inside the epoch
+        policer.apply_feedback(1, CongestionLevel.CONGESTED, now=2.5)
+        assert policer.rate_of(1) == 2000
+
+    def test_no_feedback_is_noop(self):
+        policer = AimdPolicer(initial_rate=8000)
+        policer.apply_feedback(1, CongestionLevel.NO_FEEDBACK, now=1.0)
+        assert policer.rate_of(1) == 8000
+
+    def test_rate_clamped(self):
+        policer = AimdPolicer(
+            initial_rate=1000, min_rate=800, max_rate=1200,
+            increase_step=500, feedback_interval=0.0,
+        )
+        policer.apply_feedback(1, CongestionLevel.CONGESTED, now=1.0)
+        assert policer.rate_of(1) == 800
+        policer.apply_feedback(1, CongestionLevel.NORMAL, now=2.0)
+        assert policer.rate_of(1) == 1200
+
+    def test_token_bucket_allows_within_rate(self):
+        policer = AimdPolicer(initial_rate=10_000, burst_seconds=0.5)
+        # 10 kB/s allowance: 1 kB every 0.2 s is well within.
+        now = 0.0
+        for _ in range(20):
+            now += 0.2
+            assert (
+                policer.police(1, 1000, now) is PolicerVerdict.ALLOW
+            )
+
+    def test_token_bucket_throttles_flood(self):
+        policer = AimdPolicer(initial_rate=10_000, burst_seconds=0.25)
+        now = 0.0
+        verdicts = []
+        for _ in range(100):
+            now += 0.001  # 1 kB every ms = 1 MB/s
+            verdicts.append(policer.police(1, 1000, now))
+        dropped = verdicts.count(PolicerVerdict.THROTTLE)
+        assert dropped > 80
+
+    def test_senders_isolated(self):
+        policer = AimdPolicer(initial_rate=10_000)
+        policer.apply_feedback(1, CongestionLevel.CONGESTED, now=1.0)
+        assert policer.rate_of(1) == 5000
+        assert policer.rate_of(2) == 10_000
+
+    def test_flood_then_recovery(self):
+        """After backing off, a well-behaved sender passes again."""
+        policer = AimdPolicer(initial_rate=10_000, burst_seconds=0.25)
+        now = 0.0
+        for _ in range(50):
+            now += 0.001
+            policer.police(1, 1000, now)
+        # sender slows to its allowance: tokens refill
+        now += 1.0
+        assert policer.police(1, 1000, now) is PolicerVerdict.ALLOW

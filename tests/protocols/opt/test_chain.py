@@ -1,0 +1,198 @@
+"""End-to-end OPT tag-chain tests: negotiation, per-hop update, verify.
+
+The central security property, tested exhaustively and with hypothesis:
+an honest walk verifies; *any* deviation -- skipped hop, reordered
+hops, wrong key, tampered payload, flipped tag bit -- is rejected.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import RouterKey
+from repro.protocols.opt.drkey import (
+    label_digest,
+    make_session_id,
+    negotiate_session,
+)
+from repro.protocols.opt.router import process_hop, process_hop_at_router
+from repro.protocols.opt.source import data_hash, initialize_header
+from repro.protocols.opt.verifier import expected_chain, verify_packet
+
+PAYLOAD = b"the protected payload"
+
+
+def walk_path(session, payload=PAYLOAD, timestamp=1, backend="2em"):
+    """Simulate the honest path: source init + every hop's update."""
+    header = initialize_header(session, payload, timestamp, backend=backend)
+    for hop_index, hop_key in enumerate(session.hop_keys):
+        header = process_hop(
+            header,
+            hop_key,
+            hop_index,
+            session.previous_label_for(hop_index),
+            backend=backend,
+        )
+    return header
+
+
+@pytest.fixture
+def session():
+    routers = [RouterKey(f"r{i}") for i in range(3)]
+    return negotiate_session(
+        "src", "dst", routers, RouterKey("dst"), nonce=b"t"
+    )
+
+
+class TestNegotiation:
+    def test_session_id_deterministic(self):
+        assert make_session_id("a", "b", b"n") == make_session_id("a", "b", b"n")
+        assert make_session_id("a", "b", b"n") != make_session_id("a", "b", b"m")
+
+    def test_hop_keys_match_router_derivation(self, session):
+        """The keys the source learns are what routers derive per packet."""
+        for node_id, key in zip(session.path_ids, session.hop_keys):
+            assert RouterKey(node_id).dynamic_key(session.session_id) == key
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            negotiate_session("a", "b", [], RouterKey("b"))
+
+    def test_previous_labels(self, session):
+        assert session.previous_label_for(0) == "src"
+        assert session.previous_label_for(1) == "r0"
+        assert session.previous_label_for(2) == "r1"
+
+    def test_label_digest_fixed_length(self):
+        assert len(label_digest("any-node")) == 16
+        assert label_digest("a") != label_digest("b")
+
+
+class TestHonestPath:
+    def test_verifies(self, session):
+        header = walk_path(session)
+        report = verify_packet(session, header, PAYLOAD)
+        assert report.ok and report.failed_hop is None
+
+    def test_single_hop(self):
+        session = negotiate_session(
+            "s", "d", [RouterKey("only")], RouterKey("d")
+        )
+        header = walk_path(session)
+        assert verify_packet(session, header, PAYLOAD).ok
+
+    def test_aes_backend_round(self, session):
+        header = walk_path(session, backend="aes")
+        assert verify_packet(session, header, PAYLOAD, backend="aes").ok
+
+    def test_backend_mismatch_rejected(self, session):
+        header = walk_path(session, backend="aes")
+        assert not verify_packet(session, header, PAYLOAD, backend="2em").ok
+
+    def test_process_hop_at_router_equivalent(self, session):
+        header = initialize_header(session, PAYLOAD, 1)
+        via_key = process_hop(
+            header, session.hop_keys[0], 0, session.previous_label_for(0)
+        )
+        via_router = process_hop_at_router(
+            header, RouterKey("r0"), 0, session.previous_label_for(0)
+        )
+        assert via_key == via_router
+
+
+class TestTamperRejection:
+    def test_payload_tamper(self, session):
+        header = walk_path(session)
+        report = verify_packet(session, header, PAYLOAD + b"!")
+        assert not report.ok and "DataHash" in report.detail
+
+    def test_skipped_hop(self, session):
+        header = initialize_header(session, PAYLOAD, 1)
+        # hop 0 and hop 2 run; hop 1 skipped
+        header = process_hop(header, session.hop_keys[0], 0, "src")
+        header = process_hop(header, session.hop_keys[2], 2, "r1")
+        report = verify_packet(session, header, PAYLOAD)
+        assert not report.ok
+
+    def test_reordered_hops(self, session):
+        header = initialize_header(session, PAYLOAD, 1)
+        header = process_hop(header, session.hop_keys[1], 1, "r0")
+        header = process_hop(header, session.hop_keys[0], 0, "src")
+        header = process_hop(header, session.hop_keys[2], 2, "r1")
+        assert not verify_packet(session, header, PAYLOAD).ok
+
+    def test_wrong_router_key(self, session):
+        header = initialize_header(session, PAYLOAD, 1)
+        rogue = RouterKey("rogue").dynamic_key(session.session_id)
+        header = process_hop(header, rogue, 0, "src")
+        header = process_hop(header, session.hop_keys[1], 1, "r0")
+        header = process_hop(header, session.hop_keys[2], 2, "r1")
+        report = verify_packet(session, header, PAYLOAD)
+        assert not report.ok and report.failed_hop == 0
+
+    def test_wrong_previous_label(self, session):
+        """A hop claiming the wrong upstream is detected (path auth)."""
+        header = initialize_header(session, PAYLOAD, 1)
+        header = process_hop(header, session.hop_keys[0], 0, "NOT-src")
+        header = process_hop(header, session.hop_keys[1], 1, "r0")
+        header = process_hop(header, session.hop_keys[2], 2, "r1")
+        report = verify_packet(session, header, PAYLOAD)
+        assert not report.ok and report.failed_hop == 0
+
+    def test_forged_final_pvf(self, session):
+        header = walk_path(session).with_pvf(bytes(16))
+        report = verify_packet(session, header, PAYLOAD)
+        assert not report.ok
+
+    def test_wrong_session(self, session):
+        other = negotiate_session(
+            "src", "dst", [RouterKey("r0")], RouterKey("dst"), nonce=b"other"
+        )
+        header = walk_path(session)
+        assert not verify_packet(other, header, PAYLOAD).ok
+
+    def test_hop_count_mismatch(self, session):
+        header = walk_path(session)
+        short = dataclasses.replace(header, opvs=header.opvs[:2])
+        assert not verify_packet(session, short, PAYLOAD).ok
+
+    def test_failed_hop_pinpointed(self, session):
+        header = walk_path(session)
+        for victim in range(3):
+            bad = header.with_opv(victim, bytes(16))
+            report = verify_packet(session, bad, PAYLOAD)
+            assert not report.ok and report.failed_hop == victim
+
+
+class TestExpectedChain:
+    def test_chain_matches_walk(self, session):
+        header = walk_path(session, timestamp=9)
+        final_pvf, entering, opvs = expected_chain(session, PAYLOAD, 9)
+        assert final_pvf == header.pvf
+        assert opvs == header.opvs
+        assert entering[0] == initialize_header(session, PAYLOAD, 9).pvf
+
+    def test_data_hash_is_sha256_prefix(self):
+        import hashlib
+
+        assert data_hash(b"x") == hashlib.sha256(b"x").digest()[:16]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hop_count=st.integers(min_value=1, max_value=5),
+    flip_byte=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_any_header_bitflip_rejected(hop_count, flip_byte):
+    """Flipping any single byte of the final header breaks verification."""
+    routers = [RouterKey(f"p{i}") for i in range(hop_count)]
+    session = negotiate_session("s", "d", routers, RouterKey("d"), nonce=b"h")
+    header = walk_path(session)
+    raw = bytearray(header.encode())
+    index = flip_byte % len(raw)
+    raw[index] ^= 0x01
+    from repro.protocols.opt.header import OptHeader
+
+    mutated = OptHeader.decode(bytes(raw), hop_count=hop_count)
+    assert not verify_packet(session, mutated, PAYLOAD).ok

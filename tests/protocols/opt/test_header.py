@@ -1,0 +1,119 @@
+"""Tests for the OPT header codec and layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeaderValueError, TruncatedHeaderError
+from repro.protocols.opt.header import (
+    OPT_BASE_SIZE,
+    OPV_SIZE,
+    OptHeader,
+    header_size,
+)
+
+TAG = bytes(16)
+
+
+def make_header(hops=1, timestamp=7):
+    return OptHeader(
+        data_hash=b"\x01" * 16,
+        session_id=b"\x02" * 16,
+        timestamp=timestamp,
+        pvf=b"\x03" * 16,
+        opvs=tuple(bytes([i + 1]) * 16 for i in range(hops)),
+    )
+
+
+class TestSizes:
+    def test_one_hop_is_68_bytes(self):
+        """544 bits -- the F_ver triple's length in Section 3."""
+        assert header_size(1) == 68
+        assert make_header(1).size == 68
+        assert len(make_header(1).encode()) == 68
+
+    def test_growth_per_hop(self):
+        for hops in range(1, 9):
+            assert header_size(hops) == OPT_BASE_SIZE + OPV_SIZE * hops
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(HeaderValueError):
+            header_size(0)
+        with pytest.raises(HeaderValueError):
+            OptHeader(
+                data_hash=TAG, session_id=TAG, timestamp=0, pvf=TAG, opvs=()
+            )
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        header = make_header(hops=3)
+        assert OptHeader.decode(header.encode(), hop_count=3) == header
+
+    def test_hop_inference_from_length(self):
+        header = make_header(hops=2)
+        assert OptHeader.decode(header.encode()) == header
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(TruncatedHeaderError):
+            OptHeader.decode(bytes(67))
+        with pytest.raises(TruncatedHeaderError):
+            OptHeader.decode(bytes(69))
+
+    def test_truncated_explicit_hops(self):
+        with pytest.raises(TruncatedHeaderError):
+            OptHeader.decode(bytes(68), hop_count=2)
+
+    def test_field_layout_offsets(self):
+        """DataHash@0, SessionID@16, Timestamp@32, PVF@36, OPV0@52."""
+        raw = make_header(1, timestamp=0xAABBCCDD).encode()
+        assert raw[0:16] == b"\x01" * 16
+        assert raw[16:32] == b"\x02" * 16
+        assert raw[32:36] == b"\xaa\xbb\xcc\xdd"
+        assert raw[36:52] == b"\x03" * 16
+        assert raw[52:68] == b"\x01" * 16
+
+    def test_mac_input_is_pre_opv_region(self):
+        header = make_header(2)
+        assert header.mac_input() == header.encode()[:OPT_BASE_SIZE]
+
+
+class TestValidationAndUpdates:
+    def test_tag_sizes_enforced(self):
+        with pytest.raises(HeaderValueError):
+            OptHeader(
+                data_hash=b"short", session_id=TAG, timestamp=0,
+                pvf=TAG, opvs=(TAG,),
+            )
+        with pytest.raises(HeaderValueError):
+            OptHeader(
+                data_hash=TAG, session_id=TAG, timestamp=0,
+                pvf=TAG, opvs=(b"short",),
+            )
+
+    def test_timestamp_range(self):
+        with pytest.raises(HeaderValueError):
+            OptHeader(
+                data_hash=TAG, session_id=TAG, timestamp=1 << 32,
+                pvf=TAG, opvs=(TAG,),
+            )
+
+    def test_with_pvf(self):
+        updated = make_header().with_pvf(b"\xff" * 16)
+        assert updated.pvf == b"\xff" * 16
+        assert updated.data_hash == make_header().data_hash
+
+    def test_with_opv(self):
+        updated = make_header(3).with_opv(1, b"\xee" * 16)
+        assert updated.opvs[1] == b"\xee" * 16
+        assert updated.opvs[0] == make_header(3).opvs[0]
+        with pytest.raises(HeaderValueError):
+            make_header(1).with_opv(1, TAG)
+
+
+@given(
+    hops=st.integers(min_value=1, max_value=8),
+    timestamp=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_property_roundtrip(hops, timestamp):
+    header = make_header(hops=hops, timestamp=timestamp)
+    assert OptHeader.decode(header.encode()) == header

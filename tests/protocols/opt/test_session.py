@@ -1,0 +1,51 @@
+"""Tests for host-side OPT session state."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.opt.session import OptSession
+
+KEY = bytes(16)
+
+
+def make_session(**overrides):
+    kwargs = dict(
+        session_id=b"\x01" * 16,
+        source_id="src",
+        dest_id="dst",
+        path_ids=("r0", "r1"),
+        hop_keys=(KEY, KEY),
+        dest_key=KEY,
+    )
+    kwargs.update(overrides)
+    return OptSession(**kwargs)
+
+
+class TestOptSession:
+    def test_hop_count(self):
+        assert make_session().hop_count == 2
+
+    def test_session_id_size_enforced(self):
+        with pytest.raises(ProtocolError):
+            make_session(session_id=b"short")
+
+    def test_key_path_length_mismatch(self):
+        with pytest.raises(ProtocolError):
+            make_session(hop_keys=(KEY,))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_session(path_ids=(), hop_keys=())
+
+    def test_key_sizes_enforced(self):
+        with pytest.raises(ProtocolError):
+            make_session(dest_key=b"short")
+        with pytest.raises(ProtocolError):
+            make_session(hop_keys=(KEY, b"short"))
+
+    def test_previous_label_bounds(self):
+        session = make_session()
+        with pytest.raises(ProtocolError):
+            session.previous_label_for(-1)
+        with pytest.raises(ProtocolError):
+            session.previous_label_for(2)

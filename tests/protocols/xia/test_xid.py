@@ -1,0 +1,52 @@
+"""Tests for typed XIA identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.xia.xid import XID_ID_SIZE, Xid, XidType
+
+
+class TestXid:
+    def test_from_name_deterministic(self):
+        assert Xid.from_name(XidType.AD, "x") == Xid.from_name(XidType.AD, "x")
+
+    def test_type_separates_namespace(self):
+        assert Xid.from_name(XidType.AD, "x") != Xid.from_name(
+            XidType.HID, "x"
+        )
+
+    def test_for_content_is_content_hash(self):
+        a = Xid.for_content(b"blob")
+        assert a.xtype == XidType.CID
+        assert a == Xid.for_content(b"blob")
+        assert a != Xid.for_content(b"other")
+
+    def test_id_size_enforced(self):
+        with pytest.raises(ProtocolError):
+            Xid(XidType.AD, b"short")
+
+    def test_encode_decode_roundtrip(self):
+        xid = Xid.from_name(XidType.SID, "service")
+        assert Xid.decode(xid.encode()) == xid
+        assert len(xid.encode()) == Xid.ENCODED_SIZE == 1 + XID_ID_SIZE
+
+    def test_decode_truncated(self):
+        with pytest.raises(ProtocolError):
+            Xid.decode(b"\x10\x00")
+
+    def test_decode_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            Xid.decode(bytes([0xEE]) + bytes(20))
+
+    def test_str_compact(self):
+        text = str(Xid.from_name(XidType.CID, "x"))
+        assert text.startswith("CID:") and len(text) < 20
+
+    @given(
+        xtype=st.sampled_from(list(XidType)),
+        identifier=st.binary(min_size=20, max_size=20),
+    )
+    def test_property_roundtrip(self, xtype, identifier):
+        xid = Xid(xtype, identifier)
+        assert Xid.decode(xid.encode()) == xid

@@ -1,0 +1,133 @@
+"""Tests for the command-line dissector and table printers."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.crypto.keys import RouterKey
+from repro.protocols.opt import negotiate_session
+from repro.protocols.xia import DagAddress, Xid, XidType
+from repro.realize.derived import build_ndn_opt_interest
+from repro.realize.epic import build_epic_packet
+from repro.realize.ip import build_ipv4_packet
+from repro.realize.xia import build_xia_packet
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def session():
+    return negotiate_session(
+        "s", "d", [RouterKey("cli-r")], RouterKey("d"), nonce=b"cl"
+    )
+
+
+class TestDecode:
+    def test_decodes_ipv4_packet(self):
+        packet = build_ipv4_packet(0x0A000001, 0x0B000002, payload=b"hi")
+        code, text = run_cli("decode", packet.encode().hex())
+        assert code == 0
+        assert "FN num 2" in text
+        assert "F_32_match" in text or "MATCH_32" in text
+        assert "SOURCE" in text
+        assert "2-byte payload" in text
+
+    def test_decodes_embedded_opt(self, session):
+        packet = build_ndn_opt_interest("/cli", session, b"p")
+        code, text = run_cli("decode", packet.encode().hex())
+        assert code == 0
+        assert "embedded OPT header" in text
+        assert session.session_id.hex()[:16] in text
+
+    def test_decodes_embedded_epic(self, session):
+        packet = build_epic_packet(session, b"p", counter=5)
+        code, text = run_cli("decode", packet.encode().hex())
+        assert code == 0
+        assert "embedded EPIC header" in text and "ctr 5" in text
+
+    def test_decodes_embedded_xia(self):
+        dag = DagAddress.direct(Xid.for_content(b"cli"))
+        packet = build_xia_packet(dag)
+        code, text = run_cli("decode", packet.encode().hex())
+        assert code == 0
+        assert "embedded XIA header" in text and "intent CID:" in text
+
+    def test_accepts_spaced_hex(self):
+        packet = build_ipv4_packet(1, 2)
+        spaced = " ".join(
+            packet.encode().hex()[i : i + 2]
+            for i in range(0, packet.size * 2, 2)
+        )
+        code, _text = run_cli("decode", *spaced.split())
+        assert code == 0
+
+    def test_rejects_non_hex(self):
+        code, text = run_cli("decode", "zz")
+        assert code == 2 and "not valid hex" in text
+
+    def test_rejects_non_dip(self):
+        code, text = run_cli("decode", "00")
+        assert code == 1 and "not a DIP packet" in text
+
+
+class TestLint:
+    def test_clean_packet(self):
+        packet = build_ipv4_packet(1, 2)
+        code, text = run_cli("lint", packet.encode().hex())
+        assert code == 0 and "clean" in text
+
+    def test_poisoning_combo_warned(self):
+        from repro.core.fn import FieldOperation, OperationKey
+        from repro.core.header import DipHeader
+        from repro.core.packet import DipPacket
+
+        header = DipHeader(
+            fns=(
+                FieldOperation(0, 32, OperationKey.FIB),
+                FieldOperation(0, 32, OperationKey.PIT),
+            ),
+            locations=bytes(4),
+        )
+        code, text = run_cli("lint", DipPacket(header=header).encode().hex())
+        assert code == 0  # warnings only
+        assert "W-POISON" in text
+
+    def test_error_exit_code(self):
+        from repro.core.fn import FieldOperation, OperationKey
+        from repro.core.header import DipHeader
+        from repro.core.packet import DipPacket
+
+        header = DipHeader(
+            fns=(FieldOperation(0, 64, OperationKey.MATCH_32),),
+            locations=bytes(8),
+        )
+        code, text = run_cli("lint", DipPacket(header=header).encode().hex())
+        assert code == 1 and "E-LEN" in text
+
+    def test_garbage_rejected(self):
+        code, _text = run_cli("lint", "00")
+        assert code == 2
+
+
+class TestTables:
+    def test_table2_matches_paper(self):
+        code, text = run_cli("table2")
+        assert code == 0
+        for row in ("40", "20", "50", "26", "16", "98", "108"):
+            assert row in text
+
+    def test_fig2_prints_series(self):
+        code, text = run_cli("fig2")
+        assert code == 0
+        for protocol in ("DIP-IPv4", "NDN", "OPT", "NDN+OPT"):
+            assert protocol in text
+
+    def test_keys_lists_operations(self):
+        code, text = run_cli("keys")
+        assert code == 0
+        assert "F_FIB" in text and "F_epic" in text

@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.protocols.ndn.names
+import repro.util.bitview
+
+MODULES = [
+    repro.util.bitview,
+    repro.protocols.ndn.names,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the examples actually exist

@@ -1,0 +1,73 @@
+"""Tests for byte-string helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bytesutil import (
+    bytes_to_int,
+    hexdump,
+    int_to_bytes,
+    pad_to,
+    xor_bytes,
+)
+
+
+class TestIntConversion:
+    def test_roundtrip(self):
+        assert bytes_to_int(int_to_bytes(0xDEADBEEF, 4)) == 0xDEADBEEF
+
+    def test_zero_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1, 4)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            int_to_bytes(256, 1)
+
+
+class TestXor:
+    def test_xor_basic(self):
+        assert xor_bytes(b"\xff\x00", b"\x0f\x0f") == b"\xf0\x0f"
+
+    def test_xor_identity(self):
+        assert xor_bytes(b"abc", b"\x00\x00\x00") == b"abc"
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_property_self_inverse(self, data):
+        mask = bytes((b + 1) % 256 for b in data)
+        assert xor_bytes(xor_bytes(data, mask), mask) == data
+
+
+class TestHexdump:
+    def test_shows_offset_hex_ascii(self):
+        dump = hexdump(b"hello world!")
+        assert dump.startswith("00000000")
+        assert "68 65 6c 6c 6f" in dump
+        assert "hello world!" in dump
+
+    def test_non_printable_as_dots(self):
+        assert hexdump(b"\x00\x01")[-2:] == ".."
+
+    def test_multi_line(self):
+        dump = hexdump(bytes(40), width=16)
+        assert len(dump.splitlines()) == 3
+
+
+class TestPadTo:
+    def test_pads_with_fill(self):
+        assert pad_to(b"ab", 4) == b"ab\x00\x00"
+        assert pad_to(b"ab", 4, fill=0xFF) == b"ab\xff\xff"
+
+    def test_exact_length_unchanged(self):
+        assert pad_to(b"abcd", 4) == b"abcd"
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            pad_to(b"abcde", 4)
