@@ -1,0 +1,85 @@
+"""ENGINE: batched/sharded forwarding throughput vs the reference walk.
+
+Not a paper figure -- an adopter's datum for the scale-out extension:
+how much faster the same Algorithm 1 semantics run when per-program
+work (header parse, FN decode, dispatch, parallelism analysis) is
+amortized across a batch, and what the full engine path (flow hash +
+rings + shards) costs on top.
+
+The asserted floor is 2x: both ``process_batch`` and the serial
+4-shard engine must at least double the per-packet interpreter's
+pkts/s on the DIP-32 workload.  Equivalence of the outputs is proven
+separately in ``tests/engine/``.
+"""
+
+import pytest
+
+from repro.workloads.reporting import print_table
+from repro.workloads.throughput import (
+    make_engine_packets,
+    measure_throughput,
+)
+
+PACKETS = 2000
+SPEEDUP_FLOOR = 2.0
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def engine_packets():
+    return make_engine_packets(packet_count=PACKETS)
+
+
+def test_engine_throughput_floor(engine_packets):
+    # Interleave the modes over several passes and keep each mode's
+    # best: a CI machine's speed drifts between phases, and measuring
+    # all of one mode before the next would fold that drift into the
+    # ratio.  Best-of per mode across close-in-time passes cancels it.
+    best = {"per-packet": 0.0, "batch": 0.0, "engine": 0.0}
+    for _ in range(3):
+        for mode in best:
+            result = measure_throughput(
+                engine_packets, mode=mode, num_shards=4, backend="serial",
+                repeats=3,
+            )
+            best[mode] = max(best[mode], result["pkts_per_second"])
+
+    base_pps = best["per-packet"]
+    rows = [
+        [
+            mode,
+            f"{pps:,.0f}",
+            f"{pps / base_pps:.2f}x",
+        ]
+        for mode, pps in best.items()
+    ]
+    print_table(
+        "ENGINE: DIP-32 throughput (per-packet vs batch vs engine)",
+        ["mode", "pkts/s", "speedup"],
+        rows,
+    )
+
+    batch_speedup = best["batch"] / base_pps
+    engine_speedup = best["engine"] / base_pps
+    assert batch_speedup >= SPEEDUP_FLOOR, (
+        f"process_batch only {batch_speedup:.2f}x over per-packet"
+    )
+    assert engine_speedup >= SPEEDUP_FLOOR, (
+        f"engine (serial, 4 shards) only {engine_speedup:.2f}x over per-packet"
+    )
+
+
+def test_engine_throughput_benchmark(benchmark, engine_packets):
+    from repro.engine import EngineConfig, ForwardingEngine
+    from repro.workloads.throughput import dip32_state_factory
+
+    engine = ForwardingEngine(
+        dip32_state_factory, config=EngineConfig(num_shards=4)
+    )
+    engine.run(engine_packets)  # warm program/dispatch caches
+    report = benchmark.pedantic(
+        lambda: engine.run(engine_packets), rounds=3, iterations=1
+    )
+    benchmark.group = "engine"
+    assert report.packets_processed == PACKETS

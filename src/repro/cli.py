@@ -208,6 +208,64 @@ def _print_fig2(out) -> int:
     return 0
 
 
+def cmd_engine(args, out) -> int:
+    """Run the sharded forwarding engine over a DIP-32 batch."""
+    from repro.engine import EngineConfig, ForwardingEngine
+    from repro.workloads.reporting import format_table
+    from repro.workloads.throughput import (
+        dip32_state_factory,
+        make_engine_packets,
+    )
+
+    try:
+        config = EngineConfig(
+            num_shards=args.shards,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            backpressure=args.backpressure,
+        )
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    packets = make_engine_packets(
+        packet_size=args.packet_size, packet_count=args.packets
+    )
+    engine = ForwardingEngine(dip32_state_factory, config=config)
+    report = engine.run(packets)
+
+    out.write(
+        f"engine: {report.packets_processed}/{report.packets_offered} "
+        f"packets in {report.wall_seconds:.3f}s = "
+        f"{report.pkts_per_second:,.0f} pkts/s "
+        f"({args.backend}, {args.shards} shard(s))\n"
+    )
+    decisions = ", ".join(
+        f"{name} {count}" for name, count in sorted(report.decisions.items())
+    )
+    out.write(f"  decisions: {decisions or 'none'}\n")
+    out.write(
+        f"  batch latency: p50 {report.batch_latency_p50 * 1e6:.0f}us, "
+        f"p99 {report.batch_latency_p99 * 1e6:.0f}us\n"
+    )
+    rows = [
+        [
+            shard.shard_id,
+            shard.packets,
+            shard.batches,
+            f"{shard.utilization * 100:.1f}%",
+            ring.high_watermark,
+            ring.dropped,
+        ]
+        for shard, ring in zip(report.shards, report.rings)
+    ]
+    table = format_table(
+        ["shard", "packets", "batches", "util", "ring hwm", "drops"], rows
+    )
+    for line in table.splitlines():
+        out.write(f"  {line}\n")
+    return 0
+
+
 def _print_keys(out) -> int:
     from repro.core.registry import default_registry
 
@@ -233,6 +291,19 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     sub.add_parser("table2", help="print the Table 2 reproduction")
     sub.add_parser("fig2", help="print the cycle-model Figure 2")
     sub.add_parser("keys", help="list the installed operation keys")
+    engine = sub.add_parser(
+        "engine", help="run the sharded forwarding engine on DIP-32"
+    )
+    engine.add_argument("--packets", type=int, default=2000)
+    engine.add_argument("--packet-size", type=int, default=128)
+    engine.add_argument("--shards", type=int, default=4)
+    engine.add_argument(
+        "--backend", choices=["serial", "process"], default="serial"
+    )
+    engine.add_argument("--batch-size", type=int, default=64)
+    engine.add_argument(
+        "--backpressure", choices=["block", "drop-tail"], default="block"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "decode":
@@ -245,6 +316,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _print_fig2(out)
     if args.command == "keys":
         return _print_keys(out)
+    if args.command == "engine":
+        return cmd_engine(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -26,6 +26,12 @@ class Match32Operation(Operation):
     key = 1
     name = "F_32_match"
 
+    def __init__(self) -> None:
+        # LPM-hit results are identical per egress port and the result
+        # dataclass is frozen, so the hot path shares one instance
+        # instead of re-building it for every packet.
+        self._forwards: dict = {}
+
     def execute(
         self, ctx: OperationContext, fn: FieldOperation
     ) -> OperationResult:
@@ -39,7 +45,11 @@ class Match32Operation(Operation):
         port = ctx.state.fib_v4.lookup(address)
         if port is None:
             return OperationResult.drop(f"no IPv4 route for {address:#010x}")
-        return OperationResult.forward(port, note="IPv4 LPM hit")
+        result = self._forwards.get(port)
+        if result is None:
+            result = OperationResult.forward(port, note="IPv4 LPM hit")
+            self._forwards[port] = result
+        return result
 
 
 class Match128Operation(Operation):
@@ -47,6 +57,9 @@ class Match128Operation(Operation):
 
     key = 2
     name = "F_128_match"
+
+    def __init__(self) -> None:
+        self._forwards: dict = {}
 
     def execute(
         self, ctx: OperationContext, fn: FieldOperation
@@ -61,4 +74,8 @@ class Match128Operation(Operation):
         port = ctx.state.fib_v6.lookup(address)
         if port is None:
             return OperationResult.drop(f"no IPv6 route for {address:#x}")
-        return OperationResult.forward(port, note="IPv6 LPM hit")
+        result = self._forwards.get(port)
+        if result is None:
+            result = OperationResult.forward(port, note="IPv6 LPM hit")
+            self._forwards[port] = result
+        return result

@@ -23,12 +23,21 @@ class SourceOperation(Operation):
     key = 3
     name = "F_source"
 
+    def __init__(self) -> None:
+        # The proceed note depends only on field_len and the result
+        # dataclass is frozen, so share one instance per length.
+        self._proceeds: dict = {}
+
     def execute(
         self, ctx: OperationContext, fn: FieldOperation
     ) -> OperationResult:
         value = ctx.locations.get_uint(fn.field_loc, fn.field_len)
         ctx.scratch["source_address"] = value
         ctx.scratch["source_address_bits"] = fn.field_len
-        return OperationResult.proceed(
-            note=f"source address recorded ({fn.field_len} bits)"
-        )
+        result = self._proceeds.get(fn.field_len)
+        if result is None:
+            result = OperationResult.proceed(
+                note=f"source address recorded ({fn.field_len} bits)"
+            )
+            self._proceeds[fn.field_len] = result
+        return result

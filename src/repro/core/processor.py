@@ -39,6 +39,7 @@ from repro.errors import (
     ProcessingLimitError,
 )
 from repro.core.limits import LimitTracker
+from repro.util.bitview import BitView
 
 # Scratch-space families: an FN writing a family conflicts with a later
 # FN reading it, even when their target fields do not overlap.  This is
@@ -90,6 +91,87 @@ def parallel_levels(fns: List[FieldOperation]) -> List[int]:
                 level = max(level, levels[j] + 1)
         levels.append(level)
     return levels
+
+
+# Compiled-program step actions (see _CompiledProgram).
+_STEP_EXECUTE = 0
+_STEP_HOST_SKIP = 1
+_STEP_IGNORE = 2
+_STEP_UNSUPPORTED = 3
+
+
+class _CompiledProgram:
+    """Per-program analysis shared by every packet carrying the program.
+
+    A DIP "program" is the FN-definition region of the header.  Packets
+    of one flow (and of most workloads) repeat the same program, so the
+    batch path performs the per-program work once and caches it here:
+
+    - FN-triple decode (when fed raw bytes),
+    - operation-module dispatch (registry lookups),
+    - the path-critical judgement for unsupported keys,
+    - per-FN model cycles (the cost model is a pure function of the FN),
+    - the modular-parallelism level analysis, reduced to cumulative
+      sequential/critical-path cycle sums per executed-FN prefix
+      (``parallel_levels`` is prefix-stable: an FN's level depends only
+      on earlier FNs, so an early-exit walk is a prefix of the full
+      walk).
+    """
+
+    __slots__ = (
+        "fns",
+        "steps",
+        "fn_num",
+        "max_field_end",
+        "cum_sequential",
+        "cum_parallel",
+    )
+
+    def __init__(
+        self,
+        fns: Tuple[FieldOperation, ...],
+        registry: OperationRegistry,
+        cost_model: Optional[object],
+        is_path_critical,
+    ) -> None:
+        self.fns = fns
+        self.fn_num = len(fns)
+        self.max_field_end = max((fn.field_end for fn in fns), default=0)
+        steps = []
+        executed_fns: List[FieldOperation] = []
+        executed_cycles: List[int] = []
+        for fn in fns:
+            if fn.tag:
+                steps.append((_STEP_HOST_SKIP, fn, None, 0))
+                continue
+            operation = registry.find(fn.key)
+            if operation is None:
+                action = (
+                    _STEP_UNSUPPORTED
+                    if is_path_critical(fn.key)
+                    else _STEP_IGNORE
+                )
+                steps.append((action, fn, None, 0))
+                if action == _STEP_UNSUPPORTED:
+                    # Processing stops here for every packet; later FNs
+                    # are unreachable.
+                    break
+                continue
+            cycles = cost_model.fn_cycles(fn) if cost_model is not None else 0
+            steps.append((_STEP_EXECUTE, fn, operation, cycles))
+            executed_fns.append(fn)
+            executed_cycles.append(cycles)
+        self.steps = tuple(steps)
+        # Cumulative cycle totals per executed-FN prefix length.
+        levels = parallel_levels(executed_fns)
+        self.cum_sequential = [0]
+        self.cum_parallel = [0]
+        for length in range(1, len(executed_fns) + 1):
+            self.cum_sequential.append(sum(executed_cycles[:length]))
+            per_level: Dict[int, int] = {}
+            for level, cycles in zip(levels[:length], executed_cycles[:length]):
+                per_level[level] = max(per_level.get(level, 0), cycles)
+            self.cum_parallel.append(sum(per_level.values()))
 
 
 @dataclass(frozen=True)
@@ -154,6 +236,11 @@ class RouterProcessor:
         self.state = state
         self.registry = registry if registry is not None else default_registry()
         self.cost_model = cost_model
+        # Program cache for the batch fast path, keyed by the raw
+        # FN-definition bytes (raw-packet input) and by the decoded fns
+        # tuple (DipPacket input); both keys map to one entry.
+        self._programs: Dict[object, _CompiledProgram] = {}
+        self._programs_version = self.registry.version
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -294,6 +381,270 @@ class RouterProcessor:
         )
 
     # ------------------------------------------------------------------
+    # batch fast path
+    # ------------------------------------------------------------------
+    def process_batch(
+        self,
+        packets,
+        ingress_port: int = 0,
+        now: float = 0.0,
+        collect_notes: bool = False,
+    ) -> List[ProcessResult]:
+        """Run Algorithm 1 over a batch of packets, amortizing program work.
+
+        Decision-identical to calling :meth:`process` per packet (same
+        decisions, ports, rewritten bytes, cycles and scratch; proven by
+        ``tests/engine/test_process_batch.py``), but header parse,
+        FN-triple decode, module dispatch and the parallelism/conflict
+        analysis happen once per *distinct FN program* instead of once
+        per packet.
+
+        Parameters
+        ----------
+        packets:
+            ``DipPacket`` instances or raw packet ``bytes``.
+        collect_notes:
+            When True the per-FN trace notes are produced exactly like
+            the per-packet path; the default skips their formatting
+            cost (fate-relevant notes -- drops, limit violations -- are
+            kept either way).
+        """
+        if self._programs_version != self.registry.version:
+            self._programs.clear()
+            self._programs_version = self.registry.version
+        out: List[ProcessResult] = []
+        for packet in packets:
+            if isinstance(packet, (bytes, bytearray)):
+                packet, program = self._decode_raw(bytes(packet))
+            else:
+                program = self._compiled(packet.header.fns)
+            out.append(
+                self._process_compiled(
+                    packet, program, ingress_port, now, collect_notes
+                )
+            )
+        return out
+
+    def _compiled(
+        self, fns: Tuple[FieldOperation, ...], raw_key: Optional[bytes] = None
+    ) -> _CompiledProgram:
+        program = self._programs.get(fns)
+        if program is None:
+            program = _CompiledProgram(
+                fns, self.registry, self.cost_model, self._is_path_critical
+            )
+            self._programs[fns] = program
+        if raw_key is not None:
+            self._programs[raw_key] = program
+        return program
+
+    def _decode_raw(self, data: bytes):
+        """Decode one raw packet, reusing cached FN-definition decodes."""
+        from repro.core.header import BASIC_HEADER_SIZE, MAX_LOC_LEN
+        from repro.core.fn import FN_ENCODED_SIZE
+
+        if len(data) >= BASIC_HEADER_SIZE:
+            fn_num = data[2]
+            defs_end = BASIC_HEADER_SIZE + FN_ENCODED_SIZE * fn_num
+            program = self._programs.get(data[BASIC_HEADER_SIZE:defs_end])
+            if program is not None and len(data) >= defs_end:
+                parameter = int.from_bytes(data[4:6], "big")
+                loc_len = (parameter >> 1) & MAX_LOC_LEN
+                if len(data) >= defs_end + loc_len:
+                    header = _fast_header(
+                        program.fns,
+                        data[defs_end : defs_end + loc_len],
+                        int.from_bytes(data[0:2], "big"),
+                        data[3],
+                        bool(parameter & 1),
+                        (parameter >> 11) & 0x1F,
+                    )
+                    packet = object.__new__(DipPacket)
+                    object.__setattr__(packet, "header", header)
+                    object.__setattr__(
+                        packet, "payload", data[defs_end + loc_len :]
+                    )
+                    return packet, program
+        # Miss (or malformed): the reference decoder raises the exact
+        # codec errors and populates the cache for the next packet.
+        packet = DipPacket.decode(data)
+        from repro.core.header import BASIC_HEADER_SIZE as _BASE
+
+        defs_end = _BASE + 6 * len(packet.header.fns)
+        program = self._compiled(
+            packet.header.fns, raw_key=data[_BASE:defs_end]
+        )
+        return packet, program
+
+    def _process_compiled(
+        self,
+        packet: DipPacket,
+        program: _CompiledProgram,
+        ingress_port: int,
+        now: float,
+        collect_notes: bool,
+    ) -> ProcessResult:
+        """One packet walk over a compiled program (mirrors process()).
+
+        The per-packet budget accounting is inlined (plain integer
+        locals instead of a :class:`LimitTracker`); the rare violation
+        paths rebuild a tracker so the error text stays byte-identical
+        to the reference interpreter's.
+        """
+        header = packet.header
+        if program.max_field_end > len(header.locations) * 8:
+            header.validate_field_ranges()  # raises the reference error
+
+        state = self.state
+        limits = state.limits
+
+        if header.hop_limit == 0:
+            return ProcessResult(
+                decision=Decision.DROP, notes=("hop limit expired",)
+            )
+
+        # Plain-attribute construction (OperationContext is an unfrozen
+        # dataclass); the generated __init__ costs real time per packet.
+        ctx = object.__new__(OperationContext)
+        ctx.state = state
+        ctx.locations = BitView(header.locations)
+        ctx.payload = packet.payload
+        ctx.ingress_port = ingress_port
+        ctx.now = now
+        ctx.at_host = False
+        ctx.fns = header.fns
+        ctx.scratch = {}
+
+        cost_model = self.cost_model
+        parse_cycles = 0
+        cycles_used = 0
+        state_used = 0
+        max_cycles = limits.max_cycles
+        max_state = limits.max_state_bytes
+        if limits.max_fn_count and program.fn_num > limits.max_fn_count:
+            try:
+                LimitTracker(limits).check_fn_count(program.fn_num)
+            except ProcessingLimitError as exc:
+                return ProcessResult(
+                    decision=Decision.DROP,
+                    notes=(str(exc),),
+                    scratch=ctx.scratch,
+                )
+        if cost_model is not None:
+            parse_cycles = cost_model.parse_cycles(
+                header.header_length, packet.size
+            )
+            cycles_used = parse_cycles
+            if max_cycles and cycles_used > max_cycles:
+                return ProcessResult(
+                    decision=Decision.DROP,
+                    notes=(
+                        f"processing budget exhausted "
+                        f"({cycles_used} > {max_cycles} cycles)",
+                    ),
+                    cycles=parse_cycles,
+                    cycles_sequential=parse_cycles,
+                    cycles_parallel=parse_cycles,
+                    scratch=ctx.scratch,
+                )
+
+        notes: List[str] = []
+        fate: Optional[OperationResult] = None
+        executed = 0
+        final: Optional[Decision] = None
+        ports: Tuple[int, ...] = ()
+        out_packet: Optional[DipPacket] = None
+
+        for action, fn, operation, fn_cycles in program.steps:
+            if action == _STEP_EXECUTE:
+                if cost_model is not None:
+                    cycles_used += fn_cycles
+                    if max_cycles and cycles_used > max_cycles:
+                        notes.append(
+                            f"{fn}: processing budget exhausted "
+                            f"({cycles_used} > {max_cycles} cycles)"
+                        )
+                        final = Decision.DROP
+                        break
+                try:
+                    result = operation.execute(ctx, fn)
+                except (OperationError, FieldRangeError) as exc:
+                    notes.append(f"{fn}: operation failed: {exc}")
+                    final = Decision.DROP
+                    break
+                if result.state_bytes:
+                    state_used += result.state_bytes
+                    if max_state and state_used > max_state:
+                        notes.append(
+                            f"{fn}: per-packet state budget exhausted "
+                            f"({state_used} > {max_state} bytes)"
+                        )
+                        final = Decision.DROP
+                        break
+                executed += 1
+                if collect_notes:
+                    notes.append(f"{fn}: {result.note or result.decision.value}")
+                decision = result.decision
+                if decision is Decision.DROP:
+                    final = Decision.DROP
+                    break
+                if decision is Decision.FORWARD or decision is Decision.DELIVER:
+                    fate = result
+            elif action == _STEP_HOST_SKIP:
+                if collect_notes:
+                    notes.append(f"{fn}: skipped (host operation)")
+            elif action == _STEP_IGNORE:
+                if collect_notes:
+                    notes.append(f"{fn}: unsupported FN ignored")
+            else:  # _STEP_UNSUPPORTED
+                notes.append(f"{fn}: unsupported path-critical FN")
+                return ProcessResult(
+                    decision=Decision.UNSUPPORTED,
+                    notes=tuple(notes),
+                    unsupported_key=fn.key,
+                    cycles=parse_cycles,
+                    cycles_sequential=parse_cycles,
+                    cycles_parallel=parse_cycles,
+                    scratch=ctx.scratch,
+                )
+
+        if final is None:
+            if fate is None and state.default_port is not None:
+                fate = OperationResult.forward(
+                    state.default_port, note="static egress (default port)"
+                )
+                notes.append("static egress (default port)")
+            if fate is None:
+                notes.append("no forwarding decision")
+                final = Decision.DROP
+            else:
+                final = fate.decision
+                ports = fate.ports
+                if final is Decision.FORWARD:
+                    out_packet = _fast_output_packet(
+                        header, ctx.locations.to_bytes(), packet.payload
+                    )
+
+        if cost_model is None:
+            sequential = parallel = effective = 0
+        else:
+            sequential = parse_cycles + program.cum_sequential[executed]
+            parallel = parse_cycles + program.cum_parallel[executed]
+            effective = parallel if header.parallel else sequential
+        result = object.__new__(ProcessResult)
+        set_attr = object.__setattr__
+        set_attr(result, "decision", final)
+        set_attr(result, "ports", ports)
+        set_attr(result, "packet", out_packet)
+        set_attr(result, "notes", tuple(notes))
+        set_attr(result, "cycles", effective)
+        set_attr(result, "cycles_sequential", sequential)
+        set_attr(result, "cycles_parallel", parallel)
+        set_attr(result, "unsupported_key", None)
+        set_attr(result, "scratch", ctx.scratch)
+        return result
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _is_path_critical(self, key: int) -> bool:
@@ -309,6 +660,11 @@ class RouterProcessor:
             OperationKey.MARK,
             OperationKey.VERIFY,
         )
+
+    def invalidate_program_cache(self) -> None:
+        """Drop every compiled program (e.g. after swapping cost models)."""
+        self._programs.clear()
+        self._programs_version = self.registry.version
 
     def _finish(
         self,
@@ -343,3 +699,49 @@ class RouterProcessor:
             unsupported_key=unsupported_key,
             scratch=ctx.scratch,
         )
+
+
+# ----------------------------------------------------------------------
+# batch-path constructors
+# ----------------------------------------------------------------------
+def _fast_header(
+    fns: Tuple[FieldOperation, ...],
+    locations: bytes,
+    next_header: int,
+    hop_limit: int,
+    parallel: bool,
+    reserved: int,
+) -> DipHeader:
+    """Build a DipHeader from pre-validated parts, skipping __post_init__.
+
+    Every value either comes off the wire through field masks that
+    enforce the header's ranges, or from an already-validated header, so
+    re-running the dataclass validation per packet is pure overhead.
+    """
+    header = object.__new__(DipHeader)
+    set_attr = object.__setattr__
+    set_attr(header, "fns", fns)
+    set_attr(header, "locations", locations)
+    set_attr(header, "next_header", next_header)
+    set_attr(header, "hop_limit", hop_limit)
+    set_attr(header, "parallel", parallel)
+    set_attr(header, "reserved", reserved)
+    return header
+
+
+def _fast_output_packet(
+    header: DipHeader, locations: bytes, payload: bytes
+) -> DipPacket:
+    """The rewritten packet a FORWARD decision emits (hop limit -1)."""
+    out_header = _fast_header(
+        header.fns,
+        locations,
+        header.next_header,
+        header.hop_limit - 1,
+        header.parallel,
+        header.reserved,
+    )
+    packet = object.__new__(DipPacket)
+    object.__setattr__(packet, "header", out_header)
+    object.__setattr__(packet, "payload", payload)
+    return packet

@@ -42,16 +42,23 @@ class OperationRegistry:
 
     def __init__(self, operations: Iterable[Operation] = ()) -> None:
         self._by_key: Dict[int, Operation] = {}
+        # Bumped on every install/remove so processors can invalidate
+        # compiled-program caches that captured module lookups.
+        self.version: int = 0
         for operation in operations:
             self.register(operation)
 
     def register(self, operation: Operation) -> None:
         """Install (or upgrade) one operation module."""
         self._by_key[operation.key] = operation
+        self.version += 1
 
     def unregister(self, key: int) -> bool:
         """Remove an operation; returns False when absent."""
-        return self._by_key.pop(key, None) is not None
+        removed = self._by_key.pop(key, None) is not None
+        if removed:
+            self.version += 1
+        return removed
 
     def get(self, key: int) -> Operation:
         """Look an operation up, raising on unsupported keys."""

@@ -1,0 +1,404 @@
+"""The forwarding-engine facade: dispatch -> rings -> worker shards.
+
+:class:`ForwardingEngine` takes a batch of packets through the full
+scale-out path -- flow hash, bounded ring, shard worker -- and returns
+an :class:`EngineReport` with per-packet outcomes (in input order) and
+the operational numbers: throughput, per-shard utilization, ring drops
+and batch-latency percentiles.
+
+Two backends share the API:
+
+- ``serial`` (default): every shard runs in this process, one at a
+  time.  Deterministic, no pickling constraints, and still fast --
+  the win comes from :meth:`RouterProcessor.process_batch` amortizing
+  per-program work, not from true parallelism.
+- ``process``: shards are ``multiprocessing`` workers fed raw packet
+  bytes over pipes.  The state factory must be picklable (a
+  module-level function), which is why workers rebuild state from a
+  factory instead of receiving live objects.
+
+Backpressure ("block" vs "drop-tail") is decided here, at the point
+where a ring refuses a push; the rings only count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.operations.base import Decision
+from repro.core.packet import DipPacket
+from repro.core.state import NodeState
+from repro.engine.dispatch import FlowDispatcher
+from repro.engine.rings import Ring, RingStats
+from repro.engine.workers import ShardWorker, _shard_worker_main
+from repro.errors import SimulationError
+
+_BACKENDS = ("serial", "process")
+_BACKPRESSURE = ("block", "drop-tail")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine shape: shard count, backend, batching and backpressure.
+
+    Workers service a ring whenever it holds a full batch (and drain
+    the remainder at end of input).  With ``backpressure="block"`` a
+    full ring stalls the dispatcher until the shard catches up (no
+    loss); with ``"drop-tail"`` the refused packet is discarded and
+    counted, as a hardware RX queue would.  A ``ring_capacity`` below
+    ``batch_size`` models a consumer that only wakes for full batches
+    it can never get -- useful for forcing drop-tail in tests.
+    """
+
+    num_shards: int = 4
+    backend: str = "serial"
+    batch_size: int = 64
+    ring_capacity: int = 1024
+    backpressure: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise SimulationError("num_shards must be positive")
+        if self.backend not in _BACKENDS:
+            raise SimulationError(
+                f"unknown backend {self.backend!r} (want one of {_BACKENDS})"
+            )
+        if self.batch_size <= 0:
+            raise SimulationError("batch_size must be positive")
+        if self.ring_capacity <= 0:
+            raise SimulationError("ring_capacity must be positive")
+        if self.backpressure not in _BACKPRESSURE:
+            raise SimulationError(
+                f"unknown backpressure {self.backpressure!r} "
+                f"(want one of {_BACKPRESSURE})"
+            )
+
+
+class PacketOutcome(NamedTuple):
+    """One packet's fate through the engine.
+
+    ``packet`` is the rewritten packet's encoded bytes (FORWARD only);
+    byte-level so both backends report identically.  A NamedTuple, not
+    a dataclass: one is built per packet on the hot path.
+    """
+
+    decision: Decision
+    ports: Tuple[int, ...] = ()
+    packet: Optional[bytes] = None
+    shard: int = -1
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard work accounting for one :meth:`ForwardingEngine.run`."""
+
+    shard_id: int
+    packets: int
+    batches: int
+    busy_seconds: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Everything one engine run produced."""
+
+    packets_offered: int
+    packets_processed: int
+    packets_dropped_backpressure: int
+    wall_seconds: float
+    pkts_per_second: float
+    decisions: Dict[str, int]
+    batch_latency_p50: float
+    batch_latency_p99: float
+    shards: Tuple[ShardReport, ...] = ()
+    rings: Tuple[RingStats, ...] = ()
+    outcomes: Tuple[Optional[PacketOutcome], ...] = field(default=())
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * fraction // 1))  # ceil
+    return sorted_values[int(rank) - 1]
+
+
+class ForwardingEngine:
+    """A sharded forwarding engine around :class:`RouterProcessor`.
+
+    Parameters
+    ----------
+    state_factory:
+        Zero-argument callable building one shard's private
+        :class:`NodeState`.  For the ``process`` backend it must be a
+        module-level (picklable) function.
+    cost_model:
+        Optional cost model handed to every shard's processor.
+    config:
+        Engine shape; defaults to 4 serial shards.
+    """
+
+    def __init__(
+        self,
+        state_factory: Callable[[], NodeState],
+        cost_model: Optional[object] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.state_factory = state_factory
+        self.cost_model = cost_model
+        self.dispatcher = FlowDispatcher(self.config.num_shards)
+        self._workers: Optional[List[ShardWorker]] = None
+        if self.config.backend == "serial":
+            # Serial shards live for the engine's lifetime so stateful
+            # protocols (PIT, telemetry) persist across run() calls.
+            self._workers = [
+                ShardWorker(i, state_factory, cost_model)
+                for i in range(self.config.num_shards)
+            ]
+
+    # ------------------------------------------------------------------
+    def run(
+        self, packets: Sequence[Union[DipPacket, bytes]]
+    ) -> EngineReport:
+        """Push ``packets`` through the engine; outcomes keep input order."""
+        if self.config.backend == "serial":
+            return self._run_serial(packets)
+        return self._run_process(packets)
+
+    # ------------------------------------------------------------------
+    # serial backend
+    # ------------------------------------------------------------------
+    def _run_serial(self, packets) -> EngineReport:
+        config = self.config
+        workers = self._workers
+        rings = [Ring(config.ring_capacity) for _ in range(config.num_shards)]
+        outcomes: List[Optional[PacketOutcome]] = [None] * len(packets)
+        busy_before = [w.busy_seconds for w in workers]
+        packets_before = [w.packets_processed for w in workers]
+        latency_mark = [len(w.batch_latencies) for w in workers]
+        batches = [0] * config.num_shards
+        dropped = 0
+        start = time.perf_counter()
+
+        by_value = _DECISION_BY_VALUE
+        make_outcome = PacketOutcome
+
+        def drain(shard: int, everything: bool = False) -> None:
+            ring = rings[shard]
+            while len(ring) >= config.batch_size or (everything and len(ring)):
+                batch = ring.pop_batch(config.batch_size)
+                raw = workers[shard].run_batch([item[1] for item in batch])
+                batches[shard] += 1
+                for (index, _), (decision, ports, packet) in zip(batch, raw):
+                    outcomes[index] = make_outcome(
+                        by_value[decision], ports, packet, shard
+                    )
+
+        batch_size = config.batch_size
+        drop_tail = config.backpressure == "drop-tail"
+        shards = self.dispatcher.shards_of(packets)
+        for index, (shard, packet) in enumerate(zip(shards, packets)):
+            ring = rings[shard]
+            if not ring.push((index, packet)):
+                if drop_tail:
+                    ring.record_drop()
+                    dropped += 1
+                    continue
+                drain(shard, everything=True)
+                ring.push((index, packet))
+            if len(ring) >= batch_size:
+                drain(shard)
+        for shard in range(config.num_shards):
+            drain(shard, everything=True)
+
+        wall = time.perf_counter() - start
+        latencies = sorted(
+            latency
+            for worker, mark in zip(workers, latency_mark)
+            for latency in worker.batch_latencies[mark:]
+        )
+        shard_reports = tuple(
+            ShardReport(
+                shard_id=i,
+                packets=workers[i].packets_processed - packets_before[i],
+                batches=batches[i],
+                busy_seconds=workers[i].busy_seconds - busy_before[i],
+                utilization=(
+                    (workers[i].busy_seconds - busy_before[i]) / wall
+                    if wall > 0
+                    else 0.0
+                ),
+            )
+            for i in range(config.num_shards)
+        )
+        return self._report(
+            len(packets), dropped, wall, outcomes, latencies,
+            shard_reports, tuple(ring.stats() for ring in rings),
+        )
+
+    # ------------------------------------------------------------------
+    # multiprocessing backend
+    # ------------------------------------------------------------------
+    def _run_process(self, packets) -> EngineReport:
+        config = self.config
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        connections = []
+        processes = []
+        for shard in range(config.num_shards):
+            parent, child = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(child, shard, self.state_factory, self.cost_model),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            connections.append(parent)
+            processes.append(process)
+
+        rings = [Ring(config.ring_capacity) for _ in range(config.num_shards)]
+        outcomes: List[Optional[PacketOutcome]] = [None] * len(packets)
+        pending = [0] * config.num_shards
+        batches = [0] * config.num_shards
+        busy = [0.0] * config.num_shards
+        packets_done = [0] * config.num_shards
+        latencies: List[float] = []
+        dropped = 0
+        start = time.perf_counter()
+
+        def send_batch(shard: int) -> None:
+            batch = rings[shard].pop_batch(config.batch_size)
+            if not batch:
+                return
+            indices = [item[0] for item in batch]
+            payloads = [
+                item[1] if isinstance(item[1], bytes) else item[1].encode()
+                for item in batch
+            ]
+            connections[shard].send((indices, payloads))
+            pending[shard] += 1
+            batches[shard] += 1
+
+        def collect_ready(block_shard: Optional[int] = None) -> None:
+            # Drain replies so pipes never fill up; optionally block on
+            # one shard to bound its in-flight batches.
+            for shard, connection in enumerate(connections):
+                must_block = shard == block_shard and pending[shard] > 0
+                while pending[shard] and (
+                    must_block or connection.poll()
+                ):
+                    indices, raw, busy_total, latency = connection.recv()
+                    pending[shard] -= 1
+                    must_block = False
+                    busy[shard] = busy_total
+                    packets_done[shard] += len(indices)
+                    latencies.append(latency)
+                    for index, outcome in zip(indices, raw):
+                        outcomes[index] = _outcome(outcome, shard)
+
+        try:
+            shards = self.dispatcher.shards_of(packets)
+            for index, (shard, packet) in enumerate(zip(shards, packets)):
+                ring = rings[shard]
+                if not ring.push((index, packet)):
+                    if config.backpressure == "drop-tail":
+                        ring.record_drop()
+                        dropped += 1
+                        continue
+                    send_batch(shard)
+                    collect_ready(block_shard=shard)
+                    ring.push((index, packet))
+                if len(ring) >= config.batch_size:
+                    send_batch(shard)
+                    collect_ready()
+            for shard in range(config.num_shards):
+                while len(rings[shard]):
+                    send_batch(shard)
+                    collect_ready()
+            for shard in range(config.num_shards):
+                while pending[shard]:
+                    collect_ready(block_shard=shard)
+        finally:
+            for connection in connections:
+                try:
+                    connection.send(None)
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+            for process in processes:
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+            for connection in connections:
+                connection.close()
+
+        wall = time.perf_counter() - start
+        shard_reports = tuple(
+            ShardReport(
+                shard_id=i,
+                packets=packets_done[i],
+                batches=batches[i],
+                busy_seconds=busy[i],
+                utilization=busy[i] / wall if wall > 0 else 0.0,
+            )
+            for i in range(config.num_shards)
+        )
+        return self._report(
+            len(packets), dropped, wall, outcomes, sorted(latencies),
+            shard_reports, tuple(ring.stats() for ring in rings),
+        )
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        offered: int,
+        dropped: int,
+        wall: float,
+        outcomes: List[Optional[PacketOutcome]],
+        sorted_latencies: List[float],
+        shard_reports: Tuple[ShardReport, ...],
+        ring_stats: Tuple[RingStats, ...],
+    ) -> EngineReport:
+        decisions: Dict[str, int] = {}
+        for outcome in outcomes:
+            if outcome is not None:
+                name = outcome.decision.value
+                decisions[name] = decisions.get(name, 0) + 1
+        processed = offered - dropped
+        return EngineReport(
+            packets_offered=offered,
+            packets_processed=processed,
+            packets_dropped_backpressure=dropped,
+            wall_seconds=wall,
+            pkts_per_second=processed / wall if wall > 0 else 0.0,
+            decisions=decisions,
+            batch_latency_p50=_percentile(sorted_latencies, 0.50),
+            batch_latency_p99=_percentile(sorted_latencies, 0.99),
+            shards=shard_reports,
+            rings=ring_stats,
+            outcomes=tuple(outcomes),
+        )
+
+
+_DECISION_BY_VALUE = {decision.value: decision for decision in Decision}
+
+
+def _outcome(raw, shard: int) -> PacketOutcome:
+    decision, ports, packet = raw
+    return PacketOutcome(_DECISION_BY_VALUE[decision], ports, packet, shard)

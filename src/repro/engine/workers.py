@@ -1,0 +1,127 @@
+"""Worker shards: each owns a private processor and node state.
+
+Sharding in this engine follows the share-nothing run-to-completion
+model of software dataplanes (DPDK, VPP): every shard has its *own*
+:class:`~repro.core.processor.RouterProcessor` and its own
+:class:`~repro.core.state.NodeState` built from a state factory, so
+shards never contend on FIBs, PITs or flow tables.  The flow dispatcher
+guarantees all packets of one flow reach one shard, which is what makes
+private per-shard state (PIT entries, telemetry) correct.
+
+``_shard_worker_main`` is the multiprocessing entry point; it is a
+module-level function (picklable by name under both fork and spawn) and
+speaks plain tuples over its pipe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.fn import FN_ENCODED_SIZE
+from repro.core.header import BASIC_HEADER_SIZE
+from repro.core.packet import DipPacket
+from repro.core.processor import RouterProcessor
+from repro.core.state import NodeState
+
+# What a worker sends back per packet: (decision value, ports, encoded
+# output packet or None).  Plain types so the multiprocessing backend
+# can ship it over a pipe cheaply.
+RawOutcome = Tuple[str, Tuple[int, ...], Optional[bytes]]
+
+
+class ShardWorker:
+    """One shard: a processor plus busy-time/latency accounting.
+
+    Parameters
+    ----------
+    shard_id:
+        Index of this shard in the engine.
+    state_factory:
+        Zero-argument callable building this shard's private
+        :class:`NodeState`.  Called once, at construction.
+    cost_model:
+        Optional cost model handed to the processor.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        state_factory: Callable[[], NodeState],
+        cost_model: Optional[object] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.processor = RouterProcessor(state_factory(), cost_model=cost_model)
+        self.packets_processed = 0
+        self.busy_seconds = 0.0
+        self.batch_latencies: List[float] = []
+
+    def run_batch(
+        self, batch: Sequence[Union[DipPacket, bytes]]
+    ) -> List[RawOutcome]:
+        """Process one batch, recording wall time spent."""
+        start = time.perf_counter()
+        results = self.processor.process_batch(batch)
+        elapsed = time.perf_counter() - start
+        self.busy_seconds += elapsed
+        self.batch_latencies.append(elapsed)
+        self.packets_processed += len(results)
+        out: List[RawOutcome] = []
+        for item, result in zip(batch, results):
+            packet = result.packet
+            if packet is None:
+                encoded = None
+            elif isinstance(item, (bytes, bytearray)):
+                # Forwarding never touches the FN definitions, so the
+                # output is the input with the hop-limit byte rewritten
+                # and the locations region swapped -- a splice, not a
+                # field-by-field re-encode (byte-identical; proven by
+                # tests/engine/test_engine_equivalence.py).
+                header = packet.header
+                defs_end = BASIC_HEADER_SIZE + FN_ENCODED_SIZE * item[2]
+                encoded = b"".join(
+                    (
+                        item[:3],
+                        bytes((header.hop_limit,)),
+                        item[4:defs_end],
+                        header.locations,
+                        packet.payload,
+                    )
+                )
+            else:
+                encoded = packet.encode()
+            out.append((result.decision.value, result.ports, encoded))
+        return out
+
+
+def _shard_worker_main(
+    conn,
+    shard_id: int,
+    state_factory: Callable[[], NodeState],
+    cost_model: Optional[object],
+) -> None:
+    """Multiprocessing shard loop: receive raw batches, return outcomes.
+
+    Protocol (over a ``multiprocessing.Pipe``):
+
+    - request: ``(indices, payloads)`` where ``payloads`` is a list of
+      raw packet bytes; ``None`` asks the worker to exit.
+    - reply: ``(indices, outcomes, busy_seconds, latencies)`` with the
+      request's indices echoed so the engine can restore input order.
+    """
+    worker = ShardWorker(shard_id, state_factory, cost_model)
+    while True:
+        request = conn.recv()
+        if request is None:
+            conn.close()
+            return
+        indices, payloads = request
+        outcomes = worker.run_batch(payloads)
+        conn.send(
+            (
+                indices,
+                outcomes,
+                worker.busy_seconds,
+                worker.batch_latencies[-1],
+            )
+        )

@@ -98,13 +98,14 @@ class LpmTable:
             )
         node = self._root
         best = node.value if node.occupied else None
-        for depth in range(self.width):
-            bit = (address >> (self.width - 1 - depth)) & 1
-            node = node.children[bit]
+        shift = self.width - 1
+        while shift >= 0:
+            node = node.children[(address >> shift) & 1]
             if node is None:
                 break
             if node.occupied:
                 best = node.value
+            shift -= 1
         return best
 
     def lookup_with_prefix(self, address: int) -> Optional[Tuple[int, int, Any]]:

@@ -101,6 +101,18 @@ class BitView:
     # ------------------------------------------------------------------
     def get_uint(self, bit_offset: int, bit_count: int) -> int:
         """Read ``bit_count`` bits at ``bit_offset`` as a big-endian uint."""
+        if (
+            bit_offset >= 0
+            and bit_count >= 0
+            and not (bit_offset | bit_count) & 7
+            and bit_offset + bit_count <= len(self._buf) * 8
+        ):
+            # Byte-aligned fast path: most realizations use whole-byte
+            # fields, and this is the hottest call in packet forwarding.
+            start = bit_offset >> 3
+            return int.from_bytes(
+                self._buf[start : start + (bit_count >> 3)], "big"
+            )
         self._check_range(bit_offset, bit_count)
         if bit_count == 0:
             return 0
@@ -113,6 +125,20 @@ class BitView:
 
     def set_uint(self, bit_offset: int, bit_count: int, value: int) -> None:
         """Write ``value`` into ``bit_count`` bits at ``bit_offset``."""
+        if (
+            bit_offset >= 0
+            and bit_count > 0
+            and value >= 0
+            and not (bit_offset | bit_count) & 7
+            and bit_offset + bit_count <= len(self._buf) * 8
+            and not value >> bit_count
+        ):
+            # Byte-aligned fast path (see get_uint).
+            start = bit_offset >> 3
+            self._buf[start : start + (bit_count >> 3)] = value.to_bytes(
+                bit_count >> 3, "big"
+            )
+            return
         self._check_range(bit_offset, bit_count)
         if value < 0:
             raise ValueError("value must be non-negative")

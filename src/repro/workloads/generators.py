@@ -197,6 +197,26 @@ def _dip_workload(
     return workload
 
 
+def populate_dip_ipv4_routes(
+    state: NodeState, rng: random.Random, route_count: int = 1024
+) -> List[tuple]:
+    """Install the DIP-32 benchmark FIB; returns the (prefix, len) list.
+
+    Routes are drawn from ``rng`` *before* any packet randomness, so a
+    fresh ``random.Random(seed)`` rebuilds the exact same FIB the
+    workload's packets were generated against -- the engine's
+    multiprocessing shards rely on this to reconstruct state from a
+    picklable factory (see :mod:`repro.workloads.throughput`).
+    """
+    prefixes = []
+    for _ in range(route_count):
+        prefix_len = rng.randint(8, 24)
+        prefix = rng.getrandbits(prefix_len) << (32 - prefix_len)
+        state.fib_v4.insert(prefix, prefix_len, rng.randint(0, 15))
+        prefixes.append((prefix, prefix_len))
+    return prefixes
+
+
 def make_dip_ipv4_workload(
     packet_size: int = 128,
     packet_count: int = DEFAULT_PACKET_COUNT,
@@ -207,12 +227,7 @@ def make_dip_ipv4_workload(
     """DIP-32 forwarding (Section 3, IP Forwarding)."""
     rng = random.Random(seed)
     state = NodeState(node_id="dip-v4")
-    prefixes = []
-    for _ in range(route_count):
-        prefix_len = rng.randint(8, 24)
-        prefix = rng.getrandbits(prefix_len) << (32 - prefix_len)
-        state.fib_v4.insert(prefix, prefix_len, rng.randint(0, 15))
-        prefixes.append((prefix, prefix_len))
+    prefixes = populate_dip_ipv4_routes(state, rng, route_count)
     base = build_ipv4_packet(0, 0).size
     payload = _pad_payload(base, packet_size)
     packets = []

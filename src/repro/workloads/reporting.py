@@ -7,9 +7,10 @@ stable enough to paste into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 import re
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 
 def format_table(
@@ -32,21 +33,57 @@ def format_table(
     return "\n".join(lines)
 
 
+def report_slug(title: str) -> str:
+    """The filename stem a titled report is written under."""
+    return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+
+
+def write_report_json(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    report_dir: Optional[str] = None,
+) -> Optional[str]:
+    """Write a table as ``<dir>/<slug>.json``; returns the path.
+
+    The JSON twin of the ``.txt`` artifact: ``{title, headers, rows}``
+    with cells stringified the same way the text table renders them, so
+    downstream tooling can diff benchmark trajectories without parsing
+    aligned text.  No-op (returns None) when no report directory is
+    configured.
+    """
+    report_dir = report_dir or os.environ.get("REPRO_REPORT_DIR")
+    if not report_dir:
+        return None
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, f"{report_slug(title)}.json")
+    payload = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [[str(cell) for cell in row] for row in rows],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def print_table(
     title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> None:
     """Print a titled table.
 
     When the ``REPRO_REPORT_DIR`` environment variable is set, the table
-    is additionally written to ``<dir>/<slug-of-title>.txt`` so
-    benchmark runs leave paper-style artifacts behind.
+    is additionally written to ``<dir>/<slug-of-title>.txt`` (and a
+    machine-readable ``.json`` twin) so benchmark runs leave paper-style
+    artifacts behind.
     """
     rendered = f"== {title} ==\n" + format_table(headers, rows)
     print("\n" + rendered)
     report_dir = os.environ.get("REPRO_REPORT_DIR")
     if report_dir:
         os.makedirs(report_dir, exist_ok=True)
-        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
-        path = os.path.join(report_dir, f"{slug}.txt")
+        path = os.path.join(report_dir, f"{report_slug(title)}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
+        write_report_json(title, headers, rows, report_dir)

@@ -1,0 +1,122 @@
+"""Engine throughput workload: DIP-32 forwarding at batch scale.
+
+This module owns two things the engine benchmarks and CLI share:
+
+- :func:`dip32_state_factory` -- a *module-level* (picklable) factory
+  rebuilding the DIP-32 benchmark node state, so the engine's
+  multiprocessing shards can construct identical private FIBs from a
+  seed instead of receiving live objects over a pipe;
+- :func:`run_throughput_sweep` -- the per-packet / batched / engine
+  comparison behind ``python -m repro engine`` and
+  ``benchmarks/test_engine_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.packet import DipPacket
+from repro.core.processor import RouterProcessor
+from repro.core.state import NodeState
+from repro.engine import EngineConfig, ForwardingEngine
+from repro.workloads.generators import (
+    make_dip_ipv4_workload,
+    populate_dip_ipv4_routes,
+)
+from repro.workloads.sweeps import run_sweep, time_callable
+
+
+def dip32_state_factory(
+    route_count: int = 1024, seed: int = 7
+) -> NodeState:
+    """The DIP-32 benchmark node state, rebuilt from its seed.
+
+    Identical to the state :func:`make_dip_ipv4_workload` pairs with
+    its packets, because that generator draws all route randomness
+    before any packet randomness (see ``populate_dip_ipv4_routes``).
+    """
+    state = NodeState(node_id="dip-v4")
+    populate_dip_ipv4_routes(state, random.Random(seed), route_count)
+    return state
+
+
+def make_engine_packets(
+    packet_size: int = 128, packet_count: int = 1000, seed: int = 7
+) -> List[bytes]:
+    """Encoded DIP-32 packets matching :func:`dip32_state_factory`."""
+    workload = make_dip_ipv4_workload(
+        packet_size=packet_size, packet_count=packet_count, seed=seed
+    )
+    return [packet.encode() for packet in workload.packets]
+
+
+def measure_throughput(
+    packets: List[bytes],
+    mode: str = "per-packet",
+    num_shards: int = 4,
+    backend: str = "serial",
+    batch_size: int = 64,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """pkts/s of one processing mode over a prepared packet batch.
+
+    Modes: ``per-packet`` (the reference Algorithm 1 interpreter),
+    ``batch`` (:meth:`RouterProcessor.process_batch`), ``engine``
+    (the full dispatch/ring/shard path).
+    """
+    if mode == "per-packet":
+        processor = RouterProcessor(dip32_state_factory())
+
+        def work() -> None:
+            for raw in packets:
+                processor.process(DipPacket.decode(raw))
+
+    elif mode == "batch":
+        processor = RouterProcessor(dip32_state_factory())
+
+        def work() -> None:
+            processor.process_batch(packets)
+
+    elif mode == "engine":
+        engine = ForwardingEngine(
+            dip32_state_factory,
+            config=EngineConfig(
+                num_shards=num_shards,
+                backend=backend,
+                batch_size=batch_size,
+            ),
+        )
+
+        def work() -> None:
+            engine.run(packets)
+
+    else:
+        raise ValueError(f"unknown throughput mode {mode!r}")
+
+    work()  # warm caches so every mode is measured steady-state
+    seconds = time_callable(work, repeats=repeats)
+    return {
+        "mode": mode,
+        "pkts_per_second": len(packets) / seconds if seconds > 0 else 0.0,
+        "seconds": seconds,
+    }
+
+
+def run_throughput_sweep(
+    packet_count: int = 1000,
+    packet_size: int = 128,
+    num_shards: int = 4,
+    repeats: int = 3,
+    modes: Optional[List[str]] = None,
+):
+    """Sweep processing modes over one packet batch (min-of-N timing)."""
+    packets = make_engine_packets(
+        packet_size=packet_size, packet_count=packet_count
+    )
+    return run_sweep(
+        {"mode": modes or ["per-packet", "batch", "engine"]},
+        lambda mode: measure_throughput(
+            packets, mode=mode, num_shards=num_shards, repeats=repeats
+        ),
+    )

@@ -1,0 +1,54 @@
+"""Tests for the bounded rings (backpressure and accounting)."""
+
+import pytest
+
+from repro.engine.rings import Ring
+
+
+class TestRing:
+    def test_fifo_order(self):
+        ring = Ring(capacity=8)
+        for value in range(5):
+            assert ring.push(value)
+        assert ring.pop_batch(3) == [0, 1, 2]
+        assert ring.pop_batch(10) == [3, 4]
+        assert ring.pop_batch(1) == []
+
+    def test_push_refuses_when_full(self):
+        ring = Ring(capacity=2)
+        assert ring.push("a") and ring.push("b")
+        assert ring.full
+        assert not ring.push("c")
+        # the refused push has no side effects
+        assert len(ring) == 2
+        assert ring.enqueued == 2
+        assert ring.dropped == 0
+
+    def test_record_drop_counts(self):
+        ring = Ring(capacity=1)
+        ring.push("a")
+        ring.record_drop()
+        ring.record_drop()
+        assert ring.stats().dropped == 2
+
+    def test_high_watermark_tracks_peak_not_current(self):
+        ring = Ring(capacity=8)
+        for value in range(6):
+            ring.push(value)
+        ring.pop_batch(6)
+        ring.push("z")
+        stats = ring.stats()
+        assert stats.high_watermark == 6
+        assert stats.enqueued == 7
+        assert len(ring) == 1
+
+    def test_space_reusable_after_pop(self):
+        ring = Ring(capacity=2)
+        ring.push(1), ring.push(2)
+        ring.pop_batch(1)
+        assert ring.push(3)
+        assert ring.pop_batch(2) == [2, 3]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Ring(capacity=0)

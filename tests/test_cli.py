@@ -131,3 +131,31 @@ class TestTables:
         code, text = run_cli("keys")
         assert code == 0
         assert "F_FIB" in text and "F_epic" in text
+
+
+class TestEngine:
+    def test_runs_serial_engine(self):
+        code, text = run_cli(
+            "engine", "--packets", "200", "--shards", "2",
+            "--batch-size", "32",
+        )
+        assert code == 0
+        assert "engine: 200/200 packets" in text
+        assert "(serial, 2 shard(s))" in text
+        assert "decisions: forward 200" in text
+        assert "batch latency: p50" in text
+        assert "shard" in text and "drops" in text
+
+    def test_drop_tail_reports_drops(self):
+        # a batch size above the ring capacity (1024) means the shard
+        # never wakes mid-run, so pushes past the capacity drop
+        code, text = run_cli(
+            "engine", "--packets", "1200", "--shards", "1",
+            "--batch-size", "2048", "--backpressure", "drop-tail",
+        )
+        assert code == 0
+        assert "engine: 1024/1200 packets" in text
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            run_cli("engine", "--backend", "bogus")

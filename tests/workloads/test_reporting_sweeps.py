@@ -1,11 +1,16 @@
 """Tests for the table renderer, report artifacts, and sweep driver."""
 
+import json
 import os
 
 import pytest
 
 from repro.netsim.stats import TraceRecorder
-from repro.workloads.reporting import format_table, print_table
+from repro.workloads.reporting import (
+    format_table,
+    print_table,
+    write_report_json,
+)
 from repro.workloads.sweeps import mean, run_sweep, time_callable
 
 
@@ -35,10 +40,31 @@ class TestPrintTable:
         print_table("My Table: x/y", ["a"], [["b"]])
         captured = capsys.readouterr()
         assert "My Table" in captured.out
-        files = list(tmp_path.iterdir())
-        assert len(files) == 1
-        assert files[0].name == "my-table-x-y.txt"
-        assert "My Table" in files[0].read_text()
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert names == ["my-table-x-y.json", "my-table-x-y.txt"]
+        assert "My Table" in (tmp_path / "my-table-x-y.txt").read_text()
+
+    def test_json_artifact_is_machine_readable(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_REPORT_DIR", str(tmp_path))
+        print_table("T numbers", ["name", "value"], [["x", 1], ["y", 2.5]])
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "t-numbers.json").read_text())
+        assert payload["title"] == "T numbers"
+        assert payload["headers"] == ["name", "value"]
+        assert payload["rows"] == [["x", "1"], ["y", "2.5"]]
+
+    def test_write_report_json_direct(self, tmp_path):
+        path = write_report_json(
+            "Direct", ["h"], [[42]], report_dir=str(tmp_path)
+        )
+        assert path is not None and path.endswith("direct.json")
+        assert json.loads(open(path).read())["rows"] == [["42"]]
+
+    def test_write_report_json_noop_without_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPORT_DIR", raising=False)
+        assert write_report_json("T", ["h"], [["r"]]) is None
 
     def test_no_artifact_without_env(self, tmp_path, monkeypatch, capsys):
         monkeypatch.delenv("REPRO_REPORT_DIR", raising=False)
@@ -64,6 +90,38 @@ class TestRunSweep:
     def test_empty_grid_runs_once(self):
         points = run_sweep({}, lambda: {"ok": True})
         assert len(points) == 1 and points[0].outputs["ok"]
+
+    def test_repeats_min_aggregation(self):
+        readings = iter([5.0, 3.0, 4.0])
+        points = run_sweep(
+            {"n": [1]},
+            lambda n: {"seconds": next(readings), "label": "x"},
+            repeats=3,
+        )
+        assert points[0].outputs["seconds"] == 3.0
+        assert points[0].outputs["label"] == "x"  # non-numeric: first run
+
+    def test_repeats_median_aggregation(self):
+        readings = iter([5.0, 3.0, 4.0])
+        points = run_sweep(
+            {"n": [1]},
+            lambda n: {"seconds": next(readings)},
+            repeats=3,
+            aggregate="median",
+        )
+        assert points[0].outputs["seconds"] == 4.0
+
+    def test_repeats_bool_not_aggregated(self):
+        points = run_sweep(
+            {"n": [1]}, lambda n: {"ok": True}, repeats=2
+        )
+        assert points[0].outputs["ok"] is True
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep({}, lambda: {}, repeats=0)
+        with pytest.raises(ValueError):
+            run_sweep({}, lambda: {"x": 1}, repeats=2, aggregate="max")
 
 
 class TestHelpers:
