@@ -12,9 +12,11 @@ pkts/s on the DIP-32 workload.  Equivalence of the outputs is proven
 separately in ``tests/engine/``.
 """
 
+from pathlib import Path
+
 import pytest
 
-from repro.workloads.reporting import print_table
+from repro.workloads.reporting import print_table, update_bench_json
 from repro.workloads.throughput import (
     make_engine_packets,
     measure_throughput,
@@ -22,6 +24,11 @@ from repro.workloads.throughput import (
 
 PACKETS = 2000
 SPEEDUP_FLOOR = 2.0
+
+# Committed benchmark ledger at the repo root, shared with
+# benchmarks/test_flowcache_throughput.py (rows merge by label).
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_engine.json"
+BENCH_HEADERS = ["mode", "pkts/s", "speedup vs per-packet"]
 
 pytestmark = pytest.mark.slow
 
@@ -58,6 +65,15 @@ def test_engine_throughput_floor(engine_packets):
         "ENGINE: DIP-32 throughput (per-packet vs batch vs engine)",
         ["mode", "pkts/s", "speedup"],
         rows,
+    )
+    update_bench_json(
+        str(BENCH_JSON),
+        "ENGINE/FLOWCACHE: DIP-32 throughput",
+        BENCH_HEADERS,
+        [
+            [mode, f"{pps:,.0f}", f"{pps / base_pps:.2f}x"]
+            for mode, pps in best.items()
+        ],
     )
 
     batch_speedup = best["batch"] / base_pps

@@ -12,10 +12,17 @@ workload:
 3. ``ForwardingEngine`` -- RSS-style flow hashing into bounded rings
    feeding sharded processors, each with private state.
 
+With ``--flow-cache`` (the default; disable with ``--no-flow-cache``)
+the ladder grows a fourth rung: the flow-level decision cache
+(DESIGN.md §3.7) in front of the batch walk, shown with its
+hit/miss/bypass counters on a Zipf-skewed workload.
+
 Then shows what the engine adds beyond speed: flow-stable shard
 steering (an NDN interest and its data meet the same PIT) and explicit
 backpressure (block vs drop-tail).
 """
+
+import argparse
 
 from repro.core.packet import DipPacket
 from repro.core.processor import RouterProcessor
@@ -24,23 +31,51 @@ from repro.realize.ndn import build_data_packet, build_interest_packet
 from repro.workloads.throughput import (
     dip32_state_factory,
     make_engine_packets,
+    make_zipf_engine_packets,
     measure_throughput,
 )
 
 
-def throughput_ladder(packets) -> None:
+def throughput_ladder(packets, flow_cache: bool) -> None:
     print("== throughput ladder (DIP-32, %d packets) ==" % len(packets))
     base = measure_throughput(packets, mode="per-packet", repeats=3)
-    for result in (
+    ladder = [
         base,
         measure_throughput(packets, mode="batch", repeats=3),
         measure_throughput(packets, mode="engine", num_shards=4, repeats=3),
-    ):
+    ]
+    if flow_cache:
+        cached = measure_throughput(
+            packets, mode="batch", repeats=3, flow_cache=True
+        )
+        cached["mode"] = "batch+fc"
+        ladder.insert(2, cached)
+    for result in ladder:
         speedup = result["pkts_per_second"] / base["pkts_per_second"]
         print(
             f"  {result['mode']:<10} {result['pkts_per_second']:>10,.0f}"
             f" pkts/s  ({speedup:.2f}x)"
         )
+
+
+def flow_cache_counters() -> None:
+    print("\n== flow decision cache (Zipf s=1.1, 256 flows) ==")
+    packets = make_zipf_engine_packets(packet_count=1000)
+    engine = ForwardingEngine(
+        dip32_state_factory,
+        config=EngineConfig(num_shards=4, flow_cache=True),
+    )
+    for label in ("cold", "warm"):
+        stats = engine.run(packets).flow_cache
+        print(
+            f"  {label}: {stats.hits} hits, {stats.misses} misses,"
+            f" {stats.bypasses} bypasses, {stats.evictions} evictions,"
+            f" {stats.size}/{stats.capacity} entries"
+        )
+    print(
+        "  -> same decisions either way (tests/engine/"
+        "test_flowcache_equivalence.py); warm runs skip the FN walk"
+    )
 
 
 def flow_steering() -> None:
@@ -108,11 +143,21 @@ def backpressure(packets) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--flow-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="include the flow decision cache rung and its counters",
+    )
+    args = parser.parse_args()
     packets = make_engine_packets(packet_count=1000)
-    throughput_ladder(packets)
+    throughput_ladder(packets, flow_cache=args.flow_cache)
     flow_steering()
     equivalence(packets)
     backpressure(packets[:200])
+    if args.flow_cache:
+        flow_cache_counters()
 
 
 if __name__ == "__main__":

@@ -211,10 +211,11 @@ def _print_fig2(out) -> int:
 def cmd_engine(args, out) -> int:
     """Run the sharded forwarding engine over a DIP-32 batch."""
     from repro.engine import EngineConfig, ForwardingEngine
-    from repro.workloads.reporting import format_table
+    from repro.workloads.reporting import format_table, write_report_json
     from repro.workloads.throughput import (
         dip32_state_factory,
         make_engine_packets,
+        make_zipf_engine_packets,
     )
 
     try:
@@ -223,13 +224,20 @@ def cmd_engine(args, out) -> int:
             backend=args.backend,
             batch_size=args.batch_size,
             backpressure=args.backpressure,
+            flow_cache=args.flow_cache,
+            flow_cache_capacity=args.flow_cache_capacity,
         )
     except ReproError as exc:
         out.write(f"error: {exc}\n")
         return 2
-    packets = make_engine_packets(
-        packet_size=args.packet_size, packet_count=args.packets
-    )
+    if args.zipf:
+        packets = make_zipf_engine_packets(
+            packet_size=args.packet_size, packet_count=args.packets
+        )
+    else:
+        packets = make_engine_packets(
+            packet_size=args.packet_size, packet_count=args.packets
+        )
     engine = ForwardingEngine(dip32_state_factory, config=config)
     report = engine.run(packets)
 
@@ -263,6 +271,25 @@ def cmd_engine(args, out) -> int:
     )
     for line in table.splitlines():
         out.write(f"  {line}\n")
+    if report.flow_cache is not None:
+        stats = report.flow_cache
+        cache_rows = [
+            ["hits", stats.hits],
+            ["misses", stats.misses],
+            ["bypasses", stats.bypasses],
+            ["evictions", stats.evictions],
+            ["invalidations", stats.invalidations],
+            ["size", stats.size],
+            ["capacity", stats.capacity],
+        ]
+        out.write("  flow cache:\n")
+        cache_table = format_table(["counter", "value"], cache_rows)
+        for line in cache_table.splitlines():
+            out.write(f"    {line}\n")
+        # JSON twin (written when REPRO_REPORT_DIR is configured).
+        write_report_json(
+            "engine flow cache", ["counter", "value"], cache_rows
+        )
     return 0
 
 
@@ -303,6 +330,18 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     engine.add_argument("--batch-size", type=int, default=64)
     engine.add_argument(
         "--backpressure", choices=["block", "drop-tail"], default="block"
+    )
+    engine.add_argument(
+        "--flow-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="put a flow-level decision cache in front of every shard",
+    )
+    engine.add_argument("--flow-cache-capacity", type=int, default=65536)
+    engine.add_argument(
+        "--zipf",
+        action="store_true",
+        help="Zipf-skewed flow popularity instead of uniform flows",
     )
 
     args = parser.parse_args(argv)

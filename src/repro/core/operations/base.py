@@ -121,11 +121,22 @@ class Operation:
     on-path AS must support: when a router lacks such an operation it
     must signal the source instead of silently ignoring the FN
     (Section 2.4, heterogeneous configuration).
+
+    ``pure`` marks read-only lookups whose result depends *only* on the
+    target-field bits, the ingress port, and node state covered by the
+    processor's generation token (FIBs, locality sets, the registry) --
+    never on ``ctx.now``, the payload, per-packet mutable state (PIT,
+    content store, policers) or scratch left by impure FNs, and never
+    with side effects beyond writing key-determined scratch values.
+    Programs made solely of pure operations are eligible for the
+    flow-level decision cache (:mod:`repro.core.flowcache`); a single
+    impure FN forces the whole program to bypass it.
     """
 
     key: int = 0
     name: str = "op"
     path_critical: bool = False
+    pure: bool = False
 
     def execute(
         self, ctx: OperationContext, fn: FieldOperation

@@ -25,6 +25,9 @@ class Match32Operation(Operation):
 
     key = 1
     name = "F_32_match"
+    # Pure lookup: fate depends only on the destination field and the
+    # FIB/locality state tracked by the processor's generation token.
+    pure = True
 
     def __init__(self) -> None:
         # LPM-hit results are identical per egress port and the result
@@ -57,6 +60,7 @@ class Match128Operation(Operation):
 
     key = 2
     name = "F_128_match"
+    pure = True
 
     def __init__(self) -> None:
         self._forwards: dict = {}

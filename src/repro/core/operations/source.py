@@ -22,6 +22,9 @@ class SourceOperation(Operation):
 
     key = 3
     name = "F_source"
+    # Pure: reads its target field and writes only key-determined
+    # scratch values (the recorded address is a function of the field).
+    pure = True
 
     def __init__(self) -> None:
         # The proceed note depends only on field_len and the result

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.core.flowcache import FlowDecisionCache, template_from_result
 from repro.core.fn import FieldOperation, OperationKey
 from repro.core.header import DipHeader
 from repro.core.operations.base import (
@@ -125,6 +126,10 @@ class _CompiledProgram:
         "max_field_end",
         "cum_sequential",
         "cum_parallel",
+        "cacheable",
+        "reads",
+        "read_slices",
+        "read_cover",
     )
 
     def __init__(
@@ -162,6 +167,40 @@ class _CompiledProgram:
             executed_fns.append(fn)
             executed_cycles.append(cycles)
         self.steps = tuple(steps)
+        # Flow-cache eligibility (repro.core.flowcache): cacheable iff
+        # every executed operation is a pure lookup, in which case the
+        # packet's fate is an exact function of the read-field values
+        # (plus the per-packet inputs folded into the cache key).
+        self.cacheable = all(
+            step[2].pure for step in steps if step[0] == _STEP_EXECUTE
+        )
+        reads = tuple(
+            dict.fromkeys(
+                (step[1].field_loc, step[1].field_len)
+                for step in steps
+                if step[0] == _STEP_EXECUTE
+            )
+        )
+        self.reads = reads
+        # Byte-aligned reads extract with plain slices on the hit path.
+        if all(not (loc | length) & 7 for loc, length in reads):
+            self.read_slices = tuple(
+                (loc >> 3, (loc + length) >> 3) for loc, length in reads
+            )
+            # When the slices exactly partition [0, read_cover) bytes,
+            # a locations region of that length IS the key value --
+            # no per-read slicing at all (DIP-32/128 forwarding: the
+            # locations are exactly dst||src).
+            cover = 0
+            for start, end in sorted(self.read_slices):
+                if start != cover:
+                    cover = None
+                    break
+                cover = end
+            self.read_cover = cover
+        else:
+            self.read_slices = None
+            self.read_cover = None
         # Cumulative cycle totals per executed-FN prefix length.
         levels = parallel_levels(executed_fns)
         self.cum_sequential = [0]
@@ -232,10 +271,14 @@ class RouterProcessor:
         state: NodeState,
         registry: Optional[OperationRegistry] = None,
         cost_model: Optional[object] = None,
+        flow_cache: Optional[FlowDecisionCache] = None,
     ) -> None:
         self.state = state
         self.registry = registry if registry is not None else default_registry()
         self.cost_model = cost_model
+        # Optional flow-level decision cache in front of the batch
+        # path (repro.core.flowcache); None keeps PR 1 behaviour.
+        self.flow_cache = flow_cache
         # Program cache for the batch fast path, keyed by the raw
         # FN-definition bytes (raw-packet input) and by the decoded fns
         # tuple (DipPacket input); both keys map to one entry.
@@ -412,6 +455,10 @@ class RouterProcessor:
         if self._programs_version != self.registry.version:
             self._programs.clear()
             self._programs_version = self.registry.version
+        if self.flow_cache is not None:
+            return self._process_batch_cached(
+                packets, ingress_port, now, collect_notes
+            )
         out: List[ProcessResult] = []
         for packet in packets:
             if isinstance(packet, (bytes, bytearray)):
@@ -645,6 +692,292 @@ class RouterProcessor:
         return result
 
     # ------------------------------------------------------------------
+    # flow-level decision cache (repro.core.flowcache)
+    # ------------------------------------------------------------------
+    def _state_token(self) -> tuple:
+        """Generation token covering everything a pure walk may read.
+
+        Any decision-relevant mutation moves at least one component:
+        module installs/removals bump ``registry.version``, FIB edits
+        bump the per-table ``generation`` counters, locality/limits/
+        default-port changes show up directly or via
+        ``NodeState.generation``.
+        """
+        state = self.state
+        return (
+            self.registry.version,
+            state.generation,
+            state.fib_v4.generation,
+            state.fib_v6.generation,
+            state.name_fib_digest.generation,
+            state.name_fib.generation,
+            state.default_port,
+            state.limits,
+            len(state.local_v4),
+            len(state.local_v6),
+        )
+
+    def _process_batch_cached(
+        self,
+        packets,
+        ingress_port: int,
+        now: float,
+        collect_notes: bool,
+    ) -> List[ProcessResult]:
+        """The batch loop with the decision cache in front (hot path).
+
+        Raw packets are keyed straight off the wire bytes: a steady
+        -state hit materializes neither the input header nor the input
+        packet object -- only the rewritten output packet.  Anything off
+        the straight line (``DipPacket`` inputs, program-cache misses,
+        malformed data, bypass conditions) drops to
+        :meth:`_process_cached`, which is decision-identical by
+        construction.
+        """
+        from repro.core.fn import FN_ENCODED_SIZE
+        from repro.core.header import BASIC_HEADER_SIZE, MAX_LOC_LEN
+
+        cache = self.flow_cache
+        # A materialized sequence runs no caller code between packets,
+        # so one generation check covers the whole batch; a lazy
+        # iterable can mutate decision-relevant state between yields
+        # and is re-checked per packet.
+        per_packet_sync = not isinstance(packets, (list, tuple))
+        if not per_packet_sync:
+            cache.sync(self._state_token())
+        cost_model = self.cost_model
+        entries = cache._entries  # one dict probe per packet
+        entries_get = entries.get
+        move_to_end = entries.move_to_end
+        programs_get = self._programs.get
+        process_cached = self._process_cached
+        new = object.__new__
+        set_attr = object.__setattr__
+        out: List[ProcessResult] = []
+        append = out.append
+        for packet in packets:
+            if per_packet_sync:
+                cache.sync(self._state_token())
+            if not isinstance(packet, (bytes, bytearray)):
+                program = self._compiled(packet.header.fns)
+                append(
+                    process_cached(
+                        packet, program, ingress_port, now, collect_notes
+                    )
+                )
+                continue
+            data = bytes(packet)
+            fast = len(data) >= BASIC_HEADER_SIZE
+            if fast:
+                defs_end = BASIC_HEADER_SIZE + FN_ENCODED_SIZE * data[2]
+                program = programs_get(data[BASIC_HEADER_SIZE:defs_end])
+                parameter = int.from_bytes(data[4:6], "big")
+                loc_len = (parameter >> 1) & MAX_LOC_LEN
+                total = defs_end + loc_len
+                hop_limit = data[3]
+                fast = (
+                    program is not None
+                    and len(data) >= total
+                    and program.cacheable
+                    and hop_limit != 0
+                    and program.max_field_end <= loc_len * 8
+                )
+            if not fast:
+                # Program-cache miss, truncated data (exact codec errors
+                # surface from the reference decoder) or a bypass
+                # condition: the generic per-packet path handles -- and
+                # counts -- all of them.
+                packet, program = self._decode_raw(data)
+                append(
+                    process_cached(
+                        packet, program, ingress_port, now, collect_notes
+                    )
+                )
+                continue
+            locations = data[defs_end:total]
+            parallel = bool(parameter & 1)
+            parse_cycles = (
+                cost_model.parse_cycles(total, len(data))
+                if cost_model is not None
+                else 0
+            )
+            if program.read_cover == loc_len:
+                values = locations
+            else:
+                slices = program.read_slices
+                if slices is not None:
+                    values = tuple(locations[a:b] for a, b in slices)
+                else:
+                    view = BitView(locations)
+                    values = tuple(
+                        view.get_uint(loc, length)
+                        for loc, length in program.reads
+                    )
+            key = (
+                program,
+                values,
+                parse_cycles,
+                parallel,
+                ingress_port,
+                collect_notes,
+            )
+            entry = entries_get(key)
+            if entry is None:
+                cache.misses += 1
+                in_packet = new(DipPacket)
+                set_attr(
+                    in_packet,
+                    "header",
+                    _fast_header(
+                        program.fns,
+                        locations,
+                        int.from_bytes(data[0:2], "big"),
+                        hop_limit,
+                        parallel,
+                        (parameter >> 11) & 0x1F,
+                    ),
+                )
+                set_attr(in_packet, "payload", data[total:])
+                result = self._process_compiled(
+                    in_packet, program, ingress_port, now, collect_notes
+                )
+                template = template_from_result(result, locations)
+                if template is not None:
+                    cache.put(key, template)
+                append(result)
+                continue
+            move_to_end(key)
+            cache.hits += 1
+            out_packet = None
+            if entry.has_packet:
+                loc_splices = entry.loc_splices
+                if loc_splices is None:
+                    out_locations = locations
+                else:
+                    buffer = bytearray(locations)
+                    for offset, replacement in loc_splices:
+                        buffer[offset : offset + len(replacement)] = (
+                            replacement
+                        )
+                    out_locations = bytes(buffer)
+                out_packet = new(DipPacket)
+                set_attr(
+                    out_packet,
+                    "header",
+                    _fast_header(
+                        program.fns,
+                        out_locations,
+                        int.from_bytes(data[0:2], "big"),
+                        hop_limit - 1,
+                        parallel,
+                        (parameter >> 11) & 0x1F,
+                    ),
+                )
+                set_attr(out_packet, "payload", data[total:])
+            result = new(ProcessResult)
+            set_attr(result, "decision", entry.decision)
+            set_attr(result, "ports", entry.ports)
+            set_attr(result, "packet", out_packet)
+            set_attr(result, "notes", entry.notes)
+            set_attr(result, "cycles", entry.cycles)
+            set_attr(result, "cycles_sequential", entry.cycles_sequential)
+            set_attr(result, "cycles_parallel", entry.cycles_parallel)
+            set_attr(result, "unsupported_key", entry.unsupported_key)
+            set_attr(result, "scratch", dict(entry.scratch))
+            append(result)
+        return out
+
+    def _process_cached(
+        self,
+        packet: DipPacket,
+        program: _CompiledProgram,
+        ingress_port: int,
+        now: float,
+        collect_notes: bool,
+    ) -> ProcessResult:
+        """One packet through the flow cache (decision-identical).
+
+        Stateful programs (any impure executed operation), expired hop
+        limits and out-of-range target fields bypass to the slow path;
+        everything else is answered from -- or seeds -- an exact-match
+        entry keyed on the read-field values.  The caller
+        (:meth:`_process_batch_cached`) has already synced the cache
+        against the state token.
+        """
+        cache = self.flow_cache
+        header = packet.header
+        locations = header.locations
+        if (
+            not program.cacheable
+            or header.hop_limit == 0
+            or program.max_field_end > len(locations) * 8
+        ):
+            cache.bypasses += 1
+            return self._process_compiled(
+                packet, program, ingress_port, now, collect_notes
+            )
+        cost_model = self.cost_model
+        # parse_cycles varies with packet size and feeds both the cycle
+        # totals and the budget checks, so it is part of the key.
+        parse_cycles = (
+            cost_model.parse_cycles(header.header_length, packet.size)
+            if cost_model is not None
+            else 0
+        )
+        if program.read_cover == len(locations):
+            values = locations
+        elif program.read_slices is not None:
+            values = tuple(locations[a:b] for a, b in program.read_slices)
+        else:
+            view = BitView(locations)
+            values = tuple(
+                view.get_uint(loc, length) for loc, length in program.reads
+            )
+        key = (
+            program,
+            values,
+            parse_cycles,
+            header.parallel,
+            ingress_port,
+            collect_notes,
+        )
+        entry = cache.get(key)
+        if entry is None:
+            cache.misses += 1
+            result = self._process_compiled(
+                packet, program, ingress_port, now, collect_notes
+            )
+            template = template_from_result(result, locations)
+            if template is not None:
+                cache.put(key, template)
+            return result
+        cache.hits += 1
+        out_packet = None
+        if entry.has_packet:
+            if entry.loc_splices is None:
+                out_locations = locations
+            else:
+                buffer = bytearray(locations)
+                for offset, replacement in entry.loc_splices:
+                    buffer[offset : offset + len(replacement)] = replacement
+                out_locations = bytes(buffer)
+            out_packet = _fast_output_packet(
+                header, out_locations, packet.payload
+            )
+        result = object.__new__(ProcessResult)
+        set_attr = object.__setattr__
+        set_attr(result, "decision", entry.decision)
+        set_attr(result, "ports", entry.ports)
+        set_attr(result, "packet", out_packet)
+        set_attr(result, "notes", entry.notes)
+        set_attr(result, "cycles", entry.cycles)
+        set_attr(result, "cycles_sequential", entry.cycles_sequential)
+        set_attr(result, "cycles_parallel", entry.cycles_parallel)
+        set_attr(result, "unsupported_key", entry.unsupported_key)
+        set_attr(result, "scratch", dict(entry.scratch))
+        return result
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _is_path_critical(self, key: int) -> bool:
@@ -665,6 +998,10 @@ class RouterProcessor:
         """Drop every compiled program (e.g. after swapping cost models)."""
         self._programs.clear()
         self._programs_version = self.registry.version
+        # Compiled-program objects are flow-cache key components, so a
+        # rebuild must flush the decision cache too.
+        if self.flow_cache is not None:
+            self.flow_cache.clear()
 
     def _finish(
         self,

@@ -100,6 +100,15 @@ class NodeState:
     # -- resource protection (Section 2.4) --------------------------------
     limits: ProcessingLimits = field(default_factory=ProcessingLimits)
 
+    # -- cache invalidation ----------------------------------------------
+    # Bumped (via bump_generation) whenever decision-relevant state that
+    # carries no generation counter of its own changes -- the locality
+    # sets, a swapped-in FIB, a new default port.  The flow decision
+    # cache folds this into its invalidation token together with the
+    # FIB/registry generations; the convenience installers below bump it
+    # automatically, direct slot mutation should call bump_generation().
+    generation: int = 0
+
     def __post_init__(self) -> None:
         if self.router_key is None:
             self.router_key = RouterKey(self.node_id)
@@ -113,13 +122,19 @@ class NodeState:
     # ------------------------------------------------------------------
     # convenience installers
     # ------------------------------------------------------------------
+    def bump_generation(self) -> None:
+        """Invalidate flow-decision caches after a direct state mutation."""
+        self.generation += 1
+
     def add_local_v4(self, address: int) -> None:
         """Declare an IPv4 address as locally owned (delivery target)."""
         self.local_v4.add(address)
+        self.generation += 1
 
     def add_local_v6(self, address: int) -> None:
         """Declare an IPv6 address as locally owned."""
         self.local_v6.add(address)
+        self.generation += 1
 
     def neighbor_label(self, port: int) -> Optional[str]:
         """Upstream neighbour id for an ingress port, when known."""

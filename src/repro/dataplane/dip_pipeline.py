@@ -27,7 +27,7 @@ exactly like the reference interpreter for every protocol realization.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.fn import FieldOperation
 from repro.core.header import DipHeader

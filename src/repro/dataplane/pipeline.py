@@ -18,7 +18,6 @@ from repro.dataplane.phv import PacketHeaderVector
 from repro.dataplane.tables import (
     ExactTable,
     LpmMatchTable,
-    TableEntry,
     TernaryTable,
 )
 from repro.errors import DataplaneError, PipelineConstraintError

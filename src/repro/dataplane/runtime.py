@@ -17,7 +17,7 @@ module models that management plane:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.operations.base import Operation

@@ -16,6 +16,7 @@ packets through that walk at rate:
   backend behind the same API.
 """
 
+from repro.core.flowcache import FlowCacheStats, FlowDecisionCache
 from repro.engine.dispatch import FLOW_DISPATCH_KEYS, FlowDispatcher, flow_key
 from repro.engine.engine import (
     EngineConfig,
@@ -32,6 +33,8 @@ __all__ = [
     "flow_key",
     "EngineConfig",
     "EngineReport",
+    "FlowCacheStats",
+    "FlowDecisionCache",
     "ForwardingEngine",
     "PacketOutcome",
     "ShardReport",

@@ -37,6 +37,11 @@ from typing import (
     Union,
 )
 
+from repro.core.flowcache import (
+    DEFAULT_CAPACITY,
+    FlowCacheStats,
+    FlowDecisionCache,
+)
 from repro.core.operations.base import Decision
 from repro.core.packet import DipPacket
 from repro.core.state import NodeState
@@ -60,6 +65,13 @@ class EngineConfig:
     counted, as a hardware RX queue would.  A ``ring_capacity`` below
     ``batch_size`` models a consumer that only wakes for full batches
     it can never get -- useful for forcing drop-tail in tests.
+
+    ``flow_cache`` puts a flow-level decision cache
+    (:class:`repro.core.flowcache.FlowDecisionCache`, bounded by
+    ``flow_cache_capacity`` entries per shard) in front of every
+    shard's processor; stateful programs bypass it, so it is safe for
+    any workload and off by default only to keep the PR 1 baseline
+    measurable.
     """
 
     num_shards: int = 4
@@ -67,8 +79,12 @@ class EngineConfig:
     batch_size: int = 64
     ring_capacity: int = 1024
     backpressure: str = "block"
+    flow_cache: bool = False
+    flow_cache_capacity: int = DEFAULT_CAPACITY
 
     def __post_init__(self) -> None:
+        if self.flow_cache_capacity <= 0:
+            raise SimulationError("flow_cache_capacity must be positive")
         if self.num_shards <= 0:
             raise SimulationError("num_shards must be positive")
         if self.backend not in _BACKENDS:
@@ -126,6 +142,9 @@ class EngineReport:
     shards: Tuple[ShardReport, ...] = ()
     rings: Tuple[RingStats, ...] = ()
     outcomes: Tuple[Optional[PacketOutcome], ...] = field(default=())
+    # Flow-cache counters summed over shards for *this* run (None when
+    # the cache is disabled); sizes/capacities sum across shards too.
+    flow_cache: Optional[FlowCacheStats] = None
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
@@ -164,9 +183,19 @@ class ForwardingEngine:
         self._workers: Optional[List[ShardWorker]] = None
         if self.config.backend == "serial":
             # Serial shards live for the engine's lifetime so stateful
-            # protocols (PIT, telemetry) persist across run() calls.
+            # protocols (PIT, telemetry) and flow-cache entries persist
+            # across run() calls.
             self._workers = [
-                ShardWorker(i, state_factory, cost_model)
+                ShardWorker(
+                    i,
+                    state_factory,
+                    cost_model,
+                    flow_cache=(
+                        FlowDecisionCache(self.config.flow_cache_capacity)
+                        if self.config.flow_cache
+                        else None
+                    ),
+                )
                 for i in range(self.config.num_shards)
             ]
 
@@ -190,6 +219,10 @@ class ForwardingEngine:
         busy_before = [w.busy_seconds for w in workers]
         packets_before = [w.packets_processed for w in workers]
         latency_mark = [len(w.batch_latencies) for w in workers]
+        cache_before = [
+            w.flow_cache.stats() if w.flow_cache is not None else None
+            for w in workers
+        ]
         batches = [0] * config.num_shards
         dropped = 0
         start = time.perf_counter()
@@ -245,9 +278,16 @@ class ForwardingEngine:
             )
             for i in range(config.num_shards)
         )
+        flow_stats = None
+        if config.flow_cache:
+            flow_stats = FlowCacheStats.total(
+                worker.flow_cache.stats() - before
+                for worker, before in zip(workers, cache_before)
+            )
         return self._report(
             len(packets), dropped, wall, outcomes, latencies,
             shard_reports, tuple(ring.stats() for ring in rings),
+            flow_stats,
         )
 
     # ------------------------------------------------------------------
@@ -265,7 +305,17 @@ class ForwardingEngine:
             parent, child = ctx.Pipe()
             process = ctx.Process(
                 target=_shard_worker_main,
-                args=(child, shard, self.state_factory, self.cost_model),
+                args=(
+                    child,
+                    shard,
+                    self.state_factory,
+                    self.cost_model,
+                    (
+                        config.flow_cache_capacity
+                        if config.flow_cache
+                        else None
+                    ),
+                ),
                 daemon=True,
             )
             process.start()
@@ -279,6 +329,9 @@ class ForwardingEngine:
         batches = [0] * config.num_shards
         busy = [0.0] * config.num_shards
         packets_done = [0] * config.num_shards
+        cache_dicts: List[Optional[Dict[str, int]]] = (
+            [None] * config.num_shards
+        )
         latencies: List[float] = []
         dropped = 0
         start = time.perf_counter()
@@ -304,10 +357,13 @@ class ForwardingEngine:
                 while pending[shard] and (
                     must_block or connection.poll()
                 ):
-                    indices, raw, busy_total, latency = connection.recv()
+                    indices, raw, busy_total, latency, cache_stats = (
+                        connection.recv()
+                    )
                     pending[shard] -= 1
                     must_block = False
                     busy[shard] = busy_total
+                    cache_dicts[shard] = cache_stats
                     packets_done[shard] += len(indices)
                     latencies.append(latency)
                     for index, outcome in zip(indices, raw):
@@ -359,9 +415,19 @@ class ForwardingEngine:
             )
             for i in range(config.num_shards)
         )
+        flow_stats = None
+        if config.flow_cache:
+            # Process workers are fresh per run, so the cumulative
+            # counters in the last reply *are* this run's delta.
+            flow_stats = FlowCacheStats.total(
+                FlowCacheStats.from_dict(stats)
+                for stats in cache_dicts
+                if stats is not None
+            )
         return self._report(
             len(packets), dropped, wall, outcomes, sorted(latencies),
             shard_reports, tuple(ring.stats() for ring in rings),
+            flow_stats,
         )
 
     # ------------------------------------------------------------------
@@ -374,6 +440,7 @@ class ForwardingEngine:
         sorted_latencies: List[float],
         shard_reports: Tuple[ShardReport, ...],
         ring_stats: Tuple[RingStats, ...],
+        flow_cache: Optional[FlowCacheStats] = None,
     ) -> EngineReport:
         decisions: Dict[str, int] = {}
         for outcome in outcomes:
@@ -393,6 +460,7 @@ class ForwardingEngine:
             shards=shard_reports,
             rings=ring_stats,
             outcomes=tuple(outcomes),
+            flow_cache=flow_cache,
         )
 
 

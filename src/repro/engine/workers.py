@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.flowcache import FlowDecisionCache
 from repro.core.fn import FN_ENCODED_SIZE
 from repro.core.header import BASIC_HEADER_SIZE
 from repro.core.packet import DipPacket
@@ -42,6 +43,10 @@ class ShardWorker:
         :class:`NodeState`.  Called once, at construction.
     cost_model:
         Optional cost model handed to the processor.
+    flow_cache:
+        Optional flow-level decision cache (private to this shard, like
+        the state -- the flow dispatcher keeps a flow on one shard, so
+        per-shard caches never split a flow's hit stream).
     """
 
     def __init__(
@@ -49,9 +54,13 @@ class ShardWorker:
         shard_id: int,
         state_factory: Callable[[], NodeState],
         cost_model: Optional[object] = None,
+        flow_cache: Optional[FlowDecisionCache] = None,
     ) -> None:
         self.shard_id = shard_id
-        self.processor = RouterProcessor(state_factory(), cost_model=cost_model)
+        self.flow_cache = flow_cache
+        self.processor = RouterProcessor(
+            state_factory(), cost_model=cost_model, flow_cache=flow_cache
+        )
         self.packets_processed = 0
         self.busy_seconds = 0.0
         self.batch_latencies: List[float] = []
@@ -99,6 +108,7 @@ def _shard_worker_main(
     shard_id: int,
     state_factory: Callable[[], NodeState],
     cost_model: Optional[object],
+    flow_cache_capacity: Optional[int] = None,
 ) -> None:
     """Multiprocessing shard loop: receive raw batches, return outcomes.
 
@@ -106,10 +116,18 @@ def _shard_worker_main(
 
     - request: ``(indices, payloads)`` where ``payloads`` is a list of
       raw packet bytes; ``None`` asks the worker to exit.
-    - reply: ``(indices, outcomes, busy_seconds, latencies)`` with the
-      request's indices echoed so the engine can restore input order.
+    - reply: ``(indices, outcomes, busy_seconds, latency, cache_stats)``
+      with the request's indices echoed so the engine can restore input
+      order; ``cache_stats`` is the flow cache's cumulative counter dict
+      (:meth:`~repro.core.flowcache.FlowCacheStats.as_dict`) or None
+      when no cache is configured.
     """
-    worker = ShardWorker(shard_id, state_factory, cost_model)
+    cache = (
+        FlowDecisionCache(flow_cache_capacity)
+        if flow_cache_capacity
+        else None
+    )
+    worker = ShardWorker(shard_id, state_factory, cost_model, flow_cache=cache)
     while True:
         request = conn.recv()
         if request is None:
@@ -123,5 +141,6 @@ def _shard_worker_main(
                 outcomes,
                 worker.busy_seconds,
                 worker.batch_latencies[-1],
+                cache.stats().as_dict() if cache is not None else None,
             )
         )

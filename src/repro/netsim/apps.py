@@ -14,8 +14,8 @@ these classes package them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.core.packet import DipPacket
 from repro.netsim.nodes import HostNode

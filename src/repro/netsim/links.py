@@ -7,7 +7,6 @@ delay; frames overflowing the queue are dropped and counted.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import SimulationError
 from repro.netsim.engine import Engine

@@ -41,6 +41,9 @@ class LpmTable:
         self.width = width
         self._root = _TrieNode()
         self._size = 0
+        # Bumped on every insert/remove so decision caches keyed on
+        # lookup outcomes (repro.core.flowcache) can invalidate.
+        self.generation = 0
 
     def __len__(self) -> int:
         return self._size
@@ -73,6 +76,7 @@ class LpmTable:
             self._size += 1
         node.value = value
         node.occupied = True
+        self.generation += 1
 
     def remove(self, prefix: int, prefix_len: int) -> bool:
         """Remove a route; returns False when it was not present."""
@@ -88,6 +92,7 @@ class LpmTable:
         node.occupied = False
         node.value = None
         self._size -= 1
+        self.generation += 1
         return True
 
     def lookup(self, address: int) -> Any:

@@ -25,6 +25,9 @@ class NameFib:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[bytes, ...], Set[int]] = {}
+        # Bumped on every insert/remove so decision caches keyed on
+        # lookup outcomes (repro.core.flowcache) can invalidate.
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -32,6 +35,7 @@ class NameFib:
     def insert(self, prefix: Name, port: int) -> None:
         """Add ``port`` as a next hop for ``prefix``."""
         self._entries.setdefault(prefix.components, set()).add(port)
+        self.generation += 1
 
     def remove(self, prefix: Name, port: Optional[int] = None) -> bool:
         """Remove one next hop (or the whole entry when ``port`` is None)."""
@@ -40,6 +44,7 @@ class NameFib:
             return False
         if port is None:
             del self._entries[key]
+            self.generation += 1
             return True
         ports = self._entries[key]
         if port not in ports:
@@ -47,6 +52,7 @@ class NameFib:
         ports.discard(port)
         if not ports:
             del self._entries[key]
+        self.generation += 1
         return True
 
     def lookup(self, name: Name) -> Optional[Set[int]]:

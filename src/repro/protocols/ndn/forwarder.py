@@ -7,7 +7,7 @@ topology and compare outcomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.protocols.ndn.cs import ContentStore

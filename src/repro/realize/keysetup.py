@@ -12,7 +12,7 @@ produces -- byte-identical keys, asserted by tests.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.fn import FieldOperation, OperationKey
 from repro.core.header import DipHeader

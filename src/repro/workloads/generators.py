@@ -29,7 +29,7 @@ from repro.protocols.ip.ipv6 import IPv6Header, IPV6_HEADER_SIZE
 from repro.protocols.opt import negotiate_session
 from repro.protocols.xia.dag import DagAddress
 from repro.protocols.xia.xid import Xid, XidType
-from repro.realize.derived import build_ndn_opt_data, build_ndn_opt_interest
+from repro.realize.derived import build_ndn_opt_interest
 from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
 from repro.realize.ndn import build_data_packet, build_interest_packet
 from repro.realize.opt import build_opt_packet
@@ -53,12 +53,17 @@ class ProtocolWorkload:
         Callable processing one packet; benchmarks call it in a loop.
     cycles:
         Per-packet model cycles (DIP workloads only).
+    processor:
+        The underlying :class:`RouterProcessor` driving ``process``
+        (DIP workloads only) -- exposed so tests and benches can reach
+        its state or attach a flow cache.
     """
 
     name: str
     packets: List[object]
     process: Callable[[object], object]
     cycles: List[int] = field(default_factory=list)
+    processor: Optional[RouterProcessor] = None
     _cursor: int = 0
 
     def process_next(self) -> object:
@@ -191,7 +196,9 @@ def _dip_workload(
         clock["now"] += advance_time
         return processor.process(packet, ingress_port=0, now=clock["now"])
 
-    workload = ProtocolWorkload(name=name, packets=packets, process=process)
+    workload = ProtocolWorkload(
+        name=name, packets=packets, process=process, processor=processor
+    )
     if cost_model is not None:
         _precompute_cycles(workload, cost_model)
     return workload
@@ -238,6 +245,47 @@ def make_dip_ipv4_workload(
             build_ipv4_packet(dst, rng.getrandbits(32), payload=payload)
         )
     return _dip_workload("DIP-IPv4", state, packets, cost_model)
+
+
+def make_dip_ipv4_zipf_workload(
+    packet_size: int = 128,
+    packet_count: int = DEFAULT_PACKET_COUNT,
+    route_count: int = 1024,
+    flow_count: int = 256,
+    skew: float = 1.1,
+    seed: int = 7,
+    cost_model: Optional[CycleCostModel] = None,
+) -> ProtocolWorkload:
+    """DIP-32 forwarding under Zipf-skewed flow popularity.
+
+    Real traffic concentrates on a few heavy flows; packets are drawn
+    from ``flow_count`` flows with probability ``1/rank**skew`` (Zipf,
+    ``skew`` around 1.1 matches common traces), which is the regime
+    microflow caches -- :mod:`repro.core.flowcache` -- are built for.
+
+    A *flow* here is a ``(dst, src)`` pair: both fields are read by the
+    packet's router FNs (F_32_match and F_source), so together they are
+    exactly what the decision cache keys on.  Route randomness is drawn
+    before flow randomness, so :func:`~repro.workloads.throughput.
+    dip32_state_factory` (same seed, same ``route_count``) rebuilds the
+    matching FIB.
+    """
+    rng = random.Random(seed)
+    state = NodeState(node_id="dip-v4")
+    prefixes = populate_dip_ipv4_routes(state, rng, route_count)
+    base = build_ipv4_packet(0, 0).size
+    payload = _pad_payload(base, packet_size)
+    flows = []
+    for _ in range(flow_count):
+        prefix, prefix_len = rng.choice(prefixes)
+        dst = prefix | rng.getrandbits(32 - prefix_len)
+        flows.append((dst, rng.getrandbits(32)))
+    weights = [1.0 / (rank ** skew) for rank in range(1, flow_count + 1)]
+    packets = [
+        build_ipv4_packet(dst, src, payload=payload)
+        for dst, src in rng.choices(flows, weights=weights, k=packet_count)
+    ]
+    return _dip_workload("DIP-IPv4/zipf", state, packets, cost_model)
 
 
 def make_dip_ipv6_workload(

@@ -68,6 +68,46 @@ def write_report_json(
     return path
 
 
+def update_bench_json(
+    path: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Merge benchmark rows into a committed JSON file; returns the path.
+
+    Unlike :func:`write_report_json` (per-run artifacts behind
+    ``REPRO_REPORT_DIR``), this maintains a single tracked file (e.g.
+    ``BENCH_engine.json`` at the repo root) that successive benchmark
+    runs update in place: rows merge by their first-column label, so a
+    partial run refreshes only the rows it measured.  A missing or
+    unparsable existing file is simply rebuilt.
+    """
+    payload = {"title": title, "headers": list(headers), "rows": []}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if (
+            isinstance(existing, dict)
+            and isinstance(existing.get("rows"), list)
+            and existing.get("headers") == payload["headers"]
+        ):
+            payload["rows"] = [
+                list(row) for row in existing["rows"] if isinstance(row, list)
+            ]
+    except (OSError, ValueError):
+        pass
+    merged = {row[0]: row for row in payload["rows"] if row}
+    for row in rows:
+        str_row = [str(cell) for cell in row]
+        merged[str_row[0]] = str_row
+    payload["rows"] = list(merged.values())
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def print_table(
     title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> None:

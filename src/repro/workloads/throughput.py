@@ -16,12 +16,14 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
+from repro.core.flowcache import FlowDecisionCache
 from repro.core.packet import DipPacket
 from repro.core.processor import RouterProcessor
 from repro.core.state import NodeState
 from repro.engine import EngineConfig, ForwardingEngine
 from repro.workloads.generators import (
     make_dip_ipv4_workload,
+    make_dip_ipv4_zipf_workload,
     populate_dip_ipv4_routes,
 )
 from repro.workloads.sweeps import run_sweep, time_callable
@@ -51,6 +53,24 @@ def make_engine_packets(
     return [packet.encode() for packet in workload.packets]
 
 
+def make_zipf_engine_packets(
+    packet_size: int = 128,
+    packet_count: int = 1000,
+    flow_count: int = 256,
+    skew: float = 1.1,
+    seed: int = 7,
+) -> List[bytes]:
+    """Encoded Zipf-skewed DIP-32 packets matching the state factory."""
+    workload = make_dip_ipv4_zipf_workload(
+        packet_size=packet_size,
+        packet_count=packet_count,
+        flow_count=flow_count,
+        skew=skew,
+        seed=seed,
+    )
+    return [packet.encode() for packet in workload.packets]
+
+
 def measure_throughput(
     packets: List[bytes],
     mode: str = "per-packet",
@@ -58,12 +78,15 @@ def measure_throughput(
     backend: str = "serial",
     batch_size: int = 64,
     repeats: int = 3,
+    flow_cache: bool = False,
 ) -> Dict[str, object]:
     """pkts/s of one processing mode over a prepared packet batch.
 
     Modes: ``per-packet`` (the reference Algorithm 1 interpreter),
     ``batch`` (:meth:`RouterProcessor.process_batch`), ``engine``
-    (the full dispatch/ring/shard path).
+    (the full dispatch/ring/shard path).  ``flow_cache`` puts the
+    flow-level decision cache in front of the ``batch`` and ``engine``
+    modes (the per-packet reference path never uses it).
     """
     if mode == "per-packet":
         processor = RouterProcessor(dip32_state_factory())
@@ -73,7 +96,10 @@ def measure_throughput(
                 processor.process(DipPacket.decode(raw))
 
     elif mode == "batch":
-        processor = RouterProcessor(dip32_state_factory())
+        processor = RouterProcessor(
+            dip32_state_factory(),
+            flow_cache=FlowDecisionCache() if flow_cache else None,
+        )
 
         def work() -> None:
             processor.process_batch(packets)
@@ -85,6 +111,7 @@ def measure_throughput(
                 num_shards=num_shards,
                 backend=backend,
                 batch_size=batch_size,
+                flow_cache=flow_cache,
             ),
         )
 
@@ -109,6 +136,7 @@ def run_throughput_sweep(
     num_shards: int = 4,
     repeats: int = 3,
     modes: Optional[List[str]] = None,
+    flow_cache: bool = False,
 ):
     """Sweep processing modes over one packet batch (min-of-N timing)."""
     packets = make_engine_packets(
@@ -117,6 +145,10 @@ def run_throughput_sweep(
     return run_sweep(
         {"mode": modes or ["per-packet", "batch", "engine"]},
         lambda mode: measure_throughput(
-            packets, mode=mode, num_shards=num_shards, repeats=repeats
+            packets,
+            mode=mode,
+            num_shards=num_shards,
+            repeats=repeats,
+            flow_cache=flow_cache,
         ),
     )

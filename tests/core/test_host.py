@@ -11,7 +11,7 @@ from repro.crypto.keys import RouterKey
 from repro.errors import UnknownOperationError
 from repro.protocols.opt import negotiate_session, process_hop
 from repro.protocols.opt.source import initialize_header
-from repro.realize.opt import build_opt_header_from, opt_fns
+from repro.realize.opt import build_opt_header_from
 
 
 @pytest.fixture

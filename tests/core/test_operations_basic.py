@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.fn import FieldOperation, OperationKey
+from repro.core.fn import FieldOperation
 from repro.core.operations.base import Decision
 from repro.core.operations.fib import FibOperation, digest_name
 from repro.core.operations.match import Match32Operation, Match128Operation

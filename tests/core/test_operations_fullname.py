@@ -5,7 +5,6 @@ import pytest
 from repro.core.operations.base import Decision
 from repro.core.fn import FieldOperation, OperationKey
 from repro.core.processor import RouterProcessor
-from repro.core.state import NodeState
 from repro.errors import OperationError
 from repro.protocols.ndn.cs import ContentStore
 from repro.protocols.ndn.names import Name
@@ -92,7 +91,7 @@ class TestFullNamePit:
 
     def test_digest_and_fullname_pits_do_not_collide(self, ndn_state):
         """The same content requested in both modes keys separately."""
-        from repro.realize.ndn import build_data_packet, build_interest_packet
+        from repro.realize.ndn import build_interest_packet
 
         processor = RouterProcessor(ndn_state)
         ndn_state.name_fib_digest.insert(

@@ -22,7 +22,6 @@ from repro.errors import (
     OperationStateError,
 )
 from repro.protocols.opt import negotiate_session
-from repro.protocols.opt.header import OptHeader
 from repro.protocols.opt.router import process_hop
 from repro.protocols.opt.source import initialize_header
 from tests.core.conftest import make_context

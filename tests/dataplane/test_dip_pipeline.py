@@ -173,7 +173,6 @@ class TestHardwareConstraints:
     def test_parser_rejects_truncated(self):
         state, _ = paired_states()
         pipeline = DipPipeline(state)
-        import dataclasses
 
         packet = build_ipv4_packet(0x0A000001, 7)
         # Craft a DipPacket whose encode() yields truncated bytes by

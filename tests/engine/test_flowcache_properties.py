@@ -1,0 +1,142 @@
+"""Property test: cache-on and cache-off are indistinguishable.
+
+Hypothesis generates random FN programs (pure lookups, stateful
+modules, path-critical and unknown keys, host-tagged FNs), random
+location bytes, and tiny cache capacities (1-4 entries, forcing
+constant eviction).  Every packet sequence is replayed twice -- the
+replay turns first-pass misses into second-pass hits -- and each
+packet's full ``ProcessResult`` (or raised library error) must match a
+cache-less processor's, with and without the cost model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flowcache import FlowDecisionCache
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.processor import RouterProcessor
+from repro.core.state import NodeState
+from repro.dataplane.costs import CycleCostModel
+from repro.errors import ReproError
+from repro.realize.ndn import name_digest
+
+# Pure lookups (MATCH_32/MATCH_128/SOURCE), stateful NDN (FIB/PIT),
+# path-critical OPT (MAC -> UNSUPPORTED when registered programs stop),
+# and an unknown key (ignored).
+KEY_POOL = [
+    int(OperationKey.MATCH_32),
+    int(OperationKey.MATCH_128),
+    int(OperationKey.SOURCE),
+    int(OperationKey.FIB),
+    int(OperationKey.PIT),
+    int(OperationKey.MAC),
+    500,
+]
+
+fn_strategy = st.builds(
+    FieldOperation,
+    field_loc=st.integers(min_value=0, max_value=64),
+    field_len=st.sampled_from([0, 8, 16, 32]),
+    key=st.sampled_from(KEY_POOL),
+    tag=st.booleans(),
+)
+
+header_strategy = st.builds(
+    DipHeader,
+    fns=st.lists(fn_strategy, max_size=4).map(tuple),
+    locations=st.binary(max_size=12),
+    hop_limit=st.sampled_from([0, 1, 64]),
+    parallel=st.booleans(),
+)
+
+packet_strategy = st.builds(
+    DipPacket, header=header_strategy, payload=st.binary(max_size=4)
+)
+
+
+def make_state():
+    state = NodeState(node_id="prop")
+    state.fib_v4.insert(0x0A000000, 8, 2)
+    state.fib_v4.insert(0, 0, 1)  # default route: most lookups match
+    state.name_fib_digest.insert(name_digest("/prop"), 32, 4)
+    return state
+
+
+def outcome(call):
+    """A call's result, or its library exception (type + message)."""
+    try:
+        return call()
+    except ReproError as exc:
+        return ("raised", type(exc), str(exc))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    packets=st.lists(packet_strategy, min_size=1, max_size=10),
+    raw_flags=st.lists(st.booleans(), min_size=10, max_size=10),
+    capacity=st.integers(min_value=1, max_value=4),
+    use_cost_model=st.booleans(),
+    collect_notes=st.booleans(),
+)
+def test_cache_on_off_identical(
+    packets, raw_flags, capacity, use_cost_model, collect_notes
+):
+    cost_model = CycleCostModel() if use_cost_model else None
+    reference = RouterProcessor(make_state(), cost_model=cost_model)
+    cache = FlowDecisionCache(capacity=capacity)
+    cached = RouterProcessor(
+        make_state(), cost_model=cost_model, flow_cache=cache
+    )
+    sequence = [
+        packet.encode() if raw else packet
+        for packet in packets + packets  # replay: misses become hits
+        for packet, raw in [(packet, raw_flags[hash(packet) % 10])]
+    ]
+    for packet in sequence:
+        expected = outcome(
+            lambda: reference.process_batch(
+                [packet], collect_notes=collect_notes
+            )[0]
+        )
+        got = outcome(
+            lambda: cached.process_batch(
+                [packet], collect_notes=collect_notes
+            )[0]
+        )
+        assert got == expected
+    # Counter conservation: every packet that reached the cached path
+    # was a hit, a miss, or a bypass (raising packets never get there).
+    stats = cache.stats()
+    assert stats.hits + stats.misses + stats.bypasses <= len(sequence)
+    assert stats.size <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        min_size=2,
+        max_size=8,
+    ),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+def test_ip_flows_under_eviction_pressure(addresses, capacity):
+    """Realistic DIP-32 flows cycling through a tiny cache."""
+    from repro.realize.ip import build_ipv4_packet
+
+    packets = [
+        build_ipv4_packet(dst, src)
+        for dst in addresses
+        for src in addresses[:2]
+    ] * 2
+    reference = RouterProcessor(make_state())
+    cache = FlowDecisionCache(capacity=capacity)
+    cached = RouterProcessor(make_state(), flow_cache=cache)
+    expected = reference.process_batch(packets, collect_notes=True)
+    got = cached.process_batch(packets, collect_notes=True)
+    assert got == expected
+    stats = cache.stats()
+    assert stats.bypasses == 0
+    assert stats.hits + stats.misses == len(packets)

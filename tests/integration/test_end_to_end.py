@@ -4,14 +4,13 @@ the network simulator, mirroring Section 3 of the paper.
 
 import dataclasses
 
-import pytest
 
 from repro.crypto.keys import RouterKey
 from repro.netsim import DipRouterNode, HostNode, Topology
 from repro.protocols.ip.addresses import parse_ipv4, parse_ipv6
 from repro.protocols.opt import negotiate_session
 from repro.protocols.xia import DagAddress, Xid, XidType
-from repro.realize.derived import build_ndn_opt_data, build_ndn_opt_interest
+from repro.realize.derived import build_ndn_opt_data
 from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
 from repro.realize.ndn import (
     build_data_packet,

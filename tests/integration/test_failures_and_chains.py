@@ -1,6 +1,5 @@
 """Link-failure recovery and XIA service chains."""
 
-import pytest
 
 from repro.netsim import DipRouterNode, HostNode, Topology
 from repro.netsim.apps import ConsumerApp, ProducerApp

@@ -17,7 +17,6 @@ from repro.core.composer import Severity, lint_program
 from repro.core.fn import OperationKey
 from repro.core.operations.keysetup import read_collected_keys
 from repro.core.operations.telemetry import node_digest32, read_telemetry_array
-from repro.core.registry import default_registry
 from repro.core.packet import DipPacket
 from repro.core.header import DipHeader
 from repro.dataplane.runtime import RuntimeManager

@@ -19,14 +19,14 @@ from repro.core.state import NodeState
 from repro.crypto.keys import RouterKey
 from repro.errors import OperationError
 from repro.netsim import DipRouterNode, HostNode, Topology
-from repro.protocols.opt import negotiate_session, verify_packet
+from repro.protocols.opt import negotiate_session
 from repro.protocols.opt.drkey import make_session_id
 from repro.realize.keysetup import (
     assemble_session,
     build_key_setup_packet,
     destination_reply,
 )
-from repro.realize.opt import build_opt_packet, extract_opt_header
+from repro.realize.opt import build_opt_packet
 from tests.core.conftest import make_context
 
 DST = 0x0A000009

@@ -4,7 +4,6 @@ Exercises multicast fan-out, aggregation, caching, and reproducibility
 properties that only appear beyond toy topologies.
 """
 
-import pytest
 
 from repro.netsim import DipRouterNode, HostNode, Topology
 from repro.netsim.apps import ConsumerApp, ProducerApp

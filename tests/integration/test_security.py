@@ -17,7 +17,6 @@ from repro.core.header import DipHeader
 from repro.core.packet import DipPacket
 from repro.protocols.ndn.cs import ContentStore
 from repro.realize.ndn import (
-    build_data_packet,
     build_interest_packet,
     name_digest,
 )

@@ -132,7 +132,7 @@ class TestLpmAgainstOracle:
             )
             table.insert(prefix, prefix_len, i)
             routes[(prefix, prefix_len)] = i
-        flat = [(p, l, v) for (p, l), v in routes.items()]
+        flat = [(p, plen, v) for (p, plen), v in routes.items()]
         for _ in range(50):
             address = rng.getrandbits(16)
             assert table.lookup(address) == brute_force_lookup(flat, address, 16)

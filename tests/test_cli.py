@@ -7,7 +7,7 @@ import pytest
 from repro.cli import main
 from repro.crypto.keys import RouterKey
 from repro.protocols.opt import negotiate_session
-from repro.protocols.xia import DagAddress, Xid, XidType
+from repro.protocols.xia import DagAddress, Xid
 from repro.realize.derived import build_ndn_opt_interest
 from repro.realize.epic import build_epic_packet
 from repro.realize.ip import build_ipv4_packet

@@ -1,7 +1,6 @@
 """Tests for the table renderer, report artifacts, and sweep driver."""
 
 import json
-import os
 
 import pytest
 
