@@ -16,11 +16,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.workloads.reporting import print_table, update_bench_json
+from repro.workloads.reporting import Reporter
 from repro.workloads.throughput import (
     make_engine_packets,
     measure_throughput,
 )
+
+REPORTER = Reporter()
 
 PACKETS = 2000
 SPEEDUP_FLOOR = 2.0
@@ -61,12 +63,12 @@ def test_engine_throughput_floor(engine_packets):
         ]
         for mode, pps in best.items()
     ]
-    print_table(
+    REPORTER.table(
         "ENGINE: DIP-32 throughput (per-packet vs batch vs engine)",
         ["mode", "pkts/s", "speedup"],
         rows,
     )
-    update_bench_json(
+    REPORTER.update_ledger(
         str(BENCH_JSON),
         "ENGINE/FLOWCACHE: DIP-32 throughput",
         BENCH_HEADERS,

@@ -19,11 +19,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.workloads.reporting import print_table, update_bench_json
+from repro.workloads.reporting import Reporter
 from repro.workloads.throughput import (
     make_zipf_engine_packets,
     measure_throughput,
 )
+
+REPORTER = Reporter()
 
 PACKETS = 2000
 FLOW_COUNT = 256
@@ -77,13 +79,13 @@ def test_flowcache_throughput_floor(zipf_packets):
         [label, f"{pps:,.0f}", f"{pps / base:.2f}x vs batch"]
         for label, pps in best.items()
     ]
-    print_table(
+    REPORTER.table(
         f"FLOWCACHE: Zipf(s={SKEW}) DIP-32 throughput "
         f"({FLOW_COUNT} flows, {PACKETS} packets)",
         ["mode", "pkts/s", "ratio"],
         rows,
     )
-    update_bench_json(
+    REPORTER.update_ledger(
         str(BENCH_JSON),
         "ENGINE/FLOWCACHE: DIP-32 throughput",
         BENCH_HEADERS,

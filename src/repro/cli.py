@@ -6,6 +6,8 @@ Usage::
     python -m repro table2                    # Table 2 reproduction
     python -m repro fig2                      # cycle-model Figure 2
     python -m repro keys                      # known operation keys
+    python -m repro engine --metrics-out m.prom --trace-out t.jsonl
+    python -m repro stats [--json]            # telemetry snapshot
 
 ``decode`` accepts hex (with or without spaces); it prints the basic
 header, every FN triple, a locations hexdump, and -- when the FN keys
@@ -208,10 +210,12 @@ def _print_fig2(out) -> int:
     return 0
 
 
-def cmd_engine(args, out) -> int:
-    """Run the sharded forwarding engine over a DIP-32 batch."""
+def _build_engine(args, out, telemetry: bool):
+    """Shared engine construction for ``engine`` and ``stats``.
+
+    Returns ``(engine, packets)`` or ``None`` after printing an error.
+    """
     from repro.engine import EngineConfig, ForwardingEngine
-    from repro.workloads.reporting import format_table, write_report_json
     from repro.workloads.throughput import (
         dip32_state_factory,
         make_engine_packets,
@@ -226,10 +230,11 @@ def cmd_engine(args, out) -> int:
             backpressure=args.backpressure,
             flow_cache=args.flow_cache,
             flow_cache_capacity=args.flow_cache_capacity,
+            telemetry=telemetry,
         )
     except ReproError as exc:
         out.write(f"error: {exc}\n")
-        return 2
+        return None
     if args.zipf:
         packets = make_zipf_engine_packets(
             packet_size=args.packet_size, packet_count=args.packets
@@ -238,7 +243,20 @@ def cmd_engine(args, out) -> int:
         packets = make_engine_packets(
             packet_size=args.packet_size, packet_count=args.packets
         )
-    engine = ForwardingEngine(dip32_state_factory, config=config)
+    return ForwardingEngine(dip32_state_factory, config=config), packets
+
+
+def cmd_engine(args, out) -> int:
+    """Run the sharded forwarding engine over a DIP-32 batch."""
+    from repro.workloads.reporting import Reporter, format_table
+
+    # Either export flag implies telemetry; the run itself is otherwise
+    # identical (tests/engine/test_telemetry_equivalence.py).
+    telemetry = bool(args.metrics_out or args.trace_out)
+    built = _build_engine(args, out, telemetry)
+    if built is None:
+        return 2
+    engine, packets = built
     report = engine.run(packets)
 
     out.write(
@@ -287,9 +305,42 @@ def cmd_engine(args, out) -> int:
         for line in cache_table.splitlines():
             out.write(f"    {line}\n")
         # JSON twin (written when REPRO_REPORT_DIR is configured).
-        write_report_json(
+        Reporter(out=out).write_json(
             "engine flow cache", ["counter", "value"], cache_rows
         )
+    reporter = Reporter(out=out)
+    if args.metrics_out:
+        path = reporter.write_metrics(
+            engine.metrics.snapshot(), args.metrics_out
+        )
+        out.write(f"  metrics written to {path}\n")
+    if args.trace_out:
+        path = reporter.write_trace(engine.tracer.spans, args.trace_out)
+        out.write(f"  trace written to {path} ({len(engine.tracer)} spans)\n")
+    return 0
+
+
+def cmd_stats(args, out) -> int:
+    """Run the engine with telemetry on and print the unified snapshot."""
+    import json
+
+    from repro.workloads.reporting import Reporter
+
+    built = _build_engine(args, out, telemetry=True)
+    if built is None:
+        return 2
+    engine, packets = built
+    engine.run(packets)
+    # The live registry already folds in the run report (engine
+    # counters, batch-latency histogram, processor and flow-cache
+    # metrics), so its snapshot is the complete view.
+    snapshot = engine.metrics.snapshot()
+    if args.json:
+        from repro.telemetry.export import snapshot_to_json
+
+        out.write(json.dumps(snapshot_to_json(snapshot), indent=2) + "\n")
+        return 0
+    Reporter(out=out).stats_table("engine telemetry", snapshot)
     return 0
 
 
@@ -318,30 +369,53 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     sub.add_parser("table2", help="print the Table 2 reproduction")
     sub.add_parser("fig2", help="print the cycle-model Figure 2")
     sub.add_parser("keys", help="list the installed operation keys")
+    def add_engine_args(p) -> None:
+        p.add_argument("--packets", type=int, default=2000)
+        p.add_argument("--packet-size", type=int, default=128)
+        p.add_argument("--shards", type=int, default=4)
+        p.add_argument(
+            "--backend", choices=["serial", "process"], default="serial"
+        )
+        p.add_argument("--batch-size", type=int, default=64)
+        p.add_argument(
+            "--backpressure", choices=["block", "drop-tail"], default="block"
+        )
+        p.add_argument(
+            "--flow-cache",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="put a flow-level decision cache in front of every shard",
+        )
+        p.add_argument("--flow-cache-capacity", type=int, default=65536)
+        p.add_argument(
+            "--zipf",
+            action="store_true",
+            help="Zipf-skewed flow popularity instead of uniform flows",
+        )
+
     engine = sub.add_parser(
         "engine", help="run the sharded forwarding engine on DIP-32"
     )
-    engine.add_argument("--packets", type=int, default=2000)
-    engine.add_argument("--packet-size", type=int, default=128)
-    engine.add_argument("--shards", type=int, default=4)
+    add_engine_args(engine)
     engine.add_argument(
-        "--backend", choices=["serial", "process"], default="serial"
-    )
-    engine.add_argument("--batch-size", type=int, default=64)
-    engine.add_argument(
-        "--backpressure", choices=["block", "drop-tail"], default="block"
+        "--metrics-out",
+        metavar="PATH",
+        help="write a Prometheus text-format dump (enables telemetry)",
     )
     engine.add_argument(
-        "--flow-cache",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="put a flow-level decision cache in front of every shard",
+        "--trace-out",
+        metavar="PATH",
+        help="write stage spans as JSONL (enables telemetry)",
     )
-    engine.add_argument("--flow-cache-capacity", type=int, default=65536)
-    engine.add_argument(
-        "--zipf",
+    stats = sub.add_parser(
+        "stats",
+        help="run the engine with telemetry on; print the metrics snapshot",
+    )
+    add_engine_args(stats)
+    stats.add_argument(
+        "--json",
         action="store_true",
-        help="Zipf-skewed flow popularity instead of uniform flows",
+        help="print the snapshot as JSON instead of a table",
     )
 
     args = parser.parse_args(argv)
@@ -357,6 +431,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _print_keys(out)
     if args.command == "engine":
         return cmd_engine(args, out)
+    if args.command == "stats":
+        return cmd_stats(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

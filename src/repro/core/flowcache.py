@@ -52,6 +52,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from repro.telemetry.metrics import MetricsSnapshot
+
 DEFAULT_CAPACITY = 65536
 
 
@@ -111,6 +113,12 @@ class FlowCacheStats:
             capacity=self.capacity,
         )
 
+    def merge(self, other: "FlowCacheStats") -> "FlowCacheStats":
+        """Associative per-shard fold (alias of ``+``): counters and
+        size/capacity all sum, matching the summed-over-shards meaning
+        :attr:`EngineReport.flow_cache` has always had."""
+        return self + other
+
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict form (pipe-friendly for multiprocessing shards)."""
         return {
@@ -123,9 +131,28 @@ class FlowCacheStats:
             "capacity": self.capacity,
         }
 
+    # Unified stats surface (repro.telemetry.Instrumented).
+    to_dict = as_dict
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The unified telemetry view (monotonic counters + gauges)."""
+        return MetricsSnapshot(
+            counters={
+                "flowcache_hits_total": self.hits,
+                "flowcache_misses_total": self.misses,
+                "flowcache_bypasses_total": self.bypasses,
+                "flowcache_evictions_total": self.evictions,
+                "flowcache_invalidations_total": self.invalidations,
+            },
+            gauges={
+                "flowcache_size": self.size,
+                "flowcache_capacity": self.capacity,
+            },
+        )
+
     @classmethod
     def from_dict(cls, data: Dict[str, int]) -> "FlowCacheStats":
-        """Inverse of :meth:`as_dict`."""
+        """Inverse of :meth:`as_dict` / :meth:`to_dict`."""
         return cls(**data)
 
     @classmethod
@@ -340,3 +367,24 @@ class FlowDecisionCache:
             size=len(self._entries),
             capacity=self.capacity,
         )
+
+    def publish(self, registry) -> None:
+        """Sync the hot-path integers into a telemetry registry.
+
+        The cache keeps plain ``int`` counters so hits cost no method
+        call; this copies their cumulative values into registry
+        counters/gauges at snapshot time (a no-op on the falsy
+        :data:`~repro.telemetry.NULL_REGISTRY`), keeping
+        :class:`FlowCacheStats` as the derived view it always was.
+        """
+        if not registry:
+            return
+        registry.counter("flowcache_hits_total").set_total(self.hits)
+        registry.counter("flowcache_misses_total").set_total(self.misses)
+        registry.counter("flowcache_bypasses_total").set_total(self.bypasses)
+        registry.counter("flowcache_evictions_total").set_total(self.evictions)
+        registry.counter("flowcache_invalidations_total").set_total(
+            self.invalidations
+        )
+        registry.gauge("flowcache_size").set(len(self._entries))
+        registry.gauge("flowcache_capacity").set(self.capacity)

@@ -130,6 +130,7 @@ class _CompiledProgram:
         "reads",
         "read_slices",
         "read_cover",
+        "op_counts",
     )
 
     def __init__(
@@ -174,6 +175,14 @@ class _CompiledProgram:
         self.cacheable = all(
             step[2].pure for step in steps if step[0] == _STEP_EXECUTE
         )
+        # Per-FN-key execute counts for the telemetry op counters: the
+        # instrumented walk attributes one program's worth of ops per
+        # packet (exact for completed walks; an early-exit drop still
+        # counts the full program -- documented in DESIGN.md 3.8).
+        op_counts: Dict[int, int] = {}
+        for fn in executed_fns:
+            op_counts[fn.key] = op_counts.get(fn.key, 0) + 1
+        self.op_counts = op_counts
         reads = tuple(
             dict.fromkeys(
                 (step[1].field_loc, step[1].field_len)
@@ -272,6 +281,7 @@ class RouterProcessor:
         registry: Optional[OperationRegistry] = None,
         cost_model: Optional[object] = None,
         flow_cache: Optional[FlowDecisionCache] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.state = state
         self.registry = registry if registry is not None else default_registry()
@@ -284,6 +294,20 @@ class RouterProcessor:
         # tuple (DipPacket input); both keys map to one entry.
         self._programs: Dict[object, _CompiledProgram] = {}
         self._programs_version = self.registry.version
+        # Optional telemetry (repro.telemetry.MetricsRegistry).  When
+        # enabled, the compiled-walk entry point is shadowed with an
+        # instrumented bound method; when disabled (None or a falsy
+        # NullRegistry) nothing is installed, so the per-packet walk
+        # carries zero telemetry conditionals.
+        self.telemetry = telemetry if telemetry else None
+        if self.telemetry:
+            self._tel_cycles = self.telemetry.histogram(
+                "processor_fn_cycles",
+                "model cycles per packet walk (cost-model units)",
+            )
+            self._tel_op_counters: Dict[int, object] = {}
+            self._tel_decision_counters: Dict[object, object] = {}
+            self._process_compiled = self._process_compiled_instrumented
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -692,6 +716,48 @@ class RouterProcessor:
         return result
 
     # ------------------------------------------------------------------
+    # telemetry (repro.telemetry) -- installed only when enabled
+    # ------------------------------------------------------------------
+    def _process_compiled_instrumented(
+        self, packet, program, ingress_port, now, collect_notes
+    ) -> ProcessResult:
+        """The compiled walk plus metric recording (telemetry on only).
+
+        Installed as an instance attribute shadowing
+        :meth:`_process_compiled` so the disabled path (the default)
+        pays nothing -- not even a branch.  Flow-cache *hits* bypass
+        this on purpose: the op counters measure pipeline executions,
+        and a hit is exactly a walk that did not happen (the cache's
+        own hit counter tells that story).
+        """
+        result = RouterProcessor._process_compiled(
+            self, packet, program, ingress_port, now, collect_notes
+        )
+        self._tel_cycles.observe(result.cycles)
+        op_counters = self._tel_op_counters
+        for key, count in program.op_counts.items():
+            counter = op_counters.get(key)
+            if counter is None:
+                counter = self.telemetry.counter(
+                    "processor_fn_ops_total",
+                    "operation-module executions by FN key",
+                    labels=(("key", _key_label(key)),),
+                )
+                op_counters[key] = counter
+            counter.inc(count)
+        decision_counters = self._tel_decision_counters
+        counter = decision_counters.get(result.decision)
+        if counter is None:
+            counter = self.telemetry.counter(
+                "processor_decisions_total",
+                "packet fates decided by the FN walk",
+                labels=(("decision", result.decision.value),),
+            )
+            decision_counters[result.decision] = counter
+        counter.inc()
+        return result
+
+    # ------------------------------------------------------------------
     # flow-level decision cache (repro.core.flowcache)
     # ------------------------------------------------------------------
     def _state_token(self) -> tuple:
@@ -1036,6 +1102,14 @@ class RouterProcessor:
             unsupported_key=unsupported_key,
             scratch=ctx.scratch,
         )
+
+
+def _key_label(key: int) -> str:
+    """Stable telemetry label for an FN key (name when standardized)."""
+    try:
+        return OperationKey(key).name
+    except ValueError:
+        return f"key-{key}"
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,13 @@ from repro.engine.dispatch import FlowDispatcher
 from repro.engine.rings import Ring, RingStats
 from repro.engine.workers import ShardWorker, _shard_worker_main
 from repro.errors import SimulationError
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    nearest_rank,
+)
+from repro.telemetry.tracing import NULL_TRACER, Tracer
 
 _BACKENDS = ("serial", "process")
 _BACKPRESSURE = ("block", "drop-tail")
@@ -72,6 +79,13 @@ class EngineConfig:
     shard's processor; stateful programs bypass it, so it is safe for
     any workload and off by default only to keep the PR 1 baseline
     measurable.
+
+    ``telemetry`` turns on the unified metrics/tracing layer
+    (:mod:`repro.telemetry`): a live :class:`MetricsRegistry` plus a
+    :class:`Tracer` on :attr:`ForwardingEngine.metrics` /
+    :attr:`ForwardingEngine.tracer`.  Off by default -- the disabled
+    path uses the falsy null objects and must stay within 5% of the
+    uninstrumented throughput (``benchmarks/test_telemetry_overhead``).
     """
 
     num_shards: int = 4
@@ -81,6 +95,7 @@ class EngineConfig:
     backpressure: str = "block"
     flow_cache: bool = False
     flow_cache_capacity: int = DEFAULT_CAPACITY
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.flow_cache_capacity <= 0:
@@ -126,6 +141,53 @@ class ShardReport:
     busy_seconds: float
     utilization: float
 
+    # ------------------------------------------------------------------
+    # unified stats surface (repro.telemetry.Instrumented)
+    # ------------------------------------------------------------------
+    def merge(self, other: "ShardReport") -> "ShardReport":
+        """Associative fold across shards: work sums (the merged
+        ``shard_id`` is -1 unless both sides agree); ``utilization``
+        sums too, so the engine-wide total reads as "busy shards worth
+        of wall time"."""
+        return ShardReport(
+            shard_id=self.shard_id if self.shard_id == other.shard_id else -1,
+            packets=self.packets + other.packets,
+            batches=self.batches + other.batches,
+            busy_seconds=self.busy_seconds + other.busy_seconds,
+            utilization=self.utilization + other.utilization,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "packets": self.packets,
+            "batches": self.batches,
+            "busy_seconds": self.busy_seconds,
+            "utilization": self.utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardReport":
+        return cls(
+            shard_id=int(data["shard_id"]),
+            packets=int(data["packets"]),
+            batches=int(data["batches"]),
+            busy_seconds=float(data["busy_seconds"]),
+            utilization=float(data["utilization"]),
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={
+                "shard_packets_total": self.packets,
+                "shard_batches_total": self.batches,
+            },
+            gauges={
+                "shard_busy_seconds": self.busy_seconds,
+                "shard_utilization": self.utilization,
+            },
+        )
+
 
 @dataclass(frozen=True)
 class EngineReport:
@@ -146,13 +208,164 @@ class EngineReport:
     # the cache is disabled); sizes/capacities sum across shards too.
     flow_cache: Optional[FlowCacheStats] = None
 
+    # ------------------------------------------------------------------
+    # unified stats surface (repro.telemetry.Instrumented)
+    # ------------------------------------------------------------------
+    def merge(self, other: "EngineReport") -> "EngineReport":
+        """Associative fold of two runs (or two engines' runs).
 
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, -(-len(sorted_values) * fraction // 1))  # ceil
-    return sorted_values[int(rank) - 1]
+        Packet counters and decision histograms sum; wall time takes
+        the max (runs overlap in the merged view, a deliberate
+        throughput-optimistic convention) and pkts/s is recomputed from
+        the merged totals; the latency percentiles take the max (an
+        upper bound -- exact percentiles need the raw latencies, which
+        reports do not retain); shard/ring/outcome tuples concatenate;
+        flow-cache stats sum when either side has them.
+        """
+        decisions = dict(self.decisions)
+        for name, count in other.decisions.items():
+            decisions[name] = decisions.get(name, 0) + count
+        wall = max(self.wall_seconds, other.wall_seconds)
+        processed = self.packets_processed + other.packets_processed
+        if self.flow_cache is None:
+            flow_cache = other.flow_cache
+        elif other.flow_cache is None:
+            flow_cache = self.flow_cache
+        else:
+            flow_cache = self.flow_cache + other.flow_cache
+        return EngineReport(
+            packets_offered=self.packets_offered + other.packets_offered,
+            packets_processed=processed,
+            packets_dropped_backpressure=(
+                self.packets_dropped_backpressure
+                + other.packets_dropped_backpressure
+            ),
+            wall_seconds=wall,
+            pkts_per_second=processed / wall if wall > 0 else 0.0,
+            decisions=decisions,
+            batch_latency_p50=max(
+                self.batch_latency_p50, other.batch_latency_p50
+            ),
+            batch_latency_p99=max(
+                self.batch_latency_p99, other.batch_latency_p99
+            ),
+            shards=self.shards + other.shards,
+            rings=self.rings + other.rings,
+            outcomes=self.outcomes + other.outcomes,
+            flow_cache=flow_cache,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (packet bytes hex-encoded); round-trips via
+        :meth:`from_dict`."""
+        return {
+            "packets_offered": self.packets_offered,
+            "packets_processed": self.packets_processed,
+            "packets_dropped_backpressure": (
+                self.packets_dropped_backpressure
+            ),
+            "wall_seconds": self.wall_seconds,
+            "pkts_per_second": self.pkts_per_second,
+            "decisions": dict(self.decisions),
+            "batch_latency_p50": self.batch_latency_p50,
+            "batch_latency_p99": self.batch_latency_p99,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "rings": [ring.to_dict() for ring in self.rings],
+            "outcomes": [
+                None
+                if outcome is None
+                else {
+                    "decision": outcome.decision.value,
+                    "ports": list(outcome.ports),
+                    "packet": (
+                        None
+                        if outcome.packet is None
+                        else outcome.packet.hex()
+                    ),
+                    "shard": outcome.shard,
+                }
+                for outcome in self.outcomes
+            ],
+            "flow_cache": (
+                None if self.flow_cache is None else self.flow_cache.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EngineReport":
+        return cls(
+            packets_offered=int(data["packets_offered"]),
+            packets_processed=int(data["packets_processed"]),
+            packets_dropped_backpressure=int(
+                data["packets_dropped_backpressure"]
+            ),
+            wall_seconds=float(data["wall_seconds"]),
+            pkts_per_second=float(data["pkts_per_second"]),
+            decisions=dict(data["decisions"]),
+            batch_latency_p50=float(data["batch_latency_p50"]),
+            batch_latency_p99=float(data["batch_latency_p99"]),
+            shards=tuple(
+                ShardReport.from_dict(shard) for shard in data["shards"]
+            ),
+            rings=tuple(RingStats.from_dict(ring) for ring in data["rings"]),
+            outcomes=tuple(
+                None
+                if outcome is None
+                else PacketOutcome(
+                    decision=_DECISION_BY_VALUE[outcome["decision"]],
+                    ports=tuple(outcome["ports"]),
+                    packet=(
+                        None
+                        if outcome["packet"] is None
+                        else bytes.fromhex(outcome["packet"])
+                    ),
+                    shard=outcome["shard"],
+                )
+                for outcome in data["outcomes"]
+            ),
+            flow_cache=(
+                None
+                if data.get("flow_cache") is None
+                else FlowCacheStats.from_dict(data["flow_cache"])
+            ),
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The unified telemetry view, per-shard parts labeled and the
+        flow cache folded in."""
+        counters = {
+            "engine_packets_offered_total": self.packets_offered,
+            "engine_packets_processed_total": self.packets_processed,
+            "engine_packets_dropped_backpressure_total": (
+                self.packets_dropped_backpressure
+            ),
+        }
+        for name, count in self.decisions.items():
+            counters[f'engine_decisions_total{{decision="{name}"}}'] = count
+        gauges = {
+            "engine_wall_seconds": self.wall_seconds,
+            "engine_pkts_per_second": self.pkts_per_second,
+            "engine_batch_latency_p50_seconds": self.batch_latency_p50,
+            "engine_batch_latency_p99_seconds": self.batch_latency_p99,
+        }
+        for index, ring in enumerate(self.rings):
+            label = f'{{shard="{index}"}}'
+            counters[f"engine_ring_enqueued_total{label}"] = ring.enqueued
+            counters[f"engine_ring_dropped_total{label}"] = ring.dropped
+            gauges[f"engine_ring_capacity{label}"] = ring.capacity
+            gauges[f"engine_ring_high_watermark{label}"] = (
+                ring.high_watermark
+            )
+        for shard in self.shards:
+            label = f'{{shard="{shard.shard_id}"}}'
+            counters[f"engine_shard_packets_total{label}"] = shard.packets
+            counters[f"engine_shard_batches_total{label}"] = shard.batches
+            gauges[f"engine_shard_busy_seconds{label}"] = shard.busy_seconds
+            gauges[f"engine_shard_utilization{label}"] = shard.utilization
+        snapshot = MetricsSnapshot(counters=counters, gauges=gauges)
+        if self.flow_cache is not None:
+            snapshot = snapshot.merge(self.flow_cache.snapshot())
+        return snapshot
 
 
 class ForwardingEngine:
@@ -180,6 +393,15 @@ class ForwardingEngine:
         self.state_factory = state_factory
         self.cost_model = cost_model
         self.dispatcher = FlowDispatcher(self.config.num_shards)
+        # Unified telemetry (repro.telemetry): live registry + tracer
+        # when configured, falsy no-op null objects otherwise -- so the
+        # hot paths never branch on "is telemetry on?".
+        if self.config.telemetry:
+            self.metrics = MetricsRegistry()
+            self.tracer = Tracer()
+        else:
+            self.metrics = NULL_REGISTRY
+            self.tracer = NULL_TRACER
         self._workers: Optional[List[ShardWorker]] = None
         if self.config.backend == "serial":
             # Serial shards live for the engine's lifetime so stateful
@@ -195,6 +417,10 @@ class ForwardingEngine:
                         if self.config.flow_cache
                         else None
                     ),
+                    telemetry=(
+                        self.metrics if self.config.telemetry else None
+                    ),
+                    tracer=self.tracer,
                 )
                 for i in range(self.config.num_shards)
             ]
@@ -204,9 +430,10 @@ class ForwardingEngine:
         self, packets: Sequence[Union[DipPacket, bytes]]
     ) -> EngineReport:
         """Push ``packets`` through the engine; outcomes keep input order."""
-        if self.config.backend == "serial":
-            return self._run_serial(packets)
-        return self._run_process(packets)
+        with self.tracer.span("engine.run", packets=len(packets)):
+            if self.config.backend == "serial":
+                return self._run_serial(packets)
+            return self._run_process(packets)
 
     # ------------------------------------------------------------------
     # serial backend
@@ -366,6 +593,17 @@ class ForwardingEngine:
                     cache_dicts[shard] = cache_stats
                     packets_done[shard] += len(indices)
                     latencies.append(latency)
+                    # Shard-side processor telemetry stays in the
+                    # subprocess; the parent reconstructs batch spans
+                    # from the reported latency at reply receipt.
+                    reply_at = time.perf_counter()
+                    self.tracer.record_span(
+                        "engine.batch",
+                        reply_at - latency,
+                        reply_at,
+                        shard=shard,
+                        packets=len(indices),
+                    )
                     for index, outcome in zip(indices, raw):
                         outcomes[index] = _outcome(outcome, shard)
 
@@ -448,20 +686,87 @@ class ForwardingEngine:
                 name = outcome.decision.value
                 decisions[name] = decisions.get(name, 0) + 1
         processed = offered - dropped
-        return EngineReport(
+        report = EngineReport(
             packets_offered=offered,
             packets_processed=processed,
             packets_dropped_backpressure=dropped,
             wall_seconds=wall,
             pkts_per_second=processed / wall if wall > 0 else 0.0,
             decisions=decisions,
-            batch_latency_p50=_percentile(sorted_latencies, 0.50),
-            batch_latency_p99=_percentile(sorted_latencies, 0.99),
+            batch_latency_p50=nearest_rank(sorted_latencies, 0.50),
+            batch_latency_p99=nearest_rank(sorted_latencies, 0.99),
             shards=shard_reports,
             rings=ring_stats,
             outcomes=tuple(outcomes),
             flow_cache=flow_cache,
         )
+        if self.metrics:
+            self._publish(report, sorted_latencies)
+        return report
+
+    def _publish(
+        self, report: EngineReport, sorted_latencies: List[float]
+    ) -> None:
+        """Fold one run's report into the live registry.
+
+        Called once per :meth:`run` (never on the per-packet path) and
+        only when telemetry is on, so the disabled engine pays nothing
+        here.  Batch latencies feed a mergeable log2 histogram, which
+        replaces the old hand-rolled ``_percentile`` path as the
+        quantile source for exported metrics.
+        """
+        metrics = self.metrics
+        metrics.counter("engine_packets_offered_total").inc(
+            report.packets_offered
+        )
+        metrics.counter("engine_packets_processed_total").inc(
+            report.packets_processed
+        )
+        metrics.counter("engine_packets_dropped_backpressure_total").inc(
+            report.packets_dropped_backpressure
+        )
+        for name, count in report.decisions.items():
+            metrics.counter(
+                "engine_decisions_total", labels=(("decision", name),)
+            ).inc(count)
+        metrics.gauge("engine_wall_seconds").set(report.wall_seconds)
+        metrics.gauge("engine_pkts_per_second").set(report.pkts_per_second)
+        metrics.histogram("engine_batch_latency_seconds").observe_many(
+            sorted_latencies
+        )
+        for index, ring in enumerate(report.rings):
+            labels = (("shard", str(index)),)
+            metrics.counter("engine_ring_enqueued_total", labels=labels).inc(
+                ring.enqueued
+            )
+            metrics.counter("engine_ring_dropped_total", labels=labels).inc(
+                ring.dropped
+            )
+            metrics.gauge("engine_ring_occupancy_high_watermark",
+                          labels=labels).set(ring.high_watermark)
+            metrics.gauge("engine_ring_capacity", labels=labels).set(
+                ring.capacity
+            )
+        for shard in report.shards:
+            labels = (("shard", str(shard.shard_id)),)
+            metrics.counter("engine_shard_packets_total", labels=labels).inc(
+                shard.packets
+            )
+            metrics.counter("engine_shard_batches_total", labels=labels).inc(
+                shard.batches
+            )
+            metrics.gauge("engine_shard_utilization", labels=labels).set(
+                shard.utilization
+            )
+        if self._workers:
+            for worker in self._workers:
+                if worker.flow_cache is not None:
+                    worker.flow_cache.publish(metrics)
+        elif report.flow_cache is not None:
+            # Process backend: workers are gone, publish the summed
+            # per-run stats instead of live cache state.
+            for name, value in report.flow_cache.snapshot().counters.items():
+                metrics.counter(name).set_total(value)
 
 
 _DECISION_BY_VALUE = {decision.value: decision for decision in Decision}

@@ -24,6 +24,7 @@ from repro.core.header import BASIC_HEADER_SIZE
 from repro.core.packet import DipPacket
 from repro.core.processor import RouterProcessor
 from repro.core.state import NodeState
+from repro.telemetry.tracing import NULL_TRACER
 
 # What a worker sends back per packet: (decision value, ports, encoded
 # output packet or None).  Plain types so the multiprocessing backend
@@ -47,6 +48,14 @@ class ShardWorker:
         Optional flow-level decision cache (private to this shard, like
         the state -- the flow dispatcher keeps a flow on one shard, so
         per-shard caches never split a flow's hit stream).
+    telemetry:
+        Optional :class:`repro.telemetry.MetricsRegistry` handed to the
+        processor (per-FN-key op counters, cycle histograms).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; when enabled the
+        worker records per-batch stage spans (``shard.walk`` for the FN
+        pipeline, ``shard.emit`` for output encoding).  Defaults to the
+        no-op null tracer.
     """
 
     def __init__(
@@ -55,11 +64,17 @@ class ShardWorker:
         state_factory: Callable[[], NodeState],
         cost_model: Optional[object] = None,
         flow_cache: Optional[FlowDecisionCache] = None,
+        telemetry: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.shard_id = shard_id
         self.flow_cache = flow_cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.processor = RouterProcessor(
-            state_factory(), cost_model=cost_model, flow_cache=flow_cache
+            state_factory(),
+            cost_model=cost_model,
+            flow_cache=flow_cache,
+            telemetry=telemetry,
         )
         self.packets_processed = 0
         self.busy_seconds = 0.0
@@ -75,6 +90,16 @@ class ShardWorker:
         self.busy_seconds += elapsed
         self.batch_latencies.append(elapsed)
         self.packets_processed += len(results)
+        # Per-batch stage span (no-op on the null tracer; one call per
+        # batch, never per packet).
+        self.tracer.record_span(
+            "shard.walk",
+            start,
+            start + elapsed,
+            shard=self.shard_id,
+            packets=len(results),
+        )
+        emit_start = time.perf_counter()
         out: List[RawOutcome] = []
         for item, result in zip(batch, results):
             packet = result.packet
@@ -100,6 +125,13 @@ class ShardWorker:
             else:
                 encoded = packet.encode()
             out.append((result.decision.value, result.ports, encoded))
+        self.tracer.record_span(
+            "shard.emit",
+            emit_start,
+            time.perf_counter(),
+            shard=self.shard_id,
+            packets=len(out),
+        )
         return out
 
 

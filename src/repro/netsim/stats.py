@@ -1,9 +1,22 @@
-"""Per-node counters and a global event trace."""
+"""Per-node counters and a global event trace.
+
+Both surfaces now speak the unified telemetry idiom
+(:mod:`repro.telemetry`): :class:`NodeStats` conforms to the
+``Instrumented`` protocol (``snapshot``/``to_dict``/``from_dict``/
+``merge``), and :class:`TraceRecorder` is a
+:class:`~repro.telemetry.tracing.Tracer` -- simulator events are
+zero-length spans, so the engine's JSONL trace exporter dumps
+simulation traces unchanged.  The pre-telemetry API
+(``record``/``events``/``of_kind``/``at_node``) is preserved.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.telemetry.metrics import MetricsSnapshot
+from repro.telemetry.tracing import Tracer
 
 
 @dataclass
@@ -17,10 +30,50 @@ class NodeStats:
     unsupported: int = 0
     control_sent: int = 0
 
+    # ------------------------------------------------------------------
+    # unified stats surface (repro.telemetry.Instrumented)
+    # ------------------------------------------------------------------
+    def merge(self, other: "NodeStats") -> "NodeStats":
+        """Associative sum across nodes (all fields are counters)."""
+        return NodeStats(
+            received=self.received + other.received,
+            forwarded=self.forwarded + other.forwarded,
+            delivered=self.delivered + other.delivered,
+            dropped=self.dropped + other.dropped,
+            unsupported=self.unsupported + other.unsupported,
+            control_sent=self.control_sent + other.control_sent,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "unsupported": self.unsupported,
+            "control_sent": self.control_sent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "NodeStats":
+        return cls(**data)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={
+                "node_received_total": self.received,
+                "node_forwarded_total": self.forwarded,
+                "node_delivered_total": self.delivered,
+                "node_dropped_total": self.dropped,
+                "node_unsupported_total": self.unsupported,
+                "node_control_sent_total": self.control_sent,
+            }
+        )
+
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event (a view over a zero-length trace span)."""
 
     time: float
     node_id: str
@@ -28,19 +81,39 @@ class TraceEvent:
     detail: str = ""
 
 
-@dataclass
-class TraceRecorder:
-    """Append-only event trace shared by a topology's nodes."""
+class TraceRecorder(Tracer):
+    """Append-only event trace shared by a topology's nodes.
 
-    events: List[TraceEvent] = field(default_factory=list)
-    enabled: bool = True
+    A :class:`~repro.telemetry.tracing.Tracer` specialization: every
+    ``record`` appends a zero-length span whose name is the event kind
+    and whose attributes carry the node id and detail, so simulation
+    traces share the JSONL dump format with engine stage spans.  The
+    original query API is kept as thin views over the spans.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        super().__init__()
+        self.enabled = enabled
 
     def record(
         self, time: float, node_id: str, event: str, detail: str = ""
     ) -> None:
         """Append one event (no-op when disabled)."""
         if self.enabled:
-            self.events.append(TraceEvent(time, node_id, event, detail))
+            self.event(event, at=time, node=node_id, detail=detail)
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """Every recorded event, in order (legacy view)."""
+        return tuple(
+            TraceEvent(
+                time=span.start,
+                node_id=span.attrs.get("node", ""),
+                event=span.name,
+                detail=span.attrs.get("detail", ""),
+            )
+            for span in self.spans
+        )
 
     def of_kind(self, event: str) -> Tuple[TraceEvent, ...]:
         """All events of one kind, in order."""

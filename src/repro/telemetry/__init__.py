@@ -1,0 +1,82 @@
+"""Unified metrics/tracing layer behind one stats API.
+
+The paper's evaluation (Figure 2 per-packet processing time, Table 2
+header overhead) is about *measuring* the FN pipeline; this package is
+the one observability layer the whole reproduction reports through:
+
+- :mod:`repro.telemetry.metrics` -- ``Counter``/``Gauge``/``Histogram``
+  (fixed log2 buckets, mergeable by addition), ``MetricsRegistry``,
+  the falsy null objects for the disabled path, and the
+  :class:`Instrumented` protocol every stats surface conforms to;
+- :mod:`repro.telemetry.tracing` -- ``Span``/``Tracer`` stage timing
+  (parse -> FN walk -> cache -> emit at batch granularity) that the
+  netsim ``TraceRecorder`` is also built on;
+- :mod:`repro.telemetry.export` -- Prometheus text format and JSONL
+  trace dumps.
+
+Telemetry is **off by default**: every consumer defaults to
+:data:`NULL_REGISTRY`/:data:`NULL_TRACER`, which are falsy no-ops, so
+the per-packet fast path carries no telemetry conditionals (cost
+budget: <=5% on the engine throughput bench; see DESIGN.md 3.8).
+"""
+
+from repro.telemetry.export import (
+    read_trace_jsonl,
+    snapshot_rows,
+    spans_to_jsonl,
+    to_prometheus,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    Instrumented,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRegistry,
+    bucket_exponent,
+    nearest_rank,
+    sorted_quantiles,
+)
+from repro.telemetry.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "Instrumented",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "bucket_exponent",
+    "nearest_rank",
+    "read_trace_jsonl",
+    "snapshot_rows",
+    "sorted_quantiles",
+    "spans_to_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

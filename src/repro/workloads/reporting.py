@@ -1,8 +1,15 @@
-"""Plain-text table rendering for benchmark output.
+"""One reporting surface for benchmarks, the CLI and telemetry exports.
 
-The benches print the same rows/series the paper reports (Figure 2
-series, Table 2 rows); these helpers keep that output aligned and
-stable enough to paste into EXPERIMENTS.md.
+:class:`Reporter` is the single sink every consumer writes through:
+aligned text tables (the paper's Figure 2 / Table 2 shapes), per-run
+JSON artifacts behind ``REPRO_REPORT_DIR``, the committed benchmark
+ledger (``BENCH_engine.json``), and the telemetry exporters (Prometheus
+text, JSONL traces) from :mod:`repro.telemetry.export`.
+
+The original module-level helpers (``format_table``, ``print_table``,
+``write_report_json``, ``update_bench_json``, ``report_slug``) remain
+as thin wrappers over a default :class:`Reporter`, so existing callers
+keep working unchanged.
 """
 
 from __future__ import annotations
@@ -10,32 +17,233 @@ from __future__ import annotations
 import json
 import os
 import re
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+
+class Reporter:
+    """Renders and persists benchmark/telemetry output.
+
+    Parameters
+    ----------
+    out:
+        Optional stream tables are written to; ``None`` uses ``print``
+        (the historic behaviour of ``print_table``).
+    report_dir:
+        Directory for per-run ``.txt``/``.json`` artifacts.  Falls back
+        to the ``REPRO_REPORT_DIR`` environment variable, read at call
+        time so benchmarks can set it after import.
+    """
+
+    def __init__(
+        self,
+        out: Optional[TextIO] = None,
+        report_dir: Optional[str] = None,
+    ) -> None:
+        self.out = out
+        self._report_dir = report_dir
+
+    @property
+    def report_dir(self) -> Optional[str]:
+        return self._report_dir or os.environ.get("REPRO_REPORT_DIR")
+
+    # ------------------------------------------------------------------
+    # text tables
+    # ------------------------------------------------------------------
+    @staticmethod
+    def format_table(
+        headers: Sequence[str], rows: Sequence[Sequence[object]]
+    ) -> str:
+        """Render an aligned text table."""
+        str_rows: List[List[str]] = [
+            [str(cell) for cell in row] for row in rows
+        ]
+        widths = [len(h) for h in headers]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header_line = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(headers)
+        )
+        lines.append(header_line)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def slug(title: str) -> str:
+        """The filename stem a titled report is written under."""
+        return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+
+    def _emit(self, text: str) -> None:
+        if self.out is not None:
+            self.out.write(text + "\n")
+        else:
+            print(text)
+
+    def table(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+    ) -> None:
+        """Print a titled table; leave artifacts when configured.
+
+        When a report directory is configured (constructor argument or
+        ``REPRO_REPORT_DIR``), the table is additionally written to
+        ``<dir>/<slug-of-title>.txt`` and a machine-readable ``.json``
+        twin so benchmark runs leave paper-style artifacts behind.
+        """
+        rendered = f"== {title} ==\n" + self.format_table(headers, rows)
+        self._emit("\n" + rendered)
+        report_dir = self.report_dir
+        if report_dir:
+            os.makedirs(report_dir, exist_ok=True)
+            path = os.path.join(report_dir, f"{self.slug(title)}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            self.write_json(title, headers, rows, report_dir)
+
+    # ------------------------------------------------------------------
+    # JSON artifacts
+    # ------------------------------------------------------------------
+    def write_json(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        report_dir: Optional[str] = None,
+    ) -> Optional[str]:
+        """Write a table as ``<dir>/<slug>.json``; returns the path.
+
+        The JSON twin of the ``.txt`` artifact: ``{title, headers,
+        rows}`` with cells stringified the same way the text table
+        renders them, so downstream tooling can diff benchmark
+        trajectories without parsing aligned text.  No-op (returns
+        None) when no report directory is configured.
+        """
+        report_dir = report_dir or self.report_dir
+        if not report_dir:
+            return None
+        os.makedirs(report_dir, exist_ok=True)
+        path = os.path.join(report_dir, f"{self.slug(title)}.json")
+        payload = {
+            "title": title,
+            "headers": list(headers),
+            "rows": [[str(cell) for cell in row] for row in rows],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return path
+
+    def update_ledger(
+        self,
+        path: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+    ) -> str:
+        """Merge benchmark rows into a committed JSON file; returns it.
+
+        Unlike :meth:`write_json` (per-run artifacts), this maintains a
+        single tracked file (e.g. ``BENCH_engine.json`` at the repo
+        root) that successive benchmark runs update in place: rows
+        merge by their first-column label, so a partial run refreshes
+        only the rows it measured.  A missing or unparsable existing
+        file is simply rebuilt.
+        """
+        payload: Dict[str, Any] = {
+            "title": title, "headers": list(headers), "rows": []
+        }
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if (
+                isinstance(existing, dict)
+                and isinstance(existing.get("rows"), list)
+                and existing.get("headers") == payload["headers"]
+            ):
+                payload["rows"] = [
+                    list(row)
+                    for row in existing["rows"]
+                    if isinstance(row, list)
+                ]
+        except (OSError, ValueError):
+            pass
+        merged = {row[0]: row for row in payload["rows"] if row}
+        for row in rows:
+            str_row = [str(cell) for cell in row]
+            merged[str_row[0]] = str_row
+        payload["rows"] = list(merged.values())
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return path
+
+    @staticmethod
+    def read_ledger_value(
+        path: str, label: str, column: int
+    ) -> Optional[str]:
+        """One cell from a ledger: the row with first column ``label``.
+
+        Returns None when the file, row or column is missing -- callers
+        (the overhead benchmark's regression gate) treat that as "no
+        baseline recorded yet".
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            for row in payload.get("rows", []):
+                if row and str(row[0]) == label and len(row) > column:
+                    return str(row[column])
+        except (OSError, ValueError):
+            pass
+        return None
+
+    # ------------------------------------------------------------------
+    # telemetry exports
+    # ------------------------------------------------------------------
+    def write_metrics(self, snapshot, path: str) -> str:
+        """Write a metrics snapshot in Prometheus text format."""
+        from repro.telemetry.export import write_prometheus
+
+        return write_prometheus(snapshot, path)
+
+    def write_trace(self, spans, path: str) -> str:
+        """Write trace spans as JSONL."""
+        from repro.telemetry.export import write_trace_jsonl
+
+        return write_trace_jsonl(spans, path)
+
+    def stats_table(self, title: str, snapshot) -> None:
+        """Pretty-print a metrics snapshot as a (metric, type, value)
+        table -- the human half of ``repro stats``."""
+        from repro.telemetry.export import snapshot_rows
+
+        self.table(title, ["metric", "type", "value"], snapshot_rows(snapshot))
+
+
+_DEFAULT = Reporter()
+
+# ----------------------------------------------------------------------
+# legacy module-level API (thin wrappers over the default Reporter)
+# ----------------------------------------------------------------------
 
 
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> str:
     """Render an aligned text table."""
-    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in str_rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
-    lines.append(header_line)
-    lines.append("  ".join("-" * w for w in widths))
-    for row in str_rows:
-        lines.append(
-            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
-        )
-    return "\n".join(lines)
+    return Reporter.format_table(headers, rows)
 
 
 def report_slug(title: str) -> str:
     """The filename stem a titled report is written under."""
-    return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+    return Reporter.slug(title)
 
 
 def write_report_json(
@@ -44,28 +252,8 @@ def write_report_json(
     rows: Sequence[Sequence[object]],
     report_dir: Optional[str] = None,
 ) -> Optional[str]:
-    """Write a table as ``<dir>/<slug>.json``; returns the path.
-
-    The JSON twin of the ``.txt`` artifact: ``{title, headers, rows}``
-    with cells stringified the same way the text table renders them, so
-    downstream tooling can diff benchmark trajectories without parsing
-    aligned text.  No-op (returns None) when no report directory is
-    configured.
-    """
-    report_dir = report_dir or os.environ.get("REPRO_REPORT_DIR")
-    if not report_dir:
-        return None
-    os.makedirs(report_dir, exist_ok=True)
-    path = os.path.join(report_dir, f"{report_slug(title)}.json")
-    payload = {
-        "title": title,
-        "headers": list(headers),
-        "rows": [[str(cell) for cell in row] for row in rows],
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    return path
+    """See :meth:`Reporter.write_json`."""
+    return _DEFAULT.write_json(title, headers, rows, report_dir)
 
 
 def update_bench_json(
@@ -74,56 +262,12 @@ def update_bench_json(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
 ) -> str:
-    """Merge benchmark rows into a committed JSON file; returns the path.
-
-    Unlike :func:`write_report_json` (per-run artifacts behind
-    ``REPRO_REPORT_DIR``), this maintains a single tracked file (e.g.
-    ``BENCH_engine.json`` at the repo root) that successive benchmark
-    runs update in place: rows merge by their first-column label, so a
-    partial run refreshes only the rows it measured.  A missing or
-    unparsable existing file is simply rebuilt.
-    """
-    payload = {"title": title, "headers": list(headers), "rows": []}
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if (
-            isinstance(existing, dict)
-            and isinstance(existing.get("rows"), list)
-            and existing.get("headers") == payload["headers"]
-        ):
-            payload["rows"] = [
-                list(row) for row in existing["rows"] if isinstance(row, list)
-            ]
-    except (OSError, ValueError):
-        pass
-    merged = {row[0]: row for row in payload["rows"] if row}
-    for row in rows:
-        str_row = [str(cell) for cell in row]
-        merged[str_row[0]] = str_row
-    payload["rows"] = list(merged.values())
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    return path
+    """See :meth:`Reporter.update_ledger`."""
+    return _DEFAULT.update_ledger(path, title, headers, rows)
 
 
 def print_table(
     title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> None:
-    """Print a titled table.
-
-    When the ``REPRO_REPORT_DIR`` environment variable is set, the table
-    is additionally written to ``<dir>/<slug-of-title>.txt`` (and a
-    machine-readable ``.json`` twin) so benchmark runs leave paper-style
-    artifacts behind.
-    """
-    rendered = f"== {title} ==\n" + format_table(headers, rows)
-    print("\n" + rendered)
-    report_dir = os.environ.get("REPRO_REPORT_DIR")
-    if report_dir:
-        os.makedirs(report_dir, exist_ok=True)
-        path = os.path.join(report_dir, f"{report_slug(title)}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(rendered + "\n")
-        write_report_json(title, headers, rows, report_dir)
+    """See :meth:`Reporter.table`."""
+    _DEFAULT.table(title, headers, rows)

@@ -1,0 +1,136 @@
+"""Exporter tests: Prometheus text format and JSONL trace round-trip."""
+
+import json
+
+from repro.telemetry.export import (
+    read_trace_jsonl,
+    snapshot_rows,
+    snapshot_to_json,
+    spans_to_jsonl,
+    to_prometheus,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.telemetry.metrics import Histogram, MetricsRegistry, MetricsSnapshot
+from repro.telemetry.tracing import Span, Tracer
+
+
+def make_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("pkts_total").inc(12)
+    registry.counter("ops_total", labels=(("key", "FIB"),)).inc(3)
+    registry.counter("ops_total", labels=(("key", "PIT"),)).inc(4)
+    registry.gauge("depth").set(2.5)
+    registry.histogram("latency_seconds").observe_many([0.4, 0.6, 3.0])
+    return registry.snapshot()
+
+
+class TestPrometheus:
+    def test_golden_rendering(self):
+        text = to_prometheus(make_snapshot())
+        # Exact format: one TYPE line per family, label variants
+        # sharing it, cumulative histogram buckets, +Inf, sum, count.
+        assert text == (
+            "# TYPE ops_total counter\n"
+            'ops_total{key="FIB"} 3\n'
+            'ops_total{key="PIT"} 4\n'
+            "# TYPE pkts_total counter\n"
+            "pkts_total 12\n"
+            "# TYPE depth gauge\n"
+            "depth 2.5\n"
+            "# TYPE latency_seconds histogram\n"
+            'latency_seconds_bucket{le="0.5"} 1\n'
+            'latency_seconds_bucket{le="1.0"} 2\n'
+            'latency_seconds_bucket{le="4.0"} 3\n'
+            'latency_seconds_bucket{le="+Inf"} 3\n'
+            "latency_seconds_sum 4\n"
+            "latency_seconds_count 3\n"
+        )
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus(MetricsSnapshot()) == ""
+
+    def test_trailing_newline(self):
+        assert to_prometheus(make_snapshot()).endswith("\n")
+
+    def test_one_type_line_per_family(self):
+        text = to_prometheus(make_snapshot())
+        assert text.count("# TYPE ops_total counter") == 1
+
+    def test_integral_floats_render_as_int(self):
+        snap = MetricsSnapshot(gauges={"g": 3.0})
+        assert to_prometheus(snap) == "# TYPE g gauge\ng 3\n"
+
+    def test_bad_name_characters_sanitized(self):
+        snap = MetricsSnapshot(counters={"weird-name.total": 1})
+        text = to_prometheus(snap)
+        assert "weird_name_total 1" in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        returned = write_prometheus(make_snapshot(), str(path))
+        assert returned == str(path)
+        assert path.read_text() == to_prometheus(make_snapshot())
+
+
+class TestTraceJsonl:
+    def make_tracer(self):
+        tracer = Tracer()
+        tracer.record_span("walk", 1.0, 2.5, shard=0, packets=64)
+        tracer.event("drop", at=3.0, node="r1", detail="ring full")
+        return tracer
+
+    def test_one_json_object_per_line(self):
+        text = spans_to_jsonl(self.make_tracer().spans)
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "walk"
+        assert first["duration"] == 1.5
+        assert first["shard"] == 0
+
+    def test_round_trip(self, tmp_path):
+        tracer = self.make_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tracer.spans, str(path))
+        spans = read_trace_jsonl(str(path))
+        assert len(spans) == len(tracer.spans)
+        for original, restored in zip(tracer.spans, spans):
+            assert restored.name == original.name
+            assert restored.start == original.start
+            assert restored.end == original.end
+            assert restored.attrs == original.attrs
+
+    def test_zero_length_event_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl([Span("tick", 5.0, 5.0, {"node": "a"})], str(path))
+        (span,) = read_trace_jsonl(str(path))
+        assert span.duration == 0.0
+        assert span.attrs == {"node": "a"}
+
+
+class TestStatsRows:
+    def test_rows_cover_all_metrics(self):
+        rows = snapshot_rows(make_snapshot())
+        names = [row[0] for row in rows]
+        assert "pkts_total" in names
+        assert "depth" in names
+        # Histograms expand to count/sum/p50/p99.
+        for suffix in ("count", "sum", "p50", "p99"):
+            assert f"latency_seconds_{suffix}" in names
+
+    def test_histogram_quantile_rows_from_buckets(self):
+        histogram = Histogram("h")
+        histogram.observe(0.25)
+        rows = snapshot_rows(
+            MetricsSnapshot(histograms={"h": histogram.snapshot()})
+        )
+        by_name = {row[0]: row[2] for row in rows}
+        assert by_name["h_p50"] == "0.25"
+        assert by_name["h_p99"] == "0.25"
+
+    def test_snapshot_to_json_matches_to_dict(self):
+        snap = make_snapshot()
+        assert snapshot_to_json(snap) == snap.to_dict()
+        # And it must be JSON-serializable as-is.
+        json.dumps(snapshot_to_json(snap))

@@ -159,3 +159,84 @@ class TestEngine:
     def test_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             run_cli("engine", "--backend", "bogus")
+
+    def test_metrics_out_writes_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, text = run_cli(
+            "engine", "--packets", "200", "--metrics-out", str(path)
+        )
+        assert code == 0
+        assert f"metrics written to {path}" in text
+        dump = path.read_text()
+        # Prometheus text format: TYPE lines, the engine counters, and
+        # the batch-latency histogram with its +Inf bucket.
+        assert "# TYPE engine_packets_processed_total counter" in dump
+        assert "engine_packets_processed_total 200" in dump
+        assert "# TYPE engine_batch_latency_seconds histogram" in dump
+        assert 'engine_batch_latency_seconds_bucket{le="+Inf"}' in dump
+        assert dump.endswith("\n")
+
+    def test_trace_out_writes_jsonl_spans(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code, text = run_cli(
+            "engine", "--packets", "200", "--trace-out", str(path)
+        )
+        assert code == 0
+        assert "trace written to" in text
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        names = {row["name"] for row in rows}
+        assert {"engine.run", "shard.walk", "shard.emit"} <= names
+        for row in rows:
+            assert row["end"] >= row["start"]
+
+    def test_no_export_flags_means_no_telemetry(self, tmp_path):
+        # Without --metrics-out/--trace-out the engine must run with
+        # telemetry off (no spans, no metrics) -- the 5%-budget path.
+        code, text = run_cli("engine", "--packets", "100")
+        assert code == 0
+        assert "metrics written" not in text
+        assert "trace written" not in text
+
+
+class TestStats:
+    def test_prints_snapshot_table(self):
+        code, text = run_cli("stats", "--packets", "200")
+        assert code == 0
+        assert "engine telemetry" in text
+        assert "engine_packets_processed_total" in text
+        assert "processor_fn_cycles_p50" in text
+        assert "counter" in text and "histogram" in text
+
+    def test_json_twin(self):
+        import json
+
+        code, text = run_cli("stats", "--packets", "200", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["counters"]["engine_packets_processed_total"] == 200
+        assert "engine_batch_latency_seconds" in payload["histograms"]
+        # Per-FN-key op counters come labeled by standardized key name.
+        assert any(
+            name.startswith("processor_fn_ops_total{key=")
+            for name in payload["counters"]
+        )
+
+    def test_flow_cache_metrics_included(self):
+        import json
+
+        code, text = run_cli(
+            "stats", "--packets", "200", "--flow-cache", "--json"
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert "flowcache_misses_total" in payload["counters"]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(SystemExit):
+            run_cli("stats", "--backend", "bogus")
