@@ -1,0 +1,88 @@
+"""RESILIENCE: the no-plan path must be (nearly) free.
+
+The supervisor, quarantine and degradation machinery from DESIGN.md
+3.9 all hide behind ``if`` guards that are dead when no fault plan and
+no degrade policy are configured (the default).  This benchmark keeps
+that claim visible in-tree: it measures the default engine against one
+carrying an armed-but-never-firing fault plan (a crash pinned to a
+batch seq no run reaches) and records both in the ledger.
+
+Informational by design -- the hard 5% disabled-path gate lives in
+``benchmarks/test_telemetry_overhead.py`` against the committed
+``engine`` ledger row, and PR 4 left that row's meaning unchanged.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import EngineConfig, ForwardingEngine
+from repro.resilience import CRASH, Fault, FaultPlan
+from repro.workloads.reporting import Reporter
+from repro.workloads.throughput import (
+    dip32_state_factory,
+    make_engine_packets,
+)
+
+REPORTER = Reporter()
+
+PACKETS = 2000
+PASSES = 3
+REPEATS = 3
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def engine_packets():
+    return make_engine_packets(packet_count=PACKETS)
+
+
+def _measure(packets, fault_plan):
+    engine = ForwardingEngine(
+        dip32_state_factory,
+        config=EngineConfig(num_shards=4, fault_plan=fault_plan),
+    )
+    engine.run(packets)  # warm program/dispatch caches
+    best = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        report = engine.run(packets)
+        elapsed = time.perf_counter() - start
+        assert report.packets_processed == PACKETS
+        assert report.dead_letter_total == 0
+        best = max(best, PACKETS / elapsed)
+    return best
+
+
+def test_armed_but_idle_plan_overhead(engine_packets):
+    # A plan whose only fault targets a batch seq this run never
+    # reaches: the injector runs on every batch but never fires.
+    idle_plan = FaultPlan(
+        faults=(Fault(kind=CRASH, shard=0, batch=10_000_000),)
+    )
+    best = {"engine noplan": 0.0, "engine idleplan": 0.0}
+    for _ in range(PASSES):
+        best["engine noplan"] = max(
+            best["engine noplan"], _measure(engine_packets, None)
+        )
+        best["engine idleplan"] = max(
+            best["engine idleplan"], _measure(engine_packets, idle_plan)
+        )
+    ratio = best["engine idleplan"] / best["engine noplan"]
+    rows = [
+        ["engine noplan", f"{best['engine noplan']:,.0f}", ""],
+        [
+            "engine idleplan",
+            f"{best['engine idleplan']:,.0f}",
+            f"{ratio:.3f}x of noplan",
+        ],
+    ]
+    REPORTER.table(
+        "resilience overhead (armed, never-firing fault plan)",
+        ["mode", "pkts/s", "note"],
+        rows,
+    )
+    # Informational floor only: the injector match loop is O(faults)
+    # per batch, so an idle plan should stay within a wide margin.
+    assert ratio > 0.5

@@ -1,0 +1,20 @@
+"""Repo-root pytest configuration.
+
+``pyproject.toml`` sets a repo-wide per-test ``timeout`` so a hung
+shard worker or supervisor loop fails the test instead of wedging the
+whole run.  That key belongs to the optional ``pytest-timeout`` plugin
+(in the ``test``/``dev`` extras); when the plugin is absent we register
+the same ini keys as inert placeholders so pytest does not warn about
+unknown config options.  Tests must therefore not *rely* on the
+timeout firing -- it is a safety net, not a semantic.
+"""
+
+import importlib.util
+
+
+def pytest_addoption(parser):
+    if importlib.util.find_spec("pytest_timeout") is None:
+        parser.addini("timeout", "per-test timeout (pytest-timeout absent)")
+        parser.addini(
+            "timeout_method", "timeout method (pytest-timeout absent)"
+        )

@@ -216,12 +216,24 @@ def _build_engine(args, out, telemetry: bool):
     Returns ``(engine, packets)`` or ``None`` after printing an error.
     """
     from repro.engine import EngineConfig, ForwardingEngine
+    from repro.resilience import FaultPlan
     from repro.workloads.throughput import (
         dip32_state_factory,
         make_engine_packets,
         make_zipf_engine_packets,
     )
 
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        try:
+            with open(args.fault_plan, "r", encoding="utf-8") as handle:
+                fault_plan = FaultPlan.from_json(handle.read())
+        except OSError as exc:
+            out.write(f"error: cannot read fault plan: {exc}\n")
+            return None
+        except ReproError as exc:
+            out.write(f"error: bad fault plan: {exc}\n")
+            return None
     try:
         config = EngineConfig(
             num_shards=args.shards,
@@ -231,6 +243,10 @@ def _build_engine(args, out, telemetry: bool):
             flow_cache=args.flow_cache,
             flow_cache_capacity=args.flow_cache_capacity,
             telemetry=telemetry,
+            degrade=getattr(args, "degrade", None),
+            fault_plan=fault_plan,
+            max_retries=getattr(args, "max_retries", 2),
+            worker_timeout=getattr(args, "worker_timeout", 30.0),
         )
     except ReproError as exc:
         out.write(f"error: {exc}\n")
@@ -273,6 +289,20 @@ def cmd_engine(args, out) -> int:
         f"  batch latency: p50 {report.batch_latency_p50 * 1e6:.0f}us, "
         f"p99 {report.batch_latency_p99 * 1e6:.0f}us\n"
     )
+    if (
+        report.worker_restarts
+        or report.retries
+        or report.degraded
+        or report.faults_injected
+        or report.dead_letter_total
+    ):
+        out.write(
+            f"  resilience: {report.worker_restarts} restart(s), "
+            f"{report.retries} retried batch(es), "
+            f"{report.degraded} degraded, "
+            f"{report.faults_injected} fault(s) injected, "
+            f"{report.dead_letter_total} dead-lettered\n"
+        )
     rows = [
         [
             shard.shard_id,
@@ -391,6 +421,30 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             "--zipf",
             action="store_true",
             help="Zipf-skewed flow popularity instead of uniform flows",
+        )
+        p.add_argument(
+            "--fault-plan",
+            metavar="PATH",
+            help="JSON FaultPlan of scripted faults to inject",
+        )
+        p.add_argument(
+            "--degrade",
+            choices=["drop", "pass-to-host", "best-effort-ip"],
+            default=None,
+            help="graceful-degradation policy for limit/state/unsupported "
+            "failures (default: surface them as error outcomes)",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            help="batch retries after a worker death before dead-lettering",
+        )
+        p.add_argument(
+            "--worker-timeout",
+            type=float,
+            default=30.0,
+            help="seconds without a reply before a worker is declared dead",
         )
 
     engine = sub.add_parser(

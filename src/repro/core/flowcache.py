@@ -189,6 +189,7 @@ class DecisionTemplate:
         "scratch",
         "has_packet",
         "loc_splices",
+        "failure",
     )
 
     def __init__(
@@ -203,6 +204,7 @@ class DecisionTemplate:
         scratch,
         has_packet,
         loc_splices,
+        failure=None,
     ) -> None:
         self.decision = decision
         self.ports = ports
@@ -214,6 +216,7 @@ class DecisionTemplate:
         self.scratch = scratch
         self.has_packet = has_packet
         self.loc_splices = loc_splices
+        self.failure = failure
 
 
 def splice_spans(
@@ -266,6 +269,7 @@ def template_from_result(result, in_locations: bytes) -> Optional[DecisionTempla
         scratch=dict(result.scratch),
         has_packet=has_packet,
         loc_splices=loc_splices,
+        failure=result.failure,
     )
 
 

@@ -34,6 +34,7 @@ class Decision(Enum):
     DELIVER = "deliver"        # packet terminates at this node
     DROP = "drop"              # discard
     UNSUPPORTED = "unsupported"  # FN not supported; signal the source
+    ERROR = "error"            # poison packet quarantined (walk raised)
 
 
 @dataclass(frozen=True)

@@ -37,7 +37,9 @@ from repro.core.state import NodeState
 from repro.errors import (
     FieldRangeError,
     OperationError,
+    OperationStateError,
     ProcessingLimitError,
+    UnknownOperationError,
 )
 from repro.core.limits import LimitTracker
 from repro.util.bitview import BitView
@@ -247,6 +249,13 @@ class ProcessResult:
         The offending key when ``decision`` is UNSUPPORTED.
     scratch:
         The walk's final scratch space (cache hits, reports...).
+    failure:
+        Machine-readable failure class when the walk ended abnormally:
+        ``"limit"`` (processing limits, 2.4), ``"state"`` (operation
+        state missing/invalid), ``"unsupported"`` (path-critical FN
+        without a module), an exception class name for quarantined
+        poison packets, or ``None`` for a clean walk.  This is what
+        the engine's degradation policies key off.
     """
 
     decision: Decision
@@ -258,6 +267,7 @@ class ProcessResult:
     cycles_parallel: int = 0
     unsupported_key: Optional[int] = None
     scratch: Dict[str, Any] = field(default_factory=dict)
+    failure: Optional[str] = None
 
 
 class RouterProcessor:
@@ -273,6 +283,13 @@ class RouterProcessor:
         Optional object with ``parse_cycles(header_len, packet_size)``
         and ``fn_cycles(fn)`` methods (see
         :class:`repro.dataplane.costs.CycleCostModel`).
+    quarantine:
+        When True the *batch* paths isolate poison packets: any
+        exception a packet's decode or walk raises becomes an
+        ``error``-decision :class:`ProcessResult` (``failure`` = the
+        exception class name) instead of propagating.  Off by default
+        so direct callers keep exact exception identity; the engine's
+        shard workers turn it on (a worker must survive any packet).
     """
 
     def __init__(
@@ -282,8 +299,10 @@ class RouterProcessor:
         cost_model: Optional[object] = None,
         flow_cache: Optional[FlowDecisionCache] = None,
         telemetry: Optional[object] = None,
+        quarantine: bool = False,
     ) -> None:
         self.state = state
+        self.quarantine = quarantine
         self.registry = registry if registry is not None else default_registry()
         self.cost_model = cost_model
         # Optional flow-level decision cache in front of the batch
@@ -358,6 +377,7 @@ class RouterProcessor:
                 cycles_sequential=parse_cycles,
                 cycles_parallel=parse_cycles,
                 scratch=ctx.scratch,
+                failure="limit",
             )
 
         notes: List[str] = []
@@ -383,6 +403,7 @@ class RouterProcessor:
                         cycles_sequential=parse_cycles,
                         cycles_parallel=parse_cycles,
                         scratch=ctx.scratch,
+                        failure="unsupported",
                     )
                 notes.append(f"{fn}: unsupported FN ignored")
                 continue
@@ -399,12 +420,14 @@ class RouterProcessor:
                 return self._finish(
                     Decision.DROP, (), None, notes, parse_cycles,
                     executed_fns, executed_cycles, header, ctx, None,
+                    failure="limit",
                 )
             except (OperationError, FieldRangeError) as exc:
                 notes.append(f"{fn}: operation failed: {exc}")
                 return self._finish(
                     Decision.DROP, (), None, notes, parse_cycles,
                     executed_fns, executed_cycles, header, ctx, None,
+                    failure=_op_failure(exc),
                 )
 
             executed_fns.append(fn)
@@ -485,15 +508,20 @@ class RouterProcessor:
             )
         out: List[ProcessResult] = []
         for packet in packets:
-            if isinstance(packet, (bytes, bytearray)):
-                packet, program = self._decode_raw(bytes(packet))
-            else:
-                program = self._compiled(packet.header.fns)
-            out.append(
-                self._process_compiled(
-                    packet, program, ingress_port, now, collect_notes
+            try:
+                if isinstance(packet, (bytes, bytearray)):
+                    packet, program = self._decode_raw(bytes(packet))
+                else:
+                    program = self._compiled(packet.header.fns)
+                out.append(
+                    self._process_compiled(
+                        packet, program, ingress_port, now, collect_notes
+                    )
                 )
-            )
+            except Exception as exc:
+                if not self.quarantine:
+                    raise
+                out.append(poison_result(exc))
         return out
 
     def _compiled(
@@ -600,6 +628,7 @@ class RouterProcessor:
                     decision=Decision.DROP,
                     notes=(str(exc),),
                     scratch=ctx.scratch,
+                    failure="limit",
                 )
         if cost_model is not None:
             parse_cycles = cost_model.parse_cycles(
@@ -617,12 +646,14 @@ class RouterProcessor:
                     cycles_sequential=parse_cycles,
                     cycles_parallel=parse_cycles,
                     scratch=ctx.scratch,
+                    failure="limit",
                 )
 
         notes: List[str] = []
         fate: Optional[OperationResult] = None
         executed = 0
         final: Optional[Decision] = None
+        failure: Optional[str] = None
         ports: Tuple[int, ...] = ()
         out_packet: Optional[DipPacket] = None
 
@@ -636,12 +667,14 @@ class RouterProcessor:
                             f"({cycles_used} > {max_cycles} cycles)"
                         )
                         final = Decision.DROP
+                        failure = "limit"
                         break
                 try:
                     result = operation.execute(ctx, fn)
                 except (OperationError, FieldRangeError) as exc:
                     notes.append(f"{fn}: operation failed: {exc}")
                     final = Decision.DROP
+                    failure = _op_failure(exc)
                     break
                 if result.state_bytes:
                     state_used += result.state_bytes
@@ -651,6 +684,7 @@ class RouterProcessor:
                             f"({state_used} > {max_state} bytes)"
                         )
                         final = Decision.DROP
+                        failure = "limit"
                         break
                 executed += 1
                 if collect_notes:
@@ -677,6 +711,7 @@ class RouterProcessor:
                     cycles_sequential=parse_cycles,
                     cycles_parallel=parse_cycles,
                     scratch=ctx.scratch,
+                    failure="unsupported",
                 )
 
         if final is None:
@@ -713,6 +748,7 @@ class RouterProcessor:
         set_attr(result, "cycles_parallel", parallel)
         set_attr(result, "unsupported_key", None)
         set_attr(result, "scratch", ctx.scratch)
+        set_attr(result, "failure", failure)
         return result
 
     # ------------------------------------------------------------------
@@ -821,16 +857,22 @@ class RouterProcessor:
         set_attr = object.__setattr__
         out: List[ProcessResult] = []
         append = out.append
+        quarantine = self.quarantine
         for packet in packets:
             if per_packet_sync:
                 cache.sync(self._state_token())
             if not isinstance(packet, (bytes, bytearray)):
-                program = self._compiled(packet.header.fns)
-                append(
-                    process_cached(
-                        packet, program, ingress_port, now, collect_notes
+                try:
+                    program = self._compiled(packet.header.fns)
+                    append(
+                        process_cached(
+                            packet, program, ingress_port, now, collect_notes
+                        )
                     )
-                )
+                except Exception as exc:
+                    if not quarantine:
+                        raise
+                    append(poison_result(exc))
                 continue
             data = bytes(packet)
             fast = len(data) >= BASIC_HEADER_SIZE
@@ -853,12 +895,17 @@ class RouterProcessor:
                 # surface from the reference decoder) or a bypass
                 # condition: the generic per-packet path handles -- and
                 # counts -- all of them.
-                packet, program = self._decode_raw(data)
-                append(
-                    process_cached(
-                        packet, program, ingress_port, now, collect_notes
+                try:
+                    packet, program = self._decode_raw(data)
+                    append(
+                        process_cached(
+                            packet, program, ingress_port, now, collect_notes
+                        )
                     )
-                )
+                except Exception as exc:
+                    if not quarantine:
+                        raise
+                    append(poison_result(exc))
                 continue
             locations = data[defs_end:total]
             parallel = bool(parameter & 1)
@@ -904,9 +951,15 @@ class RouterProcessor:
                     ),
                 )
                 set_attr(in_packet, "payload", data[total:])
-                result = self._process_compiled(
-                    in_packet, program, ingress_port, now, collect_notes
-                )
+                try:
+                    result = self._process_compiled(
+                        in_packet, program, ingress_port, now, collect_notes
+                    )
+                except Exception as exc:
+                    if not quarantine:
+                        raise
+                    append(poison_result(exc))
+                    continue
                 template = template_from_result(result, locations)
                 if template is not None:
                     cache.put(key, template)
@@ -950,6 +1003,7 @@ class RouterProcessor:
             set_attr(result, "cycles_parallel", entry.cycles_parallel)
             set_attr(result, "unsupported_key", entry.unsupported_key)
             set_attr(result, "scratch", dict(entry.scratch))
+            set_attr(result, "failure", entry.failure)
             append(result)
         return out
 
@@ -1041,6 +1095,7 @@ class RouterProcessor:
         set_attr(result, "cycles_parallel", entry.cycles_parallel)
         set_attr(result, "unsupported_key", entry.unsupported_key)
         set_attr(result, "scratch", dict(entry.scratch))
+        set_attr(result, "failure", entry.failure)
         return result
 
     # ------------------------------------------------------------------
@@ -1081,6 +1136,7 @@ class RouterProcessor:
         header: DipHeader,
         ctx: OperationContext,
         unsupported_key: Optional[int],
+        failure: Optional[str] = None,
     ) -> ProcessResult:
         sequential = parse_cycles + sum(executed_cycles)
         parallel = parse_cycles
@@ -1101,7 +1157,30 @@ class RouterProcessor:
             cycles_parallel=parallel,
             unsupported_key=unsupported_key,
             scratch=ctx.scratch,
+            failure=failure,
         )
+
+
+def _op_failure(exc: BaseException) -> Optional[str]:
+    """Degradation class of a failed operation (None = plain drop)."""
+    if isinstance(exc, OperationStateError):
+        return "state"
+    if isinstance(exc, UnknownOperationError):
+        return "unsupported"
+    return None
+
+
+def poison_result(exc: BaseException) -> ProcessResult:
+    """The quarantine verdict for a packet whose processing raised.
+
+    ``failure`` carries the exception class (the engine surfaces it as
+    ``PacketOutcome.reason``); the message rides in the notes.
+    """
+    return ProcessResult(
+        decision=Decision.ERROR,
+        notes=(f"quarantined: {type(exc).__name__}: {exc}",),
+        failure=type(exc).__name__,
+    )
 
 
 def _key_label(key: int) -> str:

@@ -19,6 +19,7 @@ packets through that walk at rate:
 from repro.core.flowcache import FlowCacheStats, FlowDecisionCache
 from repro.engine.dispatch import FLOW_DISPATCH_KEYS, FlowDispatcher, flow_key
 from repro.engine.engine import (
+    DeadLetter,
     EngineConfig,
     EngineReport,
     ForwardingEngine,
@@ -31,6 +32,7 @@ __all__ = [
     "FLOW_DISPATCH_KEYS",
     "FlowDispatcher",
     "flow_key",
+    "DeadLetter",
     "EngineConfig",
     "EngineReport",
     "FlowCacheStats",

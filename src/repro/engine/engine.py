@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -48,7 +49,8 @@ from repro.core.state import NodeState
 from repro.engine.dispatch import FlowDispatcher
 from repro.engine.rings import Ring, RingStats
 from repro.engine.workers import ShardWorker, _shard_worker_main
-from repro.errors import SimulationError
+from repro.errors import EngineWorkerError, SimulationError
+from repro.resilience.faults import FaultPlan
 from repro.telemetry.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -59,6 +61,7 @@ from repro.telemetry.tracing import NULL_TRACER, Tracer
 
 _BACKENDS = ("serial", "process")
 _BACKPRESSURE = ("block", "drop-tail")
+_DEGRADE_POLICIES = ("drop", "pass-to-host", "best-effort-ip")
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,20 @@ class EngineConfig:
     flow_cache: bool = False
     flow_cache_capacity: int = DEFAULT_CAPACITY
     telemetry: bool = False
+    # Resilience knobs (DESIGN.md 3.9).  ``degrade`` maps failed walks
+    # (limits / missing state / unsupported path-critical FNs) to one
+    # of _DEGRADE_POLICIES instead of the processor's verdict; None
+    # keeps verdicts untouched.  ``fault_plan`` scripts chaos (no-op
+    # when None/empty).  The retry/restart/timeout knobs drive the
+    # supervisor; ``max_dead_letters`` caps the per-run dead-letter
+    # *record* (the total keeps counting past the cap).
+    degrade: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.02
+    worker_timeout: float = 30.0
+    max_worker_restarts: int = 8
+    max_dead_letters: int = 1024
 
     def __post_init__(self) -> None:
         if self.flow_cache_capacity <= 0:
@@ -115,6 +132,21 @@ class EngineConfig:
                 f"unknown backpressure {self.backpressure!r} "
                 f"(want one of {_BACKPRESSURE})"
             )
+        if self.degrade is not None and self.degrade not in _DEGRADE_POLICIES:
+            raise SimulationError(
+                f"unknown degrade policy {self.degrade!r} "
+                f"(want one of {_DEGRADE_POLICIES})"
+            )
+        if self.max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise SimulationError("retry_backoff must be >= 0")
+        if self.worker_timeout <= 0:
+            raise SimulationError("worker_timeout must be positive")
+        if self.max_worker_restarts < 0:
+            raise SimulationError("max_worker_restarts must be >= 0")
+        if self.max_dead_letters < 0:
+            raise SimulationError("max_dead_letters must be >= 0")
 
 
 class PacketOutcome(NamedTuple):
@@ -123,12 +155,26 @@ class PacketOutcome(NamedTuple):
     ``packet`` is the rewritten packet's encoded bytes (FORWARD only);
     byte-level so both backends report identically.  A NamedTuple, not
     a dataclass: one is built per packet on the hot path.
+
+    ``reason`` is None for a clean walk; otherwise the failure class
+    ("limit", "state", "unsupported", "degraded", or the exception
+    class name of a quarantined poison packet).
     """
 
     decision: Decision
     ports: Tuple[int, ...] = ()
     packet: Optional[bytes] = None
     shard: int = -1
+    reason: Optional[str] = None
+
+
+class DeadLetter(NamedTuple):
+    """One packet the supervisor gave up on (retry budget exhausted)."""
+
+    index: int
+    shard: int
+    reason: str
+    attempts: int
 
 
 @dataclass(frozen=True)
@@ -207,6 +253,17 @@ class EngineReport:
     # Flow-cache counters summed over shards for *this* run (None when
     # the cache is disabled); sizes/capacities sum across shards too.
     flow_cache: Optional[FlowCacheStats] = None
+    # Resilience accounting (DESIGN.md 3.9).  ``dead_letter_total``
+    # counts every abandoned packet; ``dead_letter`` records at most
+    # EngineConfig.max_dead_letters of them.  ``packets_processed``
+    # excludes dead-lettered packets, so
+    # offered == processed + dropped_backpressure + dead_letter_total.
+    worker_restarts: int = 0
+    retries: int = 0
+    degraded: int = 0
+    faults_injected: int = 0
+    dead_letter_total: int = 0
+    dead_letter: Tuple[DeadLetter, ...] = ()
 
     # ------------------------------------------------------------------
     # unified stats surface (repro.telemetry.Instrumented)
@@ -253,6 +310,14 @@ class EngineReport:
             rings=self.rings + other.rings,
             outcomes=self.outcomes + other.outcomes,
             flow_cache=flow_cache,
+            worker_restarts=self.worker_restarts + other.worker_restarts,
+            retries=self.retries + other.retries,
+            degraded=self.degraded + other.degraded,
+            faults_injected=self.faults_injected + other.faults_injected,
+            dead_letter_total=(
+                self.dead_letter_total + other.dead_letter_total
+            ),
+            dead_letter=self.dead_letter + other.dead_letter,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -283,12 +348,27 @@ class EngineReport:
                         else outcome.packet.hex()
                     ),
                     "shard": outcome.shard,
+                    "reason": outcome.reason,
                 }
                 for outcome in self.outcomes
             ],
             "flow_cache": (
                 None if self.flow_cache is None else self.flow_cache.to_dict()
             ),
+            "worker_restarts": self.worker_restarts,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "faults_injected": self.faults_injected,
+            "dead_letter_total": self.dead_letter_total,
+            "dead_letter": [
+                {
+                    "index": letter.index,
+                    "shard": letter.shard,
+                    "reason": letter.reason,
+                    "attempts": letter.attempts,
+                }
+                for letter in self.dead_letter
+            ],
         }
 
     @classmethod
@@ -320,6 +400,7 @@ class EngineReport:
                         else bytes.fromhex(outcome["packet"])
                     ),
                     shard=outcome["shard"],
+                    reason=outcome.get("reason"),
                 )
                 for outcome in data["outcomes"]
             ),
@@ -327,6 +408,20 @@ class EngineReport:
                 None
                 if data.get("flow_cache") is None
                 else FlowCacheStats.from_dict(data["flow_cache"])
+            ),
+            worker_restarts=int(data.get("worker_restarts", 0)),
+            retries=int(data.get("retries", 0)),
+            degraded=int(data.get("degraded", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+            dead_letter_total=int(data.get("dead_letter_total", 0)),
+            dead_letter=tuple(
+                DeadLetter(
+                    index=int(letter["index"]),
+                    shard=int(letter["shard"]),
+                    reason=str(letter["reason"]),
+                    attempts=int(letter["attempts"]),
+                )
+                for letter in data.get("dead_letter", [])
             ),
         )
 
@@ -339,6 +434,11 @@ class EngineReport:
             "engine_packets_dropped_backpressure_total": (
                 self.packets_dropped_backpressure
             ),
+            "engine_worker_restarts_total": self.worker_restarts,
+            "engine_retries_total": self.retries,
+            "engine_degraded_total": self.degraded,
+            "engine_dead_letter_total": self.dead_letter_total,
+            "resilience_faults_injected_total": self.faults_injected,
         }
         for name, count in self.decisions.items():
             counters[f'engine_decisions_total{{decision="{name}"}}'] = count
@@ -368,6 +468,36 @@ class EngineReport:
         return snapshot
 
 
+class _ResilienceTally:
+    """Mutable per-run resilience counters (folded into the report).
+
+    One instance per :meth:`ForwardingEngine.run`; both backends feed
+    it.  The dead-letter *record* is capped (the total keeps counting)
+    so a pathological run cannot make the report unbounded.
+    """
+
+    __slots__ = (
+        "restarts", "retries", "degraded", "faults",
+        "dead", "dead_total", "_cap",
+    )
+
+    def __init__(self, cap: int) -> None:
+        self.restarts = 0
+        self.retries = 0
+        self.degraded = 0
+        self.faults = 0
+        self.dead: List[DeadLetter] = []
+        self.dead_total = 0
+        self._cap = cap
+
+    def dead_letter(
+        self, index: int, shard: int, reason: str, attempts: int
+    ) -> None:
+        self.dead_total += 1
+        if len(self.dead) < self._cap:
+            self.dead.append(DeadLetter(index, shard, reason, attempts))
+
+
 class ForwardingEngine:
     """A sharded forwarding engine around :class:`RouterProcessor`.
 
@@ -381,6 +511,12 @@ class ForwardingEngine:
         Optional cost model handed to every shard's processor.
     config:
         Engine shape; defaults to 4 serial shards.
+    registry_factory:
+        Optional zero-argument callable building each shard's
+        operation registry (module-level for the ``process`` backend);
+        None installs the full default set.  Restricted registries
+        model heterogeneously-configured nodes (2.4), which is how
+        the degradation policies get exercised end to end.
     """
 
     def __init__(
@@ -388,10 +524,12 @@ class ForwardingEngine:
         state_factory: Callable[[], NodeState],
         cost_model: Optional[object] = None,
         config: Optional[EngineConfig] = None,
+        registry_factory: Optional[Callable[[], object]] = None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self.state_factory = state_factory
         self.cost_model = cost_model
+        self.registry_factory = registry_factory
         self.dispatcher = FlowDispatcher(self.config.num_shards)
         # Unified telemetry (repro.telemetry): live registry + tracer
         # when configured, falsy no-op null objects otherwise -- so the
@@ -408,22 +546,36 @@ class ForwardingEngine:
             # protocols (PIT, telemetry) and flow-cache entries persist
             # across run() calls.
             self._workers = [
-                ShardWorker(
-                    i,
-                    state_factory,
-                    cost_model,
-                    flow_cache=(
-                        FlowDecisionCache(self.config.flow_cache_capacity)
-                        if self.config.flow_cache
-                        else None
-                    ),
-                    telemetry=(
-                        self.metrics if self.config.telemetry else None
-                    ),
-                    tracer=self.tracer,
-                )
+                self._make_serial_worker(i)
                 for i in range(self.config.num_shards)
             ]
+
+    def _make_serial_worker(
+        self, shard: int, injector: Optional[object] = None
+    ) -> ShardWorker:
+        """Build one serial shard worker (construction and respawn).
+
+        A respawn hands over the dead worker's fault injector so the
+        plan's fired-fault bookkeeping survives the restart (a pinned
+        one-shot crash kills once, not once per incarnation).
+        """
+        config = self.config
+        return ShardWorker(
+            shard,
+            self.state_factory,
+            self.cost_model,
+            flow_cache=(
+                FlowDecisionCache(config.flow_cache_capacity)
+                if config.flow_cache
+                else None
+            ),
+            telemetry=self.metrics if config.telemetry else None,
+            tracer=self.tracer,
+            registry_factory=self.registry_factory,
+            degrade=config.degrade,
+            fault_plan=config.fault_plan,
+            injector=injector,
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -450,23 +602,98 @@ class ForwardingEngine:
             w.flow_cache.stats() if w.flow_cache is not None else None
             for w in workers
         ]
+        # Injectors survive respawns (handed to the new worker), so the
+        # run-start marks stay valid; everything else about a dead
+        # incarnation is folded into the *_committed accumulators.
+        injected_before = [w.faults_injected for w in workers]
+        degraded_before = [w.degraded for w in workers]
+        busy_committed = [0.0] * config.num_shards
+        packets_committed = [0] * config.num_shards
+        degraded_committed = [0] * config.num_shards
+        cache_committed: List[Optional[FlowCacheStats]] = (
+            [None] * config.num_shards
+        )
+        latencies_committed: List[float] = []
         batches = [0] * config.num_shards
+        seqs = [0] * config.num_shards
+        restarts_run = [0] * config.num_shards
+        tally = _ResilienceTally(config.max_dead_letters)
         dropped = 0
         start = time.perf_counter()
 
-        by_value = _DECISION_BY_VALUE
-        make_outcome = PacketOutcome
+        def respawn(shard: int, reason: str) -> None:
+            """Replace a dead shard worker, folding its accounting.
+
+            Raises :class:`EngineWorkerError` past the restart budget
+            -- at that point the shard is presumed unrecoverable and
+            losing the run beats looping forever.
+            """
+            tally.restarts += 1
+            restarts_run[shard] += 1
+            if restarts_run[shard] > config.max_worker_restarts:
+                raise EngineWorkerError(
+                    f"shard {shard} worker failed ({reason}) after "
+                    f"{restarts_run[shard] - 1} restart(s)"
+                )
+            old = workers[shard]
+            busy_committed[shard] += old.busy_seconds - busy_before[shard]
+            packets_committed[shard] += (
+                old.packets_processed - packets_before[shard]
+            )
+            degraded_committed[shard] += old.degraded - degraded_before[shard]
+            latencies_committed.extend(
+                old.batch_latencies[latency_mark[shard]:]
+            )
+            if old.flow_cache is not None:
+                delta = old.flow_cache.stats() - cache_before[shard]
+                cache_committed[shard] = (
+                    delta
+                    if cache_committed[shard] is None
+                    else cache_committed[shard] + delta
+                )
+            worker = self._make_serial_worker(shard, injector=old.injector)
+            workers[shard] = worker
+            busy_before[shard] = 0.0
+            packets_before[shard] = 0
+            degraded_before[shard] = 0
+            latency_mark[shard] = 0
+            cache_before[shard] = (
+                worker.flow_cache.stats()
+                if worker.flow_cache is not None
+                else None
+            )
 
         def drain(shard: int, everything: bool = False) -> None:
             ring = rings[shard]
             while len(ring) >= config.batch_size or (everything and len(ring)):
                 batch = ring.pop_batch(config.batch_size)
-                raw = workers[shard].run_batch([item[1] for item in batch])
-                batches[shard] += 1
-                for (index, _), (decision, ports, packet) in zip(batch, raw):
-                    outcomes[index] = make_outcome(
-                        by_value[decision], ports, packet, shard
-                    )
+                payloads = [item[1] for item in batch]
+                attempts = 0
+                while True:
+                    seq = seqs[shard]
+                    seqs[shard] += 1
+                    attempts += 1
+                    try:
+                        raw = workers[shard].run_batch(payloads, seq=seq)
+                    except Exception as exc:
+                        reason = f"{type(exc).__name__}: {exc}"
+                        respawn(shard, reason)
+                        if attempts > config.max_retries:
+                            for index, _ in batch:
+                                tally.dead_letter(
+                                    index, shard, reason, attempts
+                                )
+                            break
+                        tally.retries += 1
+                        if config.retry_backoff:
+                            time.sleep(
+                                config.retry_backoff * 2 ** (attempts - 1)
+                            )
+                        continue
+                    batches[shard] += 1
+                    for (index, _), raw_outcome in zip(batch, raw):
+                        outcomes[index] = _outcome(raw_outcome, shard)
+                    break
 
         batch_size = config.batch_size
         drop_tail = config.backpressure == "drop-tail"
@@ -478,8 +705,11 @@ class ForwardingEngine:
                     ring.record_drop()
                     dropped += 1
                     continue
-                drain(shard, everything=True)
-                ring.push((index, packet))
+                # Loop until the ring accepts: one drain always frees
+                # space (it empties the ring), but never assume -- a
+                # refused push here was a silent packet loss pre-PR 4.
+                while not ring.push((index, packet)):
+                    drain(shard, everything=True)
             if len(ring) >= batch_size:
                 drain(shard)
         for shard in range(config.num_shards):
@@ -487,48 +717,80 @@ class ForwardingEngine:
 
         wall = time.perf_counter() - start
         latencies = sorted(
-            latency
-            for worker, mark in zip(workers, latency_mark)
-            for latency in worker.batch_latencies[mark:]
+            latencies_committed
+            + [
+                latency
+                for worker, mark in zip(workers, latency_mark)
+                for latency in worker.batch_latencies[mark:]
+            ]
         )
+        shard_busy = [
+            busy_committed[i] + workers[i].busy_seconds - busy_before[i]
+            for i in range(config.num_shards)
+        ]
         shard_reports = tuple(
             ShardReport(
                 shard_id=i,
-                packets=workers[i].packets_processed - packets_before[i],
-                batches=batches[i],
-                busy_seconds=workers[i].busy_seconds - busy_before[i],
-                utilization=(
-                    (workers[i].busy_seconds - busy_before[i]) / wall
-                    if wall > 0
-                    else 0.0
+                packets=(
+                    packets_committed[i]
+                    + workers[i].packets_processed
+                    - packets_before[i]
                 ),
+                batches=batches[i],
+                busy_seconds=shard_busy[i],
+                utilization=shard_busy[i] / wall if wall > 0 else 0.0,
             )
             for i in range(config.num_shards)
         )
         flow_stats = None
         if config.flow_cache:
-            flow_stats = FlowCacheStats.total(
-                worker.flow_cache.stats() - before
-                for worker, before in zip(workers, cache_before)
-            )
+            parts = []
+            for i, worker in enumerate(workers):
+                delta = worker.flow_cache.stats() - cache_before[i]
+                if cache_committed[i] is not None:
+                    delta = delta + cache_committed[i]
+                parts.append(delta)
+            flow_stats = FlowCacheStats.total(parts)
+        tally.faults = sum(
+            worker.faults_injected - before
+            for worker, before in zip(workers, injected_before)
+        )
+        tally.degraded = sum(
+            degraded_committed[i] + workers[i].degraded - degraded_before[i]
+            for i in range(config.num_shards)
+        )
         return self._report(
             len(packets), dropped, wall, outcomes, latencies,
             shard_reports, tuple(ring.stats() for ring in rings),
-            flow_stats,
+            flow_stats, tally,
         )
 
     # ------------------------------------------------------------------
     # multiprocessing backend
     # ------------------------------------------------------------------
     def _run_process(self, packets) -> EngineReport:
+        """The multiprocessing backend, run under a supervisor loop.
+
+        The parent is the supervisor (DESIGN.md 3.9): every batch sent
+        to a shard is tracked in a per-shard in-flight FIFO, every
+        blocking wait is a heartbeat (``poll`` with
+        ``config.worker_timeout``), and any worker death -- pipe EOF,
+        broken write, heartbeat expiry -- triggers terminate + respawn
+        with the in-flight batches resent under exponential backoff.
+        Batches failing ``max_retries`` times are dead-lettered, never
+        silently lost; shards failing ``max_worker_restarts`` times
+        raise :class:`EngineWorkerError`.
+        """
         config = self.config
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context()
-        connections = []
-        processes = []
-        for shard in range(config.num_shards):
+        num = config.num_shards
+        connections: List[object] = [None] * num
+        processes: List[object] = [None] * num
+
+        def spawn(shard: int) -> None:
             parent, child = ctx.Pipe()
             process = ctx.Process(
                 target=_shard_worker_main,
@@ -542,26 +804,99 @@ class ForwardingEngine:
                         if config.flow_cache
                         else None
                     ),
+                    self.registry_factory,
+                    config.degrade,
+                    config.fault_plan if config.fault_plan else None,
                 ),
                 daemon=True,
             )
             process.start()
             child.close()
-            connections.append(parent)
-            processes.append(process)
+            connections[shard] = parent
+            processes[shard] = process
 
-        rings = [Ring(config.ring_capacity) for _ in range(config.num_shards)]
+        for shard in range(num):
+            spawn(shard)
+
+        rings = [Ring(config.ring_capacity) for _ in range(num)]
         outcomes: List[Optional[PacketOutcome]] = [None] * len(packets)
-        pending = [0] * config.num_shards
-        batches = [0] * config.num_shards
-        busy = [0.0] * config.num_shards
-        packets_done = [0] * config.num_shards
-        cache_dicts: List[Optional[Dict[str, int]]] = (
-            [None] * config.num_shards
-        )
+        # In-flight record per shard: [seq, indices, payloads, failures]
+        # in send order (workers reply in order, so FIFO matching).
+        inflight: List[deque] = [deque() for _ in range(num)]
+        seqs = [0] * num
+        batches = [0] * num
+        busy_live = [0.0] * num
+        busy_committed = [0.0] * num
+        packets_done = [0] * num
+        cache_live: List[Optional[Dict[str, int]]] = [None] * num
+        cache_committed: List[Optional[FlowCacheStats]] = [None] * num
+        restarts_run = [0] * num
+        tally = _ResilienceTally(config.max_dead_letters)
         latencies: List[float] = []
         dropped = 0
         start = time.perf_counter()
+        plan = config.fault_plan
+
+        def worker_failed(shard: int, reason: str) -> None:
+            """Respawn a dead shard and requeue its in-flight batches."""
+            tally.restarts += 1
+            restarts_run[shard] += 1
+            process = processes[shard]
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=10)
+            try:
+                connections[shard].close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            # Fold the dead incarnation's accounting; its unreported
+            # tail (the failing batch) is gone with the process.
+            busy_committed[shard] += busy_live[shard]
+            busy_live[shard] = 0.0
+            if cache_live[shard] is not None:
+                delta = FlowCacheStats.from_dict(cache_live[shard])
+                cache_committed[shard] = (
+                    delta
+                    if cache_committed[shard] is None
+                    else cache_committed[shard] + delta
+                )
+                cache_live[shard] = None
+            if plan is not None and plan.crash_scripted(shard):
+                # A crashed child cannot report its own injected-fault
+                # count; attribute one scripted crash per death.
+                tally.faults += 1
+            requeue = list(inflight[shard])
+            inflight[shard].clear()
+            if restarts_run[shard] > config.max_worker_restarts:
+                raise EngineWorkerError(
+                    f"shard {shard} worker failed ({reason}) after "
+                    f"{restarts_run[shard] - 1} restart(s) with "
+                    f"{sum(len(e[1]) for e in requeue)} packet(s) in flight"
+                )
+            spawn(shard)
+            for entry in requeue:
+                entry[3] += 1
+                if entry[3] > config.max_retries:
+                    for index in entry[1]:
+                        tally.dead_letter(index, shard, reason, entry[3])
+                else:
+                    tally.retries += 1
+                    if config.retry_backoff:
+                        time.sleep(
+                            config.retry_backoff * 2 ** (entry[3] - 1)
+                        )
+                    transmit(shard, entry)
+
+        def transmit(shard: int, entry: list) -> None:
+            entry[0] = seqs[shard]
+            seqs[shard] += 1
+            inflight[shard].append(entry)
+            try:
+                connections[shard].send((entry[0], entry[1], entry[2]))
+            except (BrokenPipeError, OSError) as exc:
+                worker_failed(
+                    shard, f"pipe write failed ({type(exc).__name__})"
+                )
 
         def send_batch(shard: int) -> None:
             batch = rings[shard].pop_batch(config.batch_size)
@@ -572,40 +907,75 @@ class ForwardingEngine:
                 item[1] if isinstance(item[1], bytes) else item[1].encode()
                 for item in batch
             ]
-            connections[shard].send((indices, payloads))
-            pending[shard] += 1
+            transmit(shard, [0, indices, payloads, 0])
+
+        def recv_reply(shard: int, blocking: bool) -> bool:
+            """Consume one reply; False when none (or the worker died).
+
+            The blocking form is the supervisor heartbeat: a shard
+            that stays silent for ``worker_timeout`` seconds is
+            declared dead and respawned (its batches requeue), so the
+            engine can no longer hang on ``recv`` from a wedged or
+            crashed worker.
+            """
+            connection = connections[shard]
+            try:
+                if blocking:
+                    if not connection.poll(config.worker_timeout):
+                        worker_failed(
+                            shard,
+                            f"heartbeat timeout "
+                            f"({config.worker_timeout:g}s)",
+                        )
+                        return False
+                elif not connection.poll():
+                    return False
+                reply = connection.recv()
+            except (EOFError, OSError):
+                worker_failed(shard, "pipe EOF (worker died)")
+                return False
+            (
+                seq, indices, raw, busy_total, latency,
+                cache_stats, injected, degraded,
+            ) = reply
+            entry = inflight[shard].popleft()
+            if entry[0] != seq:  # pragma: no cover - protocol invariant
+                raise EngineWorkerError(
+                    f"shard {shard} replied out of order "
+                    f"(seq {seq}, expected {entry[0]})"
+                )
+            busy_live[shard] = busy_total
+            cache_live[shard] = cache_stats
+            packets_done[shard] += len(indices)
             batches[shard] += 1
+            tally.faults += injected
+            tally.degraded += degraded
+            latencies.append(latency)
+            # Shard-side processor telemetry stays in the subprocess;
+            # the parent reconstructs batch spans from the reported
+            # latency at reply receipt.
+            reply_at = time.perf_counter()
+            self.tracer.record_span(
+                "engine.batch",
+                reply_at - latency,
+                reply_at,
+                shard=shard,
+                packets=len(indices),
+            )
+            for index, outcome in zip(indices, raw):
+                outcomes[index] = _outcome(outcome, shard)
+            return True
 
         def collect_ready(block_shard: Optional[int] = None) -> None:
             # Drain replies so pipes never fill up; optionally block on
             # one shard to bound its in-flight batches.
-            for shard, connection in enumerate(connections):
-                must_block = shard == block_shard and pending[shard] > 0
-                while pending[shard] and (
-                    must_block or connection.poll()
-                ):
-                    indices, raw, busy_total, latency, cache_stats = (
-                        connection.recv()
-                    )
-                    pending[shard] -= 1
-                    must_block = False
-                    busy[shard] = busy_total
-                    cache_dicts[shard] = cache_stats
-                    packets_done[shard] += len(indices)
-                    latencies.append(latency)
-                    # Shard-side processor telemetry stays in the
-                    # subprocess; the parent reconstructs batch spans
-                    # from the reported latency at reply receipt.
-                    reply_at = time.perf_counter()
-                    self.tracer.record_span(
-                        "engine.batch",
-                        reply_at - latency,
-                        reply_at,
-                        shard=shard,
-                        packets=len(indices),
-                    )
-                    for index, outcome in zip(indices, raw):
-                        outcomes[index] = _outcome(outcome, shard)
+            for shard in range(num):
+                if shard == block_shard:
+                    while inflight[shard]:
+                        if recv_reply(shard, blocking=True):
+                            break
+                while inflight[shard] and recv_reply(shard, blocking=False):
+                    pass
 
         try:
             shards = self.dispatcher.shards_of(packets)
@@ -616,19 +986,23 @@ class ForwardingEngine:
                         ring.record_drop()
                         dropped += 1
                         continue
-                    send_batch(shard)
-                    collect_ready(block_shard=shard)
-                    ring.push((index, packet))
+                    # Loop until the ring accepts the packet: with
+                    # batch_size > ring_capacity one send_batch may not
+                    # free enough slots, and the unchecked push here
+                    # silently lost the packet pre-PR 4.
+                    while not ring.push((index, packet)):
+                        send_batch(shard)
+                        collect_ready(block_shard=shard)
                 if len(ring) >= config.batch_size:
                     send_batch(shard)
                     collect_ready()
-            for shard in range(config.num_shards):
+            for shard in range(num):
                 while len(rings[shard]):
                     send_batch(shard)
                     collect_ready()
-            for shard in range(config.num_shards):
-                while pending[shard]:
-                    collect_ready(block_shard=shard)
+            for shard in range(num):
+                while inflight[shard]:
+                    recv_reply(shard, blocking=True)
         finally:
             for connection in connections:
                 try:
@@ -639,33 +1013,56 @@ class ForwardingEngine:
                 process.join(timeout=10)
                 if process.is_alive():  # pragma: no cover - hung worker
                     process.terminate()
+                    process.join(timeout=5)
             for connection in connections:
-                connection.close()
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            for ring in rings:
+                # Early termination (EngineWorkerError and friends)
+                # must not strand (index, packet) refs in the rings.
+                ring.pop_batch(len(ring))
 
         wall = time.perf_counter() - start
+        shard_busy = [
+            busy_committed[i] + busy_live[i] for i in range(num)
+        ]
         shard_reports = tuple(
             ShardReport(
                 shard_id=i,
                 packets=packets_done[i],
                 batches=batches[i],
-                busy_seconds=busy[i],
-                utilization=busy[i] / wall if wall > 0 else 0.0,
+                busy_seconds=shard_busy[i],
+                utilization=shard_busy[i] / wall if wall > 0 else 0.0,
             )
-            for i in range(config.num_shards)
+            for i in range(num)
         )
         flow_stats = None
         if config.flow_cache:
-            # Process workers are fresh per run, so the cumulative
-            # counters in the last reply *are* this run's delta.
-            flow_stats = FlowCacheStats.total(
-                FlowCacheStats.from_dict(stats)
-                for stats in cache_dicts
-                if stats is not None
-            )
+            # Process workers are fresh per run, so each incarnation's
+            # cumulative counters are this run's delta; dead
+            # incarnations were folded into cache_committed.
+            parts = []
+            for i in range(num):
+                stats = (
+                    FlowCacheStats.from_dict(cache_live[i])
+                    if cache_live[i] is not None
+                    else None
+                )
+                if cache_committed[i] is not None:
+                    stats = (
+                        cache_committed[i]
+                        if stats is None
+                        else stats + cache_committed[i]
+                    )
+                if stats is not None:
+                    parts.append(stats)
+            flow_stats = FlowCacheStats.total(parts)
         return self._report(
             len(packets), dropped, wall, outcomes, sorted(latencies),
             shard_reports, tuple(ring.stats() for ring in rings),
-            flow_stats,
+            flow_stats, tally,
         )
 
     # ------------------------------------------------------------------
@@ -679,13 +1076,15 @@ class ForwardingEngine:
         shard_reports: Tuple[ShardReport, ...],
         ring_stats: Tuple[RingStats, ...],
         flow_cache: Optional[FlowCacheStats] = None,
+        resilience: Optional[_ResilienceTally] = None,
     ) -> EngineReport:
         decisions: Dict[str, int] = {}
         for outcome in outcomes:
             if outcome is not None:
                 name = outcome.decision.value
                 decisions[name] = decisions.get(name, 0) + 1
-        processed = offered - dropped
+        dead_total = resilience.dead_total if resilience is not None else 0
+        processed = offered - dropped - dead_total
         report = EngineReport(
             packets_offered=offered,
             packets_processed=processed,
@@ -699,6 +1098,18 @@ class ForwardingEngine:
             rings=ring_stats,
             outcomes=tuple(outcomes),
             flow_cache=flow_cache,
+            worker_restarts=(
+                resilience.restarts if resilience is not None else 0
+            ),
+            retries=resilience.retries if resilience is not None else 0,
+            degraded=resilience.degraded if resilience is not None else 0,
+            faults_injected=(
+                resilience.faults if resilience is not None else 0
+            ),
+            dead_letter_total=dead_total,
+            dead_letter=(
+                tuple(resilience.dead) if resilience is not None else ()
+            ),
         )
         if self.metrics:
             self._publish(report, sorted_latencies)
@@ -724,6 +1135,17 @@ class ForwardingEngine:
         )
         metrics.counter("engine_packets_dropped_backpressure_total").inc(
             report.packets_dropped_backpressure
+        )
+        metrics.counter("engine_worker_restarts_total").inc(
+            report.worker_restarts
+        )
+        metrics.counter("engine_retries_total").inc(report.retries)
+        metrics.counter("engine_degraded_total").inc(report.degraded)
+        metrics.counter("engine_dead_letter_total").inc(
+            report.dead_letter_total
+        )
+        metrics.counter("resilience_faults_injected_total").inc(
+            report.faults_injected
         )
         for name, count in report.decisions.items():
             metrics.counter(
@@ -773,5 +1195,7 @@ _DECISION_BY_VALUE = {decision.value: decision for decision in Decision}
 
 
 def _outcome(raw, shard: int) -> PacketOutcome:
-    decision, ports, packet = raw
-    return PacketOutcome(_DECISION_BY_VALUE[decision], ports, packet, shard)
+    decision, ports, packet, reason = raw
+    return PacketOutcome(
+        _DECISION_BY_VALUE[decision], ports, packet, shard, reason
+    )

@@ -8,6 +8,15 @@ shards never contend on FIBs, PITs or flow tables.  The flow dispatcher
 guarantees all packets of one flow reach one shard, which is what makes
 private per-shard state (PIT entries, telemetry) correct.
 
+Workers are the blast-radius boundary of the resilience model
+(DESIGN.md 3.9): the processor runs with ``quarantine=True`` so a
+poison packet becomes an ``error`` outcome instead of a dead shard,
+and an optional :class:`~repro.resilience.FaultInjector` scripts
+crashes/stalls/wire damage for chaos tests.  A ``degrade`` policy maps
+the paper's 2.4 failure classes (limits, missing state, unsupported
+path-critical FNs) onto drop / deliver-to-host / best-effort-IP
+instead of the default verdict.
+
 ``_shard_worker_main`` is the multiprocessing entry point; it is a
 module-level function (picklable by name under both fork and spawn) and
 speaks plain tuples over its pipe.
@@ -15,6 +24,7 @@ speaks plain tuples over its pipe.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -22,14 +32,33 @@ from repro.core.flowcache import FlowDecisionCache
 from repro.core.fn import FN_ENCODED_SIZE
 from repro.core.header import BASIC_HEADER_SIZE
 from repro.core.packet import DipPacket
-from repro.core.processor import RouterProcessor
+from repro.core.processor import RouterProcessor, poison_result
 from repro.core.state import NodeState
+from repro.resilience.faults import (
+    CRASH,
+    CORRUPT,
+    DELAY,
+    FaultInjector,
+    FaultPlan,
+    InjectedOperationError,
+    InjectedWorkerCrash,
+    OP_EXCEPTION,
+    STALL,
+    TRUNCATE,
+    WORKER_KINDS,
+    corrupt_bytes,
+)
 from repro.telemetry.tracing import NULL_TRACER
 
 # What a worker sends back per packet: (decision value, ports, encoded
-# output packet or None).  Plain types so the multiprocessing backend
-# can ship it over a pipe cheaply.
-RawOutcome = Tuple[str, Tuple[int, ...], Optional[bytes]]
+# output packet or None, failure reason or None).  Plain types so the
+# multiprocessing backend can ship it over a pipe cheaply.
+RawOutcome = Tuple[str, Tuple[int, ...], Optional[bytes], Optional[str]]
+
+# ProcessResult.failure values eligible for graceful degradation; an
+# exception class name (a quarantined poison packet) is never degraded
+# -- there is no safe way to forward what could not be parsed.
+_DEGRADABLE = frozenset({"limit", "state", "unsupported"})
 
 
 class ShardWorker:
@@ -56,6 +85,24 @@ class ShardWorker:
         worker records per-batch stage spans (``shard.walk`` for the FN
         pipeline, ``shard.emit`` for output encoding).  Defaults to the
         no-op null tracer.
+    registry_factory:
+        Optional zero-argument callable building this shard's
+        operation registry (module-level for the process backend);
+        None installs the default full set.  Lets chaos/degradation
+        tests model heterogeneously-configured nodes.
+    degrade:
+        Graceful-degradation policy for walks that failed on limits,
+        missing state or unsupported path-critical FNs: ``"drop"``,
+        ``"pass-to-host"`` (deliver, the paper's tag-bit semantics) or
+        ``"best-effort-ip"`` (forward out the default port when one
+        exists).  None (default) keeps the processor's verdict.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; an empty/None
+        plan builds no injector and adds nothing to the batch path.
+    injector:
+        A pre-built injector to adopt instead of building one from
+        ``fault_plan`` (the serial supervisor hands the old injector
+        to a respawned worker so fired-fault bookkeeping survives).
     """
 
     def __init__(
@@ -66,24 +113,54 @@ class ShardWorker:
         flow_cache: Optional[FlowDecisionCache] = None,
         telemetry: Optional[object] = None,
         tracer: Optional[object] = None,
+        registry_factory: Optional[Callable[[], object]] = None,
+        degrade: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.shard_id = shard_id
         self.flow_cache = flow_cache
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.processor = RouterProcessor(
             state_factory(),
+            registry=(
+                registry_factory() if registry_factory is not None else None
+            ),
             cost_model=cost_model,
             flow_cache=flow_cache,
             telemetry=telemetry,
+            quarantine=True,
         )
+        self.degrade = degrade
+        if injector is not None:
+            self.injector = injector
+        else:
+            self.injector = (
+                FaultInjector(fault_plan, shard_id) if fault_plan else None
+            )
         self.packets_processed = 0
+        self.degraded = 0
         self.busy_seconds = 0.0
         self.batch_latencies: List[float] = []
 
+    @property
+    def faults_injected(self) -> int:
+        return self.injector.injected if self.injector is not None else 0
+
     def run_batch(
-        self, batch: Sequence[Union[DipPacket, bytes]]
+        self,
+        batch: Sequence[Union[DipPacket, bytes]],
+        seq: int = 0,
     ) -> List[RawOutcome]:
-        """Process one batch, recording wall time spent."""
+        """Process one batch, recording wall time spent.
+
+        ``seq`` is the supervisor's batch sequence number for this
+        shard -- the fault injector matches scripted faults against it
+        (retried batches get fresh seqs, so pinned faults fire once).
+        """
+        overrides = None
+        if self.injector is not None:
+            batch, overrides = self._inject(batch, seq)
         start = time.perf_counter()
         results = self.processor.process_batch(batch)
         elapsed = time.perf_counter() - start
@@ -99,9 +176,16 @@ class ShardWorker:
             shard=self.shard_id,
             packets=len(results),
         )
+        if overrides:
+            for index, result in overrides.items():
+                results[index] = result
         emit_start = time.perf_counter()
+        degrade = self.degrade
         out: List[RawOutcome] = []
         for item, result in zip(batch, results):
+            if degrade is not None and result.failure in _DEGRADABLE:
+                out.append(self._degraded_outcome(item))
+                continue
             packet = result.packet
             if packet is None:
                 encoded = None
@@ -124,7 +208,9 @@ class ShardWorker:
                 )
             else:
                 encoded = packet.encode()
-            out.append((result.decision.value, result.ports, encoded))
+            out.append(
+                (result.decision.value, result.ports, encoded, result.failure)
+            )
         self.tracer.record_span(
             "shard.emit",
             emit_start,
@@ -134,6 +220,87 @@ class ShardWorker:
         )
         return out
 
+    # ------------------------------------------------------------------
+    # resilience (repro.resilience; DESIGN.md 3.9)
+    # ------------------------------------------------------------------
+    def _inject(self, batch, seq: int):
+        """Apply the faults scripted for this batch.
+
+        Returns the (possibly rewritten) batch plus per-index result
+        overrides for op-exception faults.  Crash faults raise
+        :class:`InjectedWorkerCrash` -- the serial supervisor catches
+        it, the process main loop turns it into a hard exit.
+        """
+        overrides = None
+        mutable = None
+        for fault in self.injector.actions(seq, WORKER_KINDS):
+            kind = fault.kind
+            if kind == CRASH:
+                raise InjectedWorkerCrash(
+                    f"scripted crash: shard {self.shard_id} batch {seq}"
+                )
+            if kind == STALL or kind == DELAY:
+                # Both sleep in-worker; STALL before the walk and DELAY
+                # after it are indistinguishable at this granularity,
+                # and either starves the supervisor's heartbeat.
+                time.sleep(fault.delay)
+            elif kind == CORRUPT or kind == TRUNCATE:
+                if mutable is None:
+                    mutable = list(batch)
+                if mutable:
+                    index = min(fault.packet, len(mutable) - 1)
+                    item = mutable[index]
+                    data = (
+                        bytes(item)
+                        if isinstance(item, (bytes, bytearray))
+                        else item.encode()
+                    )
+                    mutable[index] = corrupt_bytes(data, kind)
+            elif kind == OP_EXCEPTION:
+                if len(batch):
+                    if overrides is None:
+                        overrides = {}
+                    index = min(fault.packet, len(batch) - 1)
+                    overrides[index] = poison_result(
+                        InjectedOperationError(
+                            f"scripted operation failure: shard "
+                            f"{self.shard_id} batch {seq} packet {index}"
+                        )
+                    )
+        return (mutable if mutable is not None else batch), overrides
+
+    def _degraded_outcome(self, item) -> RawOutcome:
+        """Apply the degrade policy to one failed walk.
+
+        ``pass-to-host`` delivers (the paper's tag-bit: let the end
+        host run what the router cannot); ``best-effort-ip`` forwards
+        out the shard's default port with only the hop limit edited
+        (plain-IP treatment, 5's F_pass discussion); ``drop`` -- and
+        ``best-effort-ip`` with no default port -- discards.
+        """
+        self.degraded += 1
+        if self.degrade == "pass-to-host":
+            return ("deliver", (), None, "degraded")
+        if self.degrade == "best-effort-ip":
+            port = self.processor.state.default_port
+            if port is not None:
+                if isinstance(item, (bytes, bytearray)):
+                    data = bytes(item)
+                    encoded = (
+                        data[:3]
+                        + bytes(((data[3] - 1) & 0xFF,))
+                        + data[4:]
+                    )
+                else:
+                    encoded = item.encode()
+                    encoded = (
+                        encoded[:3]
+                        + bytes(((encoded[3] - 1) & 0xFF,))
+                        + encoded[4:]
+                    )
+                return ("forward", (port,), encoded, "degraded")
+        return ("drop", (), None, "degraded")
+
 
 def _shard_worker_main(
     conn,
@@ -141,38 +308,68 @@ def _shard_worker_main(
     state_factory: Callable[[], NodeState],
     cost_model: Optional[object],
     flow_cache_capacity: Optional[int] = None,
+    registry_factory: Optional[Callable[[], object]] = None,
+    degrade: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Multiprocessing shard loop: receive raw batches, return outcomes.
 
     Protocol (over a ``multiprocessing.Pipe``):
 
-    - request: ``(indices, payloads)`` where ``payloads`` is a list of
-      raw packet bytes; ``None`` asks the worker to exit.
-    - reply: ``(indices, outcomes, busy_seconds, latency, cache_stats)``
-      with the request's indices echoed so the engine can restore input
-      order; ``cache_stats`` is the flow cache's cumulative counter dict
+    - request: ``(seq, indices, payloads)`` where ``payloads`` is a
+      list of raw packet bytes and ``seq`` the supervisor's batch
+      sequence number for this shard; ``None`` asks the worker to exit.
+    - reply: ``(seq, indices, outcomes, busy_seconds, latency,
+      cache_stats, injected, degraded)`` with the request's seq and
+      indices echoed so the engine can match its in-flight record and
+      restore input order; ``cache_stats`` is the flow cache's
+      cumulative counter dict
       (:meth:`~repro.core.flowcache.FlowCacheStats.as_dict`) or None
-      when no cache is configured.
+      when no cache is configured; ``injected``/``degraded`` are the
+      faults injected and packets degraded *by this batch* (deltas,
+      so a reply lost to a crash loses only its own counts).
+
+    A scripted :class:`InjectedWorkerCrash` hard-exits the process
+    (``os._exit``) -- the point is to look exactly like a segfault or
+    an OOM kill to the supervisor, not like a Python exception.
     """
     cache = (
         FlowDecisionCache(flow_cache_capacity)
         if flow_cache_capacity
         else None
     )
-    worker = ShardWorker(shard_id, state_factory, cost_model, flow_cache=cache)
+    worker = ShardWorker(
+        shard_id,
+        state_factory,
+        cost_model,
+        flow_cache=cache,
+        registry_factory=registry_factory,
+        degrade=degrade,
+        fault_plan=fault_plan,
+    )
+    injected_seen = 0
+    degraded_seen = 0
     while True:
         request = conn.recv()
         if request is None:
             conn.close()
             return
-        indices, payloads = request
-        outcomes = worker.run_batch(payloads)
+        seq, indices, payloads = request
+        try:
+            outcomes = worker.run_batch(payloads, seq=seq)
+        except InjectedWorkerCrash:
+            os._exit(1)
+        injected, degraded = worker.faults_injected, worker.degraded
         conn.send(
             (
+                seq,
                 indices,
                 outcomes,
                 worker.busy_seconds,
                 worker.batch_latencies[-1],
                 cache.stats().as_dict() if cache is not None else None,
+                injected - injected_seen,
+                degraded - degraded_seen,
             )
         )
+        injected_seen, degraded_seen = injected, degraded

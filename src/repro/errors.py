@@ -66,6 +66,19 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class EngineError(ReproError):
+    """The forwarding engine failed outside any single packet's walk."""
+
+
+class EngineWorkerError(EngineError):
+    """A shard worker died (crash, pipe EOF, or heartbeat timeout).
+
+    Raised by the supervisor only after the restart budget is spent;
+    within the budget, worker death is handled by respawn + retry and
+    never surfaces as an exception.
+    """
+
+
 class DataplaneError(ReproError):
     """The PISA dataplane model rejected a program or a packet."""
 

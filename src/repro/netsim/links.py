@@ -3,14 +3,32 @@
 A link joins two (node, port) endpoints.  Transmitting a frame takes
 ``size / bandwidth`` seconds of serialization plus the propagation
 delay; frames overflowing the queue are dropped and counted.
+
+Links are also a fault-injection site (:mod:`repro.resilience`): a
+:class:`~repro.resilience.FaultInjector` attached to a link can drop,
+delay, truncate or corrupt frames on a scripted schedule, keyed by the
+link's transmit counter.  Damaged DIP frames that no longer decode are
+dropped (a real NIC's CRC check would eat them); damaged byte frames
+are delivered damaged, exercising the receiver's poison handling.
 """
 
 from __future__ import annotations
 
 
-from repro.errors import SimulationError
+from repro.core.packet import DipPacket
+from repro.errors import ReproError, SimulationError
 from repro.netsim.engine import Engine
-from repro.netsim.messages import Frame
+from repro.netsim.messages import KIND_DIP, Frame
+from repro.resilience.faults import (
+    CORRUPT,
+    DELAY,
+    DROP_FRAME,
+    FaultInjector,
+    LINK_KINDS,
+    STALL,
+    TRUNCATE,
+    corrupt_bytes,
+)
 
 
 class Link:
@@ -26,6 +44,10 @@ class Link:
         Bytes per second; 0 means infinite (no serialization delay).
     queue_capacity:
         Frames in flight per direction before tail drop; 0 = unlimited.
+    fault_injector:
+        Optional scripted fault source; its ``shard`` is matched
+        against nothing here (build it with the link's own index), and
+        its ``batch`` matches this link's transmit counter.
     """
 
     def __init__(
@@ -34,13 +56,16 @@ class Link:
         delay: float = 0.001,
         bandwidth: float = 0.0,
         queue_capacity: int = 0,
+        fault_injector: FaultInjector = None,
     ) -> None:
         self.engine = engine
         self.delay = delay
         self.bandwidth = bandwidth
         self.queue_capacity = queue_capacity
+        self.fault_injector = fault_injector
         self._ends = {}  # node_id -> (node, port)
         self._in_flight = {}  # direction node_id -> count
+        self._transmits = 0
         self.frames_delivered = 0
         self.frames_dropped = 0
         self.up = True  # failure injection: down links drop everything
@@ -62,8 +87,8 @@ class Link:
     def transmit(self, sender_id: str, frame: Frame) -> bool:
         """Send a frame from ``sender_id`` toward the peer.
 
-        Returns False when the link is down or the queue tail-dropped
-        the frame.
+        Returns False when the link is down, the queue tail-dropped
+        the frame, or an injected fault ate it.
         """
         peer, peer_port = self.peer_of(sender_id)
         if not self.up:
@@ -75,6 +100,14 @@ class Link:
         ):
             self.frames_dropped += 1
             return False
+        extra_delay = 0.0
+        if self.fault_injector is not None:
+            seq = self._transmits
+            self._transmits += 1
+            frame, extra_delay = self._apply_faults(seq, frame)
+            if frame is None:
+                self.frames_dropped += 1
+                return False
         serialization = frame.size / self.bandwidth if self.bandwidth else 0.0
         self._in_flight[sender_id] += 1
 
@@ -83,5 +116,37 @@ class Link:
             self.frames_delivered += 1
             peer.receive(frame, peer_port)
 
-        self.engine.schedule(self.delay + serialization, deliver)
+        self.engine.schedule(
+            self.delay + serialization + extra_delay, deliver
+        )
         return True
+
+    def _apply_faults(self, seq: int, frame: Frame):
+        """Run the scripted faults for one transmit.
+
+        Returns ``(frame_or_None, extra_delay)``; None means the frame
+        was dropped (scripted drop, or wire damage that left a DIP
+        frame undecodable).
+        """
+        extra_delay = 0.0
+        for fault in self.fault_injector.actions(seq, LINK_KINDS):
+            kind = fault.kind
+            if kind == DROP_FRAME:
+                return None, extra_delay
+            if kind == DELAY or kind == STALL:
+                extra_delay += fault.delay
+            elif kind == CORRUPT or kind == TRUNCATE:
+                data = frame.data
+                if isinstance(data, (bytes, bytearray)):
+                    damaged = corrupt_bytes(bytes(data), kind)
+                    frame = Frame(frame.kind, damaged, len(damaged))
+                elif frame.kind == KIND_DIP:
+                    damaged = corrupt_bytes(data.encode(), kind)
+                    try:
+                        packet = DipPacket.decode(damaged)
+                    except ReproError:
+                        # Undecodable on the wire: the receiving NIC
+                        # discards it (a CRC failure, in effect).
+                        return None, extra_delay
+                    frame = Frame(frame.kind, packet, len(damaged))
+        return frame, extra_delay

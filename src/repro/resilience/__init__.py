@@ -1,0 +1,44 @@
+"""Fault injection and resilience primitives for the engine.
+
+See :mod:`repro.resilience.faults` for the plan/injector model and
+DESIGN.md 3.9 for the fault taxonomy and the supervisor state machine
+they exercise.
+"""
+
+from repro.resilience.faults import (
+    CRASH,
+    CORRUPT,
+    DELAY,
+    DROP_FRAME,
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedOperationError,
+    InjectedWorkerCrash,
+    LINK_KINDS,
+    OP_EXCEPTION,
+    STALL,
+    TRUNCATE,
+    WORKER_KINDS,
+    corrupt_bytes,
+)
+
+__all__ = [
+    "CRASH",
+    "CORRUPT",
+    "DELAY",
+    "DROP_FRAME",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedOperationError",
+    "InjectedWorkerCrash",
+    "LINK_KINDS",
+    "OP_EXCEPTION",
+    "STALL",
+    "TRUNCATE",
+    "WORKER_KINDS",
+    "corrupt_bytes",
+]

@@ -1,0 +1,114 @@
+"""Fault injection at the link layer.
+
+Links share the engine's fault vocabulary (drop, delay, wire damage)
+keyed by the link's transmit counter, so netsim chaos runs replay
+deterministically too.  Damaged DIP frames that no longer decode are
+dropped at the link (a CRC check, in effect); damaged byte frames are
+delivered damaged.
+"""
+
+from repro.netsim.engine import Engine
+from repro.netsim.links import Link
+from repro.netsim.messages import KIND_IPV4, Frame
+from repro.realize.ip import build_ipv4_packet
+from repro.resilience import (
+    CORRUPT,
+    DELAY,
+    DROP_FRAME,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    TRUNCATE,
+)
+
+
+class StubNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def receive(self, frame, port):
+        self.received.append((frame, port))
+
+
+def make_link(plan=None, **kwargs):
+    engine = Engine()
+    injector = FaultInjector(plan, shard=0) if plan else None
+    link = Link(engine, fault_injector=injector, **kwargs)
+    a, b = StubNode("a"), StubNode("b")
+    link.attach(a, 1)
+    link.attach(b, 2)
+    return engine, link, a, b
+
+
+def dip_frame():
+    return Frame.dip(build_ipv4_packet(0x0A000001, 0x0B000002, payload=b"x"))
+
+
+class TestLinkWithoutFaults:
+    def test_no_injector_is_transparent(self):
+        engine, link, a, b = make_link()
+        assert link.transmit("a", dip_frame())
+        engine.run()
+        assert len(b.received) == 1
+        assert link.frames_delivered == 1 and link.frames_dropped == 0
+
+
+class TestLinkFaults:
+    def test_drop_frame(self):
+        plan = FaultPlan(faults=(Fault(kind=DROP_FRAME, batch=0),))
+        engine, link, a, b = make_link(plan)
+        assert not link.transmit("a", dip_frame())
+        assert link.transmit("a", dip_frame())  # next transmit unaffected
+        engine.run()
+        assert len(b.received) == 1
+        assert link.frames_dropped == 1
+        assert link.frames_delivered == 1
+
+    def test_delay_postpones_delivery(self):
+        plan = FaultPlan(
+            faults=(Fault(kind=DELAY, batch=0, delay=0.5),)
+        )
+        engine, link, a, b = make_link(plan, delay=0.001)
+        assert link.transmit("a", dip_frame())
+        engine.run(until=0.1)
+        assert not b.received  # still on the wire
+        engine.run()
+        assert len(b.received) == 1
+        assert engine.now >= 0.5
+
+    def test_truncated_dip_frame_dropped_like_crc(self):
+        plan = FaultPlan(faults=(Fault(kind=TRUNCATE, batch=0),))
+        engine, link, a, b = make_link(plan)
+        assert not link.transmit("a", dip_frame())
+        engine.run()
+        assert not b.received
+        assert link.frames_dropped == 1
+
+    def test_corrupt_byte_frame_delivered_damaged(self):
+        plan = FaultPlan(faults=(Fault(kind=CORRUPT, batch=0),))
+        engine, link, a, b = make_link(plan)
+        raw = bytes(range(16))
+        assert link.transmit("a", Frame.legacy(KIND_IPV4, raw))
+        engine.run()
+        assert len(b.received) == 1
+        damaged = b.received[0][0].data
+        assert damaged != raw
+        assert damaged[2] == raw[2] ^ 0xFF
+
+    def test_transmit_counter_keys_the_schedule(self):
+        # Fault pinned at transmit 2: the first two frames pass clean.
+        plan = FaultPlan(faults=(Fault(kind=DROP_FRAME, batch=2),))
+        engine, link, a, b = make_link(plan)
+        results = [link.transmit("a", dip_frame()) for _ in range(4)]
+        assert results == [True, True, False, True]
+        engine.run()
+        assert len(b.received) == 3
+
+    def test_injector_counts_injections(self):
+        plan = FaultPlan(faults=(Fault(kind=DROP_FRAME, times=0),))
+        engine, link, a, b = make_link(plan)
+        for _ in range(5):
+            link.transmit("a", dip_frame())
+        assert link.fault_injector.injected == 5
+        assert link.frames_dropped == 5

@@ -240,3 +240,59 @@ class TestStats:
     def test_rejects_bad_config(self):
         with pytest.raises(SystemExit):
             run_cli("stats", "--backend", "bogus")
+
+
+class TestEngineResilience:
+    def test_fault_plan_crash_prints_resilience_line(self, tmp_path):
+        from repro.resilience import CRASH, Fault, FaultPlan
+
+        plan = FaultPlan(faults=(Fault(kind=CRASH, shard=0, batch=0),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        code, text = run_cli(
+            "engine", "--packets", "200", "--shards", "2",
+            "--fault-plan", str(path),
+        )
+        assert code == 0
+        assert "engine: 200/200 packets" in text
+        assert "resilience: 1 restart(s)" in text
+        assert "1 fault(s) injected" in text
+
+    def test_clean_run_prints_no_resilience_line(self):
+        code, text = run_cli("engine", "--packets", "100", "--shards", "1")
+        assert code == 0
+        assert "resilience:" not in text
+
+    def test_missing_fault_plan_file_errors(self):
+        code, text = run_cli(
+            "engine", "--fault-plan", "/nonexistent/plan.json"
+        )
+        assert code == 2
+        assert "cannot read fault plan" in text
+
+    def test_bad_fault_plan_json_errors(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        code, text = run_cli("engine", "--fault-plan", str(path))
+        assert code == 2
+        assert "bad fault plan" in text
+
+    def test_degrade_flag_accepted(self):
+        code, text = run_cli(
+            "engine", "--packets", "100", "--degrade", "pass-to-host",
+            "--max-retries", "1", "--worker-timeout", "5",
+        )
+        assert code == 0
+
+    def test_rejects_unknown_degrade_policy(self):
+        with pytest.raises(SystemExit):
+            run_cli("engine", "--degrade", "shrug")
+
+    def test_stats_exports_resilience_counters(self):
+        import json
+
+        code, text = run_cli("stats", "--packets", "100", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert "engine_dead_letter_total" in payload["counters"]
+        assert "resilience_faults_injected_total" in payload["counters"]
