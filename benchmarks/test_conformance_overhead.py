@@ -1,0 +1,64 @@
+"""CONF: what the optimized paths buy over the executable spec.
+
+Not a paper figure -- the conformance harness's own datum.  The
+reference interpreter (:mod:`repro.conformance.reference`) is the
+deliberately naive Algorithm 1 walker every executor is diffed
+against; this benchmark records how much slower it is than
+``process_batch`` on the same valid scenario traffic.  Informational:
+the reference exists to be *right*, not fast, so the only assertion is
+that the optimized path does not lose to the spec.
+"""
+
+import time
+
+import pytest
+
+from repro.conformance import ReferenceInterpreter, Scenario
+from repro.core.processor import RouterProcessor
+from repro.workloads.reporting import print_table
+
+pytestmark = pytest.mark.slow
+
+PACKETS = 2000
+ROUNDS = 3
+
+
+def _rate(run, wires):
+    best = 0.0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run(wires)
+        elapsed = time.perf_counter() - start
+        best = max(best, len(wires) / elapsed)
+    return best
+
+
+def test_reference_interpreter_overhead():
+    rows = []
+    for name in ("ip", "ndn", "opt"):
+        scenario = Scenario(name)
+        wires = scenario.wires(PACKETS, stream="bench")
+
+        reference = ReferenceInterpreter(
+            scenario.state(), registry=scenario.registry()
+        )
+        batch = RouterProcessor(
+            scenario.state(), registry=scenario.registry(), quarantine=True
+        )
+
+        def run_reference(batch_wires, interpreter=reference):
+            for wire in batch_wires:
+                interpreter.process(wire)
+
+        ref_rate = _rate(run_reference, wires)
+        batch_rate = _rate(batch.process_batch, wires)
+        assert batch_rate >= ref_rate * 0.9  # optimizations never lose
+        rows.append(
+            [name, f"{ref_rate:,.0f}", f"{batch_rate:,.0f}",
+             f"{batch_rate / ref_rate:.2f}x"]
+        )
+    print_table(
+        "CONF reference-interpreter overhead",
+        ["scenario", "reference pkts/s", "process_batch pkts/s", "speedup"],
+        rows,
+    )

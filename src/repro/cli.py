@@ -374,6 +374,118 @@ def cmd_stats(args, out) -> int:
     return 0
 
 
+def cmd_conformance(args, out) -> int:
+    """Differential conformance: corpus replay and/or seeded fuzzing.
+
+    Exit code 0 means every executor agreed with the reference
+    interpreter on every compared packet; 1 means divergences (the
+    report, plus shrunk repros, goes to ``--json``).
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.conformance import (
+        DivergenceReport,
+        load_corpus,
+        replay_corpus,
+        run_fuzz,
+        save_corpus,
+    )
+    from repro.conformance.corpus import (
+        REGRESSION_GROUP,
+        build_golden_corpus,
+    )
+    from repro.conformance.executors import executors_by_name
+    from repro.dataplane.costs import CycleCostModel
+
+    cost_model = None if args.no_cost_model else CycleCostModel()
+    try:
+        executors = (
+            executors_by_name(args.executors.split(","))
+            if args.executors
+            else None
+        )
+    except ValueError as exc:
+        out.write(f"conformance: {exc}\n")
+        return 2
+    scenarios = args.scenarios.split(",") if args.scenarios else None
+
+    if args.record:
+        # Regenerate the golden groups; regression vectors (appended
+        # when fuzzer finds are fixed) are preserved, never rebuilt.
+        vectors = build_golden_corpus(seed=args.seed)
+        if Path(args.record).is_dir():
+            vectors.extend(
+                v
+                for v in load_corpus(args.record)
+                if v.group == REGRESSION_GROUP
+            )
+        paths = save_corpus(vectors, args.record)
+        out.write(
+            f"conformance: recorded {len(vectors)} vectors into "
+            f"{len(paths)} files under {args.record}\n"
+        )
+
+    report = DivergenceReport()
+    corpus_dir = args.corpus or args.record
+    if corpus_dir is None and args.fuzz == 0:
+        default_dir = Path("tests/conformance/corpus")
+        if default_dir.is_dir():
+            corpus_dir = str(default_dir)
+        else:
+            out.write(
+                "conformance: nothing to do (no --corpus, no --fuzz, and "
+                "no tests/conformance/corpus here)\n"
+            )
+            return 2
+    if corpus_dir is not None:
+        vectors = load_corpus(corpus_dir)
+        if not vectors:
+            out.write(f"conformance: no vectors under {corpus_dir}\n")
+            return 2
+        replay = replay_corpus(vectors, executors, cost_model)
+        out.write(f"corpus replay ({len(vectors)} vectors): ")
+        out.write(replay.summary() + "\n")
+        report.merge(replay)
+    if args.fuzz > 0:
+        fuzz = run_fuzz(
+            args.fuzz,
+            seed=args.seed,
+            scenarios=scenarios,
+            executors=args.executors.split(",") if args.executors else None,
+            cost_model=cost_model,
+            shrink=not args.no_shrink,
+            max_seconds=args.max_seconds,
+        )
+        out.write(f"fuzz (seed {args.seed}): " + fuzz.summary() + "\n")
+        report.merge(fuzz)
+
+    for divergence in report.divergences[:20]:
+        out.write(
+            f"  DIVERGENCE {divergence.scenario}/{divergence.executor} "
+            f"packet {divergence.index} [{divergence.aspect}]"
+            + (f" vector {divergence.vector}" if divergence.vector else "")
+            + f"\n    expected: {divergence.expected}"
+            f"\n    got:      {divergence.got}\n"
+        )
+    if len(report.divergences) > 20:
+        out.write(
+            f"  ... {len(report.divergences) - 20} more divergences\n"
+        )
+    for repro in report.repros:
+        out.write(
+            f"  shrunk repro [{repro['scenario']}] "
+            f"{','.join(repro['executors'])}: "
+            f"{' '.join(repro['wires'])}\n"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        out.write(f"  report written to {args.json}\n")
+    return 0 if report.ok else 1
+
+
 def _print_keys(out) -> int:
     from repro.core.registry import default_registry
 
@@ -472,6 +584,65 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         help="print the snapshot as JSON instead of a table",
     )
 
+    conformance = sub.add_parser(
+        "conformance",
+        help="differential conformance: reference interpreter vs every "
+        "optimized executor (corpus replay + seeded fuzz)",
+    )
+    conformance.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fuzz N packets across the scenario rotation (0 = off)",
+    )
+    conformance.add_argument(
+        "--seed", type=int, default=0, help="fuzz/corpus seed"
+    )
+    conformance.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="replay every vector in this corpus directory "
+        "(default: tests/conformance/corpus when present and not fuzzing)",
+    )
+    conformance.add_argument(
+        "--record",
+        metavar="DIR",
+        help="regenerate the golden corpus groups into DIR "
+        "(regression vectors are preserved), then replay",
+    )
+    conformance.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the structured DivergenceReport to PATH",
+    )
+    conformance.add_argument(
+        "--scenarios",
+        metavar="A,B",
+        help="comma-separated scenario subset (default: all)",
+    )
+    conformance.add_argument(
+        "--executors",
+        metavar="A,B",
+        help="comma-separated executor subset (default: full matrix)",
+    )
+    conformance.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fuzz time budget; stops starting new cases past it",
+    )
+    conformance.add_argument(
+        "--no-cost-model",
+        action="store_true",
+        help="skip the cycle model (disables cycle-count comparisons)",
+    )
+    conformance.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report diverging cases without minimizing them",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "decode":
         return cmd_decode(args, out)
@@ -487,6 +658,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_engine(args, out)
     if args.command == "stats":
         return cmd_stats(args, out)
+    if args.command == "conformance":
+        return cmd_conformance(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

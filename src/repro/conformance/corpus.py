@@ -1,0 +1,275 @@
+"""The golden wire-vector corpus: record, replay, regenerate.
+
+A *vector* is a named, replayable conformance case: a scenario handle
+(name + seed -- enough to rebuild the node deterministically) plus an
+ordered list of wire-encoded packets.  Sequences matter: a PIT vector
+is interest-then-data, and every executor must agree on the whole
+stream, not just per-packet.
+
+Vectors live under ``tests/conformance/corpus/`` as JSON, grouped one
+file per scenario (plus ``regressions.json`` for shrunk fuzzer finds).
+``repro conformance --corpus <dir>`` replays them through the full
+executor matrix; ``--record <dir>`` regenerates the golden set from
+:func:`build_golden_corpus`.  Regression vectors are never regenerated
+-- they are appended when a divergence is fixed and kept forever.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.conformance.differ import DivergenceReport, diff_case
+from repro.conformance.scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    scenario_wires,
+)
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+
+#: Files the recorder regenerates; anything else (regressions.json) is
+#: preserved as-is.
+GENERATED_GROUPS = tuple(ALL_SCENARIOS)
+REGRESSION_GROUP = "regressions"
+
+
+@dataclass(frozen=True)
+class Vector:
+    """One named conformance case."""
+
+    name: str
+    scenario: str
+    wires: Sequence[str]  # hex-encoded wire packets, in order
+    seed: int = 0
+    note: str = ""
+    group: str = ""  # corpus file stem; defaults to the scenario
+
+    def wire_bytes(self) -> List[bytes]:
+        return [bytes.fromhex(w) for w in self.wires]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "note": self.note,
+            "wires": list(self.wires),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, group: str = "") -> "Vector":
+        return cls(
+            name=data["name"],
+            scenario=data["scenario"],
+            wires=list(data["wires"]),
+            seed=data.get("seed", 0),
+            note=data.get("note", ""),
+            group=group,
+        )
+
+
+# ----------------------------------------------------------------------
+# load / save
+# ----------------------------------------------------------------------
+def load_corpus(path) -> List[Vector]:
+    """Load every vector under ``path`` (a directory of ``*.json``)."""
+    root = Path(path)
+    vectors: List[Vector] = []
+    for file in sorted(root.glob("*.json")):
+        data = json.loads(file.read_text())
+        for entry in data.get("vectors", []):
+            vectors.append(Vector.from_dict(entry, group=file.stem))
+    return vectors
+
+
+def save_corpus(vectors: Sequence[Vector], path) -> List[Path]:
+    """Write vectors grouped one file per group; returns written paths."""
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    groups: Dict[str, List[Vector]] = {}
+    for vector in vectors:
+        groups.setdefault(vector.group or vector.scenario, []).append(vector)
+    written = []
+    for group, members in sorted(groups.items()):
+        file = root / f"{group}.json"
+        file.write_text(
+            json.dumps(
+                {"vectors": [v.to_dict() for v in members]}, indent=2
+            )
+            + "\n"
+        )
+        written.append(file)
+    return written
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def replay_vector(
+    vector: Vector,
+    executors=None,
+    cost_model: Optional[object] = None,
+) -> DivergenceReport:
+    """Run one vector through the matrix with a fresh node per vector."""
+    scenario = Scenario(vector.scenario, vector.seed)
+    return diff_case(
+        scenario,
+        vector.wire_bytes(),
+        executors=executors,
+        cost_model=cost_model,
+        vector=vector.name,
+    )
+
+
+def replay_corpus(
+    vectors: Sequence[Vector],
+    executors=None,
+    cost_model: Optional[object] = None,
+) -> DivergenceReport:
+    report = DivergenceReport()
+    for vector in vectors:
+        report.merge(replay_vector(vector, executors, cost_model))
+    return report
+
+
+# ----------------------------------------------------------------------
+# golden-vector construction
+# ----------------------------------------------------------------------
+def _hexes(wires: Sequence[bytes]) -> List[str]:
+    return [w.hex() for w in wires]
+
+
+def _fieldrange_wire(fn_key: int = OperationKey.MATCH_32) -> bytes:
+    """Structurally sound header whose FN points past the locations.
+
+    ``validate_field_ranges`` raises on it, so every executor must
+    quarantine it identically (the per-packet paths raise, the batch
+    paths poison).
+    """
+    header = DipHeader(
+        fns=(FieldOperation(field_loc=64, field_len=32, key=fn_key),),
+        locations=b"\x00" * 4,  # 32 bits; the FN wants [64, 96)
+    )
+    return DipPacket(header=header, payload=b"field-range").encode()
+
+
+def _limit_wire(seed: int) -> bytes:
+    """A valid packet carrying more FNs than ProcessingLimits allows."""
+    rng = random.Random(f"conformance-corpus-limit:{seed}")
+    fns = tuple(
+        FieldOperation(field_loc=0, field_len=32, key=OperationKey.MATCH_32)
+        for _ in range(40)
+    )
+    header = DipHeader(
+        fns=fns, locations=rng.getrandbits(32).to_bytes(4, "big") + b"\0" * 4
+    )
+    return DipPacket(header=header, payload=b"over-budget").encode()
+
+
+def _truncations(wire: bytes) -> List[bytes]:
+    """Cuts in the basic header, the FN definitions and the locations."""
+    cuts = sorted({2, 5, min(11, len(wire) - 1), len(wire) - 1})
+    return [wire[:cut] for cut in cuts if 0 <= cut < len(wire)]
+
+
+def build_golden_corpus(seed: int = 0) -> List[Vector]:
+    """The checked-in golden set: deterministic, ≥50 vectors.
+
+    Every scenario contributes traffic slices (which the wire builders
+    rotate through hits, misses, local delivery, host-tagged FNs, the
+    parallel flag and expiring hop limits), plus named malformed /
+    limit-violating / quarantine-triggering cases.
+    """
+    vectors: List[Vector] = []
+
+    def add(name, scenario, wires, note, group=""):
+        vectors.append(
+            Vector(
+                name=name,
+                scenario=scenario,
+                wires=_hexes(wires),
+                seed=seed,
+                note=note,
+                group=group or scenario,
+            )
+        )
+
+    for name in ALL_SCENARIOS:
+        base = scenario_wires(name, seed, 16, stream="golden")
+        # Valid-traffic slices: the builders rotate through the
+        # composition's cases, so consecutive slices stay diverse.
+        for part in range(4):
+            add(
+                f"{name}-traffic-{part}",
+                name,
+                base[part * 4: (part + 1) * 4],
+                "valid composition traffic (route hits/misses, local "
+                "delivery, host tags, hop limits per builder rotation)",
+            )
+        add(
+            f"{name}-singles",
+            name,
+            scenario_wires(name, seed, 6, stream="golden-singles"),
+            "second independent traffic draw against the same state",
+        )
+        add(
+            f"{name}-truncated",
+            name,
+            _truncations(base[0]),
+            "truncations inside basic header, FN definitions and "
+            "locations -- must quarantine identically everywhere",
+        )
+        add(
+            f"{name}-limit-exceeded",
+            name,
+            [_limit_wire(seed), base[1]],
+            "40-FN packet over max_fn_count; the trailing valid packet "
+            "proves the walk state survives the limit drop",
+        )
+        add(
+            f"{name}-fieldrange-quarantine",
+            name,
+            [_fieldrange_wire(), base[2]],
+            "FN target outside the locations region: FieldRangeError "
+            "quarantine on every executor",
+        )
+
+    # Composition-specific named cases.
+    ndn = scenario_wires("ndn", seed, 24, stream="golden-pit")
+    add(
+        "ndn-pit-lifecycle",
+        "ndn",
+        ndn[:16],
+        "interest -> data (PIT hit) -> unsolicited data (PIT miss) -> "
+        "retransmission, interleaved across flows",
+    )
+    opt = scenario_wires("opt", seed, 12, stream="golden-par")
+    add(
+        "opt-parallel-flag",
+        "opt",
+        [w for w in opt if DipPacket.decode(w).header.parallel][:4],
+        "parallel-flag OPT packets: effective cycles take the "
+        "level-model path",
+    )
+    add(
+        "opt-hetero-unsupported",
+        "opt_hetero",
+        scenario_wires("opt_hetero", seed, 6, stream="golden-hetero"),
+        "OPT chain on a node without PARM/MAC/MARK modules: "
+        "path-critical unsupported, the degrade policies' home turf",
+        group="opt_hetero",
+    )
+    tagged = scenario_wires("ip", seed, 16, stream="golden-tags")
+    add(
+        "ip-host-tagged",
+        "ip",
+        [w for i, w in enumerate(tagged) if i % 8 == 6],
+        "host-tagged verify FN rides along: routers must skip it "
+        "(Section 2.3 tag bit)",
+    )
+    return vectors

@@ -1,0 +1,336 @@
+"""Seeded differential fuzzing over every composition, with shrinking.
+
+The fuzzer drives :func:`repro.conformance.differ.diff_case` with a mix
+of *valid* traffic from :mod:`repro.conformance.scenarios` and wire-
+level mutations of it: truncations, bit flips, FN-count inflation,
+``loc_len`` corruption, hop-limit zeroing, host-tag flips, unknown
+keys and limit-violating FN chains.  Every packet is raw wire bytes by
+the time it reaches the executors, so malformed inputs exercise the
+decode/quarantine paths of every executor identically.
+
+When a case diverges, :func:`shrink_case` reduces it to a minimal
+repro: first ddmin over the wire list (a stateful divergence may need
+an earlier packet to set up PIT state), then a shortest-failing-prefix
+search and a byte-zeroing sweep per surviving wire.  The shrunk repro
+lands in the report (``repros``) ready to be saved as a corpus vector.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.conformance.differ import DivergenceReport, diff_case
+from repro.conformance.executors import (
+    DEFAULT_EXECUTORS,
+    ExecutorSpec,
+    executors_by_name,
+)
+from repro.conformance.scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    scenario_wires,
+)
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import BASIC_HEADER_SIZE, FN_ENCODED_SIZE, DipHeader
+from repro.core.packet import DipPacket
+
+# Keep single fuzz cases small: every case pays the full matrix cost
+# (including a multiprocessing engine spawn), so wide-and-few beats
+# narrow-and-many.
+DEFAULT_CASE_SIZE = 40
+
+
+# ----------------------------------------------------------------------
+# wire mutations
+# ----------------------------------------------------------------------
+def _truncate(rng: random.Random, wire: bytes) -> bytes:
+    if len(wire) <= 1:
+        return b""
+    return wire[: rng.randrange(len(wire))]
+
+
+def _flip_byte(rng: random.Random, wire: bytes) -> bytes:
+    if not wire:
+        return wire
+    index = rng.randrange(len(wire))
+    data = bytearray(wire)
+    data[index] ^= 1 << rng.randrange(8)
+    return bytes(data)
+
+
+def _zero_byte(rng: random.Random, wire: bytes) -> bytes:
+    if not wire:
+        return wire
+    data = bytearray(wire)
+    data[rng.randrange(len(data))] = 0
+    return bytes(data)
+
+
+def _inflate_fn_num(rng: random.Random, wire: bytes) -> bytes:
+    """Advertise more FN triples than the wire carries."""
+    if len(wire) < BASIC_HEADER_SIZE:
+        return wire
+    data = bytearray(wire)
+    data[2] = min(0xFF, data[2] + rng.randrange(1, 32))
+    return bytes(data)
+
+
+def _zero_hop_limit(rng: random.Random, wire: bytes) -> bytes:
+    if len(wire) < BASIC_HEADER_SIZE:
+        return wire
+    data = bytearray(wire)
+    data[3] = rng.choice((0, 1))
+    return bytes(data)
+
+
+def _corrupt_loc_len(rng: random.Random, wire: bytes) -> bytes:
+    """Scramble the packet-parameter word (parallel bit + loc_len)."""
+    if len(wire) < BASIC_HEADER_SIZE:
+        return wire
+    data = bytearray(wire)
+    value = rng.getrandbits(16)
+    data[4] = value >> 8
+    data[5] = value & 0xFF
+    return bytes(data)
+
+
+def _flip_host_tag(rng: random.Random, wire: bytes) -> bytes:
+    """Toggle the host tag (key MSB) of one FN triple."""
+    if len(wire) < BASIC_HEADER_SIZE + FN_ENCODED_SIZE:
+        return wire
+    fn_num = wire[2]
+    if fn_num == 0:
+        return wire
+    slot = rng.randrange(fn_num)
+    offset = BASIC_HEADER_SIZE + slot * FN_ENCODED_SIZE + 4
+    if offset >= len(wire):
+        return wire
+    data = bytearray(wire)
+    data[offset] ^= 0x80
+    return bytes(data)
+
+
+def _scramble_key(rng: random.Random, wire: bytes) -> bytes:
+    """Point one FN triple at a random (often unknown) operation key."""
+    if len(wire) < BASIC_HEADER_SIZE + FN_ENCODED_SIZE:
+        return wire
+    fn_num = wire[2]
+    if fn_num == 0:
+        return wire
+    slot = rng.randrange(fn_num)
+    offset = BASIC_HEADER_SIZE + slot * FN_ENCODED_SIZE + 4
+    if offset + 1 >= len(wire):
+        return wire
+    key = rng.choice(
+        (
+            rng.randrange(1, 21),  # a standardized key, likely mismatched
+            rng.randrange(21, 512),  # an unknown key (ignored per 2.4)
+        )
+    )
+    data = bytearray(wire)
+    data[offset] = (data[offset] & 0x80) | ((key >> 8) & 0x7F)
+    data[offset + 1] = key & 0xFF
+    return bytes(data)
+
+
+def _append_garbage(rng: random.Random, wire: bytes) -> bytes:
+    return wire + bytes(
+        rng.randrange(256) for _ in range(rng.randrange(1, 16))
+    )
+
+
+MUTATIONS: Tuple[Callable[[random.Random, bytes], bytes], ...] = (
+    _truncate,
+    _flip_byte,
+    _zero_byte,
+    _inflate_fn_num,
+    _zero_hop_limit,
+    _corrupt_loc_len,
+    _flip_host_tag,
+    _scramble_key,
+    _append_garbage,
+)
+
+
+def _limit_violating_wire(rng: random.Random) -> bytes:
+    """A structurally valid packet carrying more FNs than limits allow."""
+    fn_count = rng.randrange(33, 48)
+    fns = tuple(
+        FieldOperation(field_loc=0, field_len=32, key=OperationKey.MATCH_32)
+        for _ in range(fn_count)
+    )
+    header = DipHeader(
+        fns=fns, locations=rng.getrandbits(32).to_bytes(4, "big") + b"\x00" * 4
+    )
+    return DipPacket(header=header, payload=b"over-budget").encode()
+
+
+def fuzz_wires(
+    scenario_name: str,
+    seed: int,
+    case_index: int,
+    count: int,
+    malformed_ratio: float = 0.35,
+) -> List[bytes]:
+    """One fuzz case: valid scenario traffic, a slice of it mutated."""
+    rng = random.Random(f"conformance-fuzz:{scenario_name}:{seed}:{case_index}")
+    wires = scenario_wires(
+        scenario_name, seed, count, stream=f"fuzz-{case_index}"
+    )
+    for index in range(len(wires)):
+        roll = rng.random()
+        if roll < malformed_ratio:
+            mutation = rng.choice(MUTATIONS)
+            wires[index] = mutation(rng, wires[index])
+        elif roll < malformed_ratio + 0.02:
+            wires[index] = _limit_violating_wire(rng)
+    return wires
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def _still_fails(
+    scenario: Scenario,
+    wires: Sequence[bytes],
+    specs: Sequence[ExecutorSpec],
+    cost_model,
+) -> bool:
+    if not wires:
+        return False
+    return not diff_case(scenario, wires, specs, cost_model).ok
+
+
+def shrink_case(
+    scenario: Scenario,
+    wires: Sequence[bytes],
+    specs: Sequence[ExecutorSpec],
+    cost_model=None,
+    max_evaluations: int = 150,
+) -> List[bytes]:
+    """Reduce a diverging case to a (locally) minimal repro.
+
+    Greedy and bounded: list-level ddmin first, then per-wire shortest
+    failing prefix (binary search), then a byte-zeroing sweep.  Every
+    candidate costs a full differential run of the diverging executors,
+    so the evaluation budget caps total work.
+    """
+    budget = {"left": max_evaluations}
+
+    def fails(candidate: Sequence[bytes]) -> bool:
+        if budget["left"] <= 0:
+            return False
+        budget["left"] -= 1
+        return _still_fails(scenario, candidate, specs, cost_model)
+
+    current = [bytes(w) for w in wires]
+
+    # 1. ddmin over the wire list.
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and len(current) > 1:
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and fails(candidate):
+                current = candidate
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            chunk //= 2
+
+    # 2. shortest failing prefix per wire (truncation shrink).
+    for index in range(len(current)):
+        wire = current[index]
+        low, high = 0, len(wire)
+        best = wire
+        while low < high:
+            mid = (low + high) // 2
+            candidate = list(current)
+            candidate[index] = wire[:mid]
+            if fails(candidate):
+                best = wire[:mid]
+                high = mid
+            else:
+                low = mid + 1
+        current[index] = best
+
+    # 3. byte-zeroing sweep (bounded by the evaluation budget).
+    for index in range(len(current)):
+        data = bytearray(current[index])
+        for position in range(len(data)):
+            if budget["left"] <= 0:
+                break
+            if data[position] == 0:
+                continue
+            original = data[position]
+            data[position] = 0
+            candidate = list(current)
+            candidate[index] = bytes(data)
+            if fails(candidate):
+                current[index] = bytes(data)
+            else:
+                data[position] = original
+    return current
+
+
+# ----------------------------------------------------------------------
+# the fuzz loop
+# ----------------------------------------------------------------------
+def run_fuzz(
+    total_packets: int,
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    executors: Optional[Sequence[str]] = None,
+    cost_model: Optional[object] = None,
+    case_size: int = DEFAULT_CASE_SIZE,
+    shrink: bool = True,
+    max_seconds: Optional[float] = None,
+    progress: Optional[Callable[[DivergenceReport], None]] = None,
+) -> DivergenceReport:
+    """Fuzz ``total_packets`` packets across the scenario rotation.
+
+    Divergent cases are shrunk (unless ``shrink=False``) and the
+    minimal repro is attached to the report, ready for
+    :func:`repro.conformance.corpus.save_corpus`.
+    """
+    import time
+
+    names = tuple(scenarios) if scenarios else ALL_SCENARIOS
+    specs = (
+        executors_by_name(executors)
+        if executors is not None
+        else DEFAULT_EXECUTORS
+    )
+    report = DivergenceReport()
+    deadline = (
+        time.monotonic() + max_seconds if max_seconds is not None else None
+    )
+    case_index = 0
+    while report.packets < total_packets:
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        name = names[case_index % len(names)]
+        scenario = Scenario(name, seed)
+        count = min(case_size, max(1, total_packets - report.packets))
+        wires = fuzz_wires(name, seed, case_index, count)
+        case = diff_case(scenario, wires, specs, cost_model)
+        if not case.ok and shrink:
+            diverging = sorted({d.executor for d in case.divergences})
+            shrink_specs = executors_by_name(diverging)
+            minimal = shrink_case(scenario, wires, shrink_specs, cost_model)
+            case.repros.append(
+                {
+                    "scenario": name,
+                    "seed": seed,
+                    "executors": diverging,
+                    "wires": [w.hex() for w in minimal],
+                }
+            )
+        report.merge(case)
+        if progress is not None:
+            progress(report)
+        case_index += 1
+    return report

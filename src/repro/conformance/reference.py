@@ -1,0 +1,271 @@
+"""The executable specification: a naive Algorithm 1 interpreter.
+
+:class:`ReferenceInterpreter` is *deliberately* slow.  It re-decodes
+every packet from wire bytes, walks the FN list in a plain Python loop,
+looks every operation up in the registry per packet, re-runs the
+conflict analysis with nested loops, and allocates fresh intermediate
+objects everywhere.  It shares no code with the optimized paths in
+:mod:`repro.core.processor` beyond the semantic primitives themselves
+(the codec, the operation modules, the limit tracker and the pairwise
+conflict predicate) -- no program cache, no batch amortization, no
+flow cache, no compiled steps.
+
+That makes it the repo's reference semantics: every optimized executor
+(``RouterProcessor.process``, ``process_batch``, the flow cache, both
+engine backends, the PISA pipeline) is required by the conformance
+matrix (:mod:`repro.conformance.executors`) to agree with this walker
+packet-for-packet.  When the two disagree, the optimization is wrong by
+definition; the reference only changes when the *spec* changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.fn import FieldOperation
+from repro.core.header import DipHeader
+from repro.core.limits import LimitTracker
+from repro.core.operations.base import (
+    Decision,
+    OperationContext,
+    OperationResult,
+)
+from repro.core.packet import DipPacket
+from repro.core.processor import ProcessResult, fns_conflict
+from repro.core.registry import OperationRegistry, default_registry
+from repro.core.state import NodeState
+from repro.errors import (
+    FieldRangeError,
+    OperationError,
+    OperationStateError,
+    ProcessingLimitError,
+    UnknownOperationError,
+)
+
+# The four key families whose absence cannot be silently ignored
+# (Section 2.4): parameters, MACs, marking and verification all break
+# the protocol end-to-end when skipped mid-path.
+_PATH_CRITICAL_KEYS = (6, 7, 8, 9)
+
+
+class ReferenceInterpreter:
+    """One DIP router, interpreted straight from Algorithm 1.
+
+    The constructor mirrors :class:`repro.core.processor.RouterProcessor`
+    so the two are drop-in interchangeable in tests, but there is no
+    ``process_batch``, no quarantine flag and no caching of any kind:
+    one call, one packet, every step done longhand.
+    """
+
+    def __init__(
+        self,
+        state: NodeState,
+        registry: Optional[OperationRegistry] = None,
+        cost_model: Optional[object] = None,
+    ) -> None:
+        self.state = state
+        self.registry = registry if registry is not None else default_registry()
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        packet: Union[DipPacket, bytes],
+        ingress_port: int = 0,
+        now: float = 0.0,
+    ) -> ProcessResult:
+        """Run Algorithm 1 on one packet, the slow and obvious way."""
+        # Lines 1-3: parse basic header, FN definitions, FN locations.
+        if isinstance(packet, (bytes, bytearray)):
+            packet = DipPacket.decode(bytes(packet))
+        header = packet.header
+        header.validate_field_ranges()
+
+        tracker = LimitTracker(self.state.limits)
+
+        if header.hop_limit == 0:
+            return ProcessResult(
+                decision=Decision.DROP, notes=("hop limit expired",)
+            )
+
+        ctx = OperationContext(
+            state=self.state,
+            locations=header.locations_view(),
+            payload=packet.payload,
+            ingress_port=ingress_port,
+            now=now,
+            at_host=False,
+            fns=header.fns,
+        )
+
+        parse_cycles = 0
+        try:
+            tracker.check_fn_count(header.fn_num)
+            if self.cost_model is not None:
+                parse_cycles = self.cost_model.parse_cycles(
+                    header.header_length, packet.size
+                )
+                tracker.charge_cycles(parse_cycles)
+        except ProcessingLimitError as exc:
+            return ProcessResult(
+                decision=Decision.DROP,
+                notes=(str(exc),),
+                cycles=parse_cycles,
+                cycles_sequential=parse_cycles,
+                cycles_parallel=parse_cycles,
+                scratch=ctx.scratch,
+                failure="limit",
+            )
+
+        notes: List[str] = []
+        fate: Optional[OperationResult] = None
+        executed_fns: List[FieldOperation] = []
+        executed_cycles: List[int] = []
+
+        # Lines 4-17: walk the FNs one by one.
+        for fn in header.fns:
+            if fn.tag:
+                notes.append(f"{fn}: skipped (host operation)")
+                continue
+
+            operation = self.registry.find(fn.key)
+            if operation is None:
+                if fn.key in _PATH_CRITICAL_KEYS:
+                    notes.append(f"{fn}: unsupported path-critical FN")
+                    return ProcessResult(
+                        decision=Decision.UNSUPPORTED,
+                        notes=tuple(notes),
+                        unsupported_key=fn.key,
+                        cycles=parse_cycles,
+                        cycles_sequential=parse_cycles,
+                        cycles_parallel=parse_cycles,
+                        scratch=ctx.scratch,
+                        failure="unsupported",
+                    )
+                notes.append(f"{fn}: unsupported FN ignored")
+                continue
+
+            fn_cycles = 0
+            if self.cost_model is not None:
+                fn_cycles = self.cost_model.fn_cycles(fn)
+            try:
+                tracker.charge_cycles(fn_cycles)
+                result = operation.execute(ctx, fn)
+                tracker.charge_state(result.state_bytes)
+            except ProcessingLimitError as exc:
+                notes.append(f"{fn}: {exc}")
+                return self._verdict(
+                    Decision.DROP, (), None, notes, parse_cycles,
+                    executed_fns, executed_cycles, header, ctx,
+                    failure="limit",
+                )
+            except (OperationError, FieldRangeError) as exc:
+                notes.append(f"{fn}: operation failed: {exc}")
+                return self._verdict(
+                    Decision.DROP, (), None, notes, parse_cycles,
+                    executed_fns, executed_cycles, header, ctx,
+                    failure=self._failure_class(exc),
+                )
+
+            executed_fns.append(fn)
+            executed_cycles.append(fn_cycles)
+            notes.append(f"{fn}: {result.note or result.decision.value}")
+
+            if result.decision is Decision.DROP:
+                return self._verdict(
+                    Decision.DROP, (), None, notes, parse_cycles,
+                    executed_fns, executed_cycles, header, ctx,
+                )
+            if result.decision in (Decision.FORWARD, Decision.DELIVER):
+                fate = result
+
+        # Line 18: end processing -- assemble the outcome.
+        if fate is None and self.state.default_port is not None:
+            fate = OperationResult.forward(
+                self.state.default_port, note="static egress (default port)"
+            )
+            notes.append("static egress (default port)")
+        if fate is None:
+            return self._verdict(
+                Decision.DROP, (), None,
+                notes + ["no forwarding decision"], parse_cycles,
+                executed_fns, executed_cycles, header, ctx,
+            )
+        out_packet = None
+        if fate.decision is Decision.FORWARD:
+            out_header = DipHeader(
+                fns=header.fns,
+                locations=ctx.locations.to_bytes(),
+                next_header=header.next_header,
+                hop_limit=header.hop_limit - 1,
+                parallel=header.parallel,
+                reserved=header.reserved,
+            )
+            out_packet = DipPacket(header=out_header, payload=packet.payload)
+        return self._verdict(
+            fate.decision, fate.ports, out_packet, notes, parse_cycles,
+            executed_fns, executed_cycles, header, ctx,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _failure_class(exc: BaseException) -> Optional[str]:
+        """Degradation class of a failed operation (None = plain drop)."""
+        if isinstance(exc, OperationStateError):
+            return "state"
+        if isinstance(exc, UnknownOperationError):
+            return "unsupported"
+        return None
+
+    def _verdict(
+        self,
+        decision: Decision,
+        ports,
+        out_packet: Optional[DipPacket],
+        notes: List[str],
+        parse_cycles: int,
+        executed_fns: List[FieldOperation],
+        executed_cycles: List[int],
+        header: DipHeader,
+        ctx: OperationContext,
+        failure: Optional[str] = None,
+    ) -> ProcessResult:
+        """Assemble a ProcessResult, recomputing the cycle totals longhand.
+
+        The parallel total re-derives the modular-parallelism levels
+        with the quadratic textbook loop (FN *i* runs one level after
+        the deepest earlier FN it conflicts with) instead of the batch
+        path's cached prefix sums.
+        """
+        sequential = parse_cycles
+        for cycles in executed_cycles:
+            sequential += cycles
+
+        parallel = parse_cycles
+        if executed_fns:
+            levels: List[int] = []
+            for i, fn in enumerate(executed_fns):
+                level = 0
+                for j in range(i):
+                    if fns_conflict(executed_fns[j], fn):
+                        level = max(level, levels[j] + 1)
+                levels.append(level)
+            widest: dict = {}
+            for level, cycles in zip(levels, executed_cycles):
+                widest[level] = max(widest.get(level, 0), cycles)
+            for cycles in widest.values():
+                parallel += cycles
+
+        effective = parallel if header.parallel else sequential
+        return ProcessResult(
+            decision=decision,
+            ports=tuple(ports),
+            packet=out_packet,
+            notes=tuple(notes),
+            cycles=effective,
+            cycles_sequential=sequential,
+            cycles_parallel=parallel,
+            unsupported_key=None,
+            scratch=ctx.scratch,
+            failure=failure,
+        )

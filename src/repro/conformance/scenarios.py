@@ -1,0 +1,396 @@
+"""Deterministic node + traffic scenarios for the conformance matrix.
+
+One *scenario* is a composition from Section 3 (ip, ndn, opt, xia,
+ndn+opt) pinned down to something every executor can rebuild from a
+``(name, seed)`` pair alone:
+
+- :func:`scenario_state` -- the router's :class:`NodeState` (FIBs, PIT,
+  OPT session slots, XIA routes).  Module-level and deterministic, so
+  ``functools.partial(scenario_state, name, seed)`` is a picklable
+  state factory for the engine's multiprocessing backend.
+- :func:`scenario_registry` -- the installed operation modules
+  (``None`` = the full default set; the ``*_hetero`` scenarios model
+  Section 2.4's heterogeneous nodes by withholding the OPT modules).
+- :func:`scenario_wires` -- a stream of *valid* wire-encoded packets
+  exercising the composition's interesting paths: route hits and
+  misses, local delivery, PIT insert/satisfy/miss/retransmit, host-
+  tagged FNs, the parallel flag, expiring hop limits.
+
+All randomness is drawn from ``random.Random`` streams derived only
+from the scenario name, the seed and a stream label; state randomness
+is drawn before (and independently of) packet randomness, so a worker
+process rebuilds exactly the tables this process built the packets
+against (the same discipline as
+:func:`repro.workloads.generators.populate_dip_ipv4_routes`).
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.registry import OperationRegistry, default_registry
+from repro.core.state import NodeState
+from repro.crypto.keys import RouterKey
+from repro.protocols.opt import negotiate_session
+from repro.protocols.xia.dag import DagAddress
+from repro.protocols.xia.xid import Xid, XidType
+from repro.realize.derived import build_ndn_opt_interest
+from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
+from repro.realize.ndn import build_data_packet, build_interest_packet
+from repro.realize.opt import build_opt_packet
+from repro.realize.xia import build_xia_packet
+
+#: The five compositions of Section 3.  ``opt_hetero`` (the OPT traffic
+#: hitting a node *without* the OPT modules, Section 2.4) rides along
+#: for the unsupported/degrade paths but is not one of the five.
+SCENARIOS: Tuple[str, ...] = ("ip", "ndn", "opt", "xia", "ndn_opt")
+ALL_SCENARIOS: Tuple[str, ...] = SCENARIOS + ("opt_hetero",)
+
+# Modest table sizes: conformance cares about paths, not throughput.
+_ROUTE_COUNT = 64
+# Guaranteed-miss address space: no installed prefix covers 0x7F....
+_MISS_V4 = 0x7F000000
+_MISS_V6 = 0x7F << 120
+
+
+def _rng(name: str, seed: int, stream: str) -> random.Random:
+    return random.Random(f"conformance:{name}:{seed}:{stream}")
+
+
+# ----------------------------------------------------------------------
+# deterministic scenario materials (shared by state and wire builders)
+# ----------------------------------------------------------------------
+def _ip_tables(seed: int):
+    """(v4 prefixes, v6 prefixes, local v4, local v6) for one seed."""
+    rng = _rng("ip", seed, "tables")
+    v4 = []
+    while len(v4) < _ROUTE_COUNT:
+        prefix_len = rng.randint(8, 24)
+        prefix = rng.getrandbits(prefix_len) << (32 - prefix_len)
+        if (prefix >> 24) == 0x7F:
+            continue
+        v4.append((prefix, prefix_len, rng.randint(0, 15)))
+    v6 = []
+    while len(v6) < _ROUTE_COUNT // 2:
+        prefix_len = rng.randint(16, 64)
+        prefix = rng.getrandbits(prefix_len) << (128 - prefix_len)
+        if (prefix >> 120) == 0x7F:
+            continue
+        v6.append((prefix, prefix_len, rng.randint(0, 15)))
+    # Local addresses live in the uncovered 0x7F space so they never
+    # collide with an installed route.
+    local_v4 = [_MISS_V4 | rng.getrandbits(24) for _ in range(2)]
+    local_v6 = [_MISS_V6 | rng.getrandbits(120) for _ in range(2)]
+    return v4, v6, local_v4, local_v6
+
+
+def _ndn_tables(seed: int):
+    """(routed digests with ports, producer-local digests)."""
+    rng = _rng("ndn", seed, "tables")
+    routed = [
+        (rng.getrandbits(32), rng.randint(1, 15)) for _ in range(_ROUTE_COUNT)
+    ]
+    local = [rng.getrandbits(32) for _ in range(4)]
+    return routed, local
+
+
+def _opt_session(seed: int, node_id: str, source: str):
+    """The OPT session this node validates at position 0."""
+    return negotiate_session(
+        source,
+        f"{source}-dst",
+        [RouterKey(node_id)],
+        RouterKey(f"{source}-dst"),
+        nonce=(seed & 0xFFFFFFFF).to_bytes(4, "big"),
+    )
+
+
+def _xia_tables(seed: int):
+    """(AD Xids with ports) for one seed."""
+    rng = _rng("xia", seed, "tables")
+    return [
+        (Xid.from_name(XidType.AD, f"conf-ad-{seed}-{i}"), rng.randint(0, 15))
+        for i in range(_ROUTE_COUNT // 4)
+    ]
+
+
+# ----------------------------------------------------------------------
+# state / registry factories (module-level: picklable via partial)
+# ----------------------------------------------------------------------
+def scenario_state(name: str, seed: int = 0) -> NodeState:
+    """Build the scenario's router state, deterministically."""
+    if name == "ip":
+        state = NodeState(node_id="conf-ip")
+        v4, v6, local_v4, local_v6 = _ip_tables(seed)
+        for prefix, prefix_len, port in v4:
+            state.fib_v4.insert(prefix, prefix_len, port)
+        for prefix, prefix_len, port in v6:
+            state.fib_v6.insert(prefix, prefix_len, port)
+        state.local_v4.update(local_v4)
+        state.local_v6.update(local_v6)
+        return state
+    if name == "ndn":
+        state = NodeState(node_id="conf-ndn")
+        routed, local = _ndn_tables(seed)
+        for digest, port in routed:
+            state.name_fib_digest.insert(digest, 32, port)
+        state.local_digests.update(local)
+        return state
+    if name in ("opt", "opt_hetero"):
+        state = NodeState(node_id="conf-opt-r0")
+        session = _opt_session(seed, "conf-opt-r0", "conf-src")
+        state.opt_positions[session.session_id] = 0
+        state.neighbor_labels[0] = "conf-src"
+        state.default_port = 1  # single-hop testbed static egress
+        return state
+    if name == "ndn_opt":
+        state = NodeState(node_id="conf-no-r0")
+        session = _opt_session(seed, "conf-no-r0", "conf-no-src")
+        state.opt_positions[session.session_id] = 0
+        state.neighbor_labels[0] = "conf-no-src"
+        routed, local = _ndn_tables(seed)
+        for digest, port in routed:
+            state.name_fib_digest.insert(digest, 32, port)
+        state.local_digests.update(local)
+        return state
+    if name == "xia":
+        state = NodeState(node_id="conf-xia")
+        for ad, port in _xia_tables(seed):
+            state.xia_table.add_route(ad, port)
+        return state
+    raise ValueError(f"unknown conformance scenario {name!r}")
+
+
+def scenario_registry(name: str) -> Optional[OperationRegistry]:
+    """The scenario's operation-module set (None = full default)."""
+    if name == "opt_hetero":
+        registry = default_registry()
+        keep = registry.supported_keys() - {
+            int(OperationKey.PARM),
+            int(OperationKey.MAC),
+            int(OperationKey.MARK),
+        }
+        return registry.restricted(keep)
+    return None
+
+
+# ----------------------------------------------------------------------
+# wire builders
+# ----------------------------------------------------------------------
+def _with_host_fn(packet: DipPacket, key: int = OperationKey.VERIFY) -> DipPacket:
+    """Append a host-tagged FN (routers must skip it, Section 2.3)."""
+    header = packet.header
+    tagged = header.fns + (
+        FieldOperation(field_loc=0, field_len=8, key=key, tag=True),
+    )
+    return DipPacket(
+        header=DipHeader(
+            fns=tagged,
+            locations=header.locations,
+            next_header=header.next_header,
+            hop_limit=header.hop_limit,
+            parallel=header.parallel,
+            reserved=header.reserved,
+        ),
+        payload=packet.payload,
+    )
+
+
+def _ip_wires(seed: int, count: int, stream: str) -> List[bytes]:
+    rng = _rng("ip", seed, f"wires:{stream}")
+    v4, v6, local_v4, local_v6 = _ip_tables(seed)
+    wires: List[bytes] = []
+    for i in range(count):
+        kind = i % 8
+        payload = bytes(rng.randrange(256) for _ in range(rng.randrange(24)))
+        if kind == 0 or kind == 1:  # v4 route hit
+            prefix, prefix_len, _ = rng.choice(v4)
+            dst = prefix | rng.getrandbits(32 - prefix_len)
+            packet = build_ipv4_packet(dst, rng.getrandbits(32), payload)
+        elif kind == 2:  # v4 guaranteed miss
+            packet = build_ipv4_packet(
+                _MISS_V4 | rng.getrandbits(24), rng.getrandbits(32), payload
+            )
+        elif kind == 3:  # local delivery
+            packet = build_ipv4_packet(
+                rng.choice(local_v4), rng.getrandbits(32), payload
+            )
+        elif kind == 4:  # v6 route hit
+            prefix, prefix_len, _ = rng.choice(v6)
+            dst = prefix | rng.getrandbits(128 - prefix_len)
+            packet = build_ipv6_packet(dst, rng.getrandbits(128), payload)
+        elif kind == 5:  # v6 miss / v6 local
+            dst = (
+                rng.choice(local_v6)
+                if rng.random() < 0.5
+                else _MISS_V6 | rng.getrandbits(120)
+            )
+            packet = build_ipv6_packet(dst, rng.getrandbits(128), payload)
+        elif kind == 6:  # host-tagged FN rides along
+            prefix, prefix_len, _ = rng.choice(v4)
+            dst = prefix | rng.getrandbits(32 - prefix_len)
+            packet = _with_host_fn(
+                build_ipv4_packet(dst, rng.getrandbits(32), payload)
+            )
+        else:  # expiring hop limits
+            prefix, prefix_len, _ = rng.choice(v4)
+            dst = prefix | rng.getrandbits(32 - prefix_len)
+            packet = build_ipv4_packet(
+                dst, rng.getrandbits(32), payload,
+                hop_limit=rng.choice((0, 1)),
+            )
+        wires.append(packet.encode())
+    return wires
+
+
+def _ndn_wires(seed: int, count: int, stream: str) -> List[bytes]:
+    rng = _rng("ndn", seed, f"wires:{stream}")
+    routed, local = _ndn_tables(seed)
+    wires: List[bytes] = []
+    for i in range(count):
+        kind = i % 8
+        digest = routed[rng.randrange(len(routed))][0]
+        content = bytes(rng.randrange(256) for _ in range(rng.randrange(16)))
+        if kind in (0, 4):  # interest: PIT record + FIB hit
+            packet = build_interest_packet(digest)
+        elif kind == 1:  # data satisfying the kind-0 interest (PIT hit)
+            packet = build_data_packet(digest, content)
+        elif kind == 2:  # data nobody asked for (PIT miss)
+            packet = build_data_packet(rng.getrandbits(32), content)
+        elif kind == 3:  # interest reaching the producer
+            packet = build_interest_packet(rng.choice(local))
+        elif kind == 5:  # retransmission of the kind-4 interest
+            packet = build_interest_packet(digest)
+        elif kind == 6:  # unrouted interest
+            packet = build_interest_packet(rng.getrandbits(32))
+        else:  # host-tagged verify rides an interest
+            packet = _with_host_fn(build_interest_packet(digest))
+        wires.append(packet.encode())
+    return wires
+
+
+def _opt_wires(seed: int, count: int, stream: str) -> List[bytes]:
+    rng = _rng("opt", seed, f"wires:{stream}")
+    session = _opt_session(seed, "conf-opt-r0", "conf-src")
+    wires: List[bytes] = []
+    for i in range(count):
+        payload = bytes(rng.randrange(256) for _ in range(rng.randrange(32)))
+        packet = build_opt_packet(
+            session,
+            payload,
+            timestamp=rng.getrandbits(32),
+            parallel=(i % 3 == 2),
+        )
+        if i % 5 == 4:
+            packet = DipPacket(
+                header=packet.header.with_hop_limit(rng.choice((0, 1))),
+                payload=packet.payload,
+            )
+        wires.append(packet.encode())
+    return wires
+
+
+def _ndn_opt_wires(seed: int, count: int, stream: str) -> List[bytes]:
+    rng = _rng("ndn_opt", seed, f"wires:{stream}")
+    session = _opt_session(seed, "conf-no-r0", "conf-no-src")
+    routed, local = _ndn_tables(seed)
+    wires: List[bytes] = []
+    for i in range(count):
+        payload = bytes(rng.randrange(256) for _ in range(rng.randrange(16)))
+        if i % 4 == 3:
+            digest = rng.choice(local)  # producer-local secure interest
+        else:
+            digest = routed[rng.randrange(len(routed))][0]
+        packet = build_ndn_opt_interest(
+            digest,
+            session,
+            payload,
+            timestamp=rng.getrandbits(32),
+            parallel=(i % 5 == 4),
+        )
+        wires.append(packet.encode())
+    return wires
+
+
+def _xia_wires(seed: int, count: int, stream: str) -> List[bytes]:
+    rng = _rng("xia", seed, f"wires:{stream}")
+    ads = _xia_tables(seed)
+    wires: List[bytes] = []
+    for i in range(count):
+        payload = bytes(rng.randrange(256) for _ in range(rng.randrange(16)))
+        cid = Xid.for_content(f"conf-content-{seed}-{i}".encode())
+        hid = Xid.from_name(XidType.HID, f"conf-host-{seed}-{i % 16}")
+        if i % 4 == 3:  # fallback AD unknown to this router
+            ad = Xid.from_name(XidType.AD, f"conf-foreign-{seed}-{i}")
+        else:
+            ad = rng.choice(ads)[0]
+        dag = DagAddress.with_fallback(cid, [ad, hid])
+        packet = build_xia_packet(dag, payload=payload)
+        if i % 7 == 6:
+            packet = DipPacket(
+                header=packet.header.with_hop_limit(rng.choice((0, 1))),
+                payload=packet.payload,
+            )
+        wires.append(packet.encode())
+    return wires
+
+
+_WIRE_BUILDERS = {
+    "ip": _ip_wires,
+    "ndn": _ndn_wires,
+    "opt": _opt_wires,
+    "opt_hetero": _opt_wires,  # OPT traffic, module-less node
+    "ndn_opt": _ndn_opt_wires,
+    "xia": _xia_wires,
+}
+
+
+def scenario_wires(
+    name: str, seed: int = 0, count: int = 32, stream: str = "0"
+) -> List[bytes]:
+    """``count`` valid wire packets for the scenario.
+
+    ``stream`` salts the packet randomness so successive fuzz cases
+    draw fresh traffic against the same (seed-determined) state.
+    """
+    try:
+        builder = _WIRE_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown conformance scenario {name!r}") from None
+    return builder(seed, count, stream)
+
+
+# ----------------------------------------------------------------------
+# the scenario handle the matrix passes around
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One (composition, seed) pair, with picklable factories."""
+
+    name: str
+    seed: int = 0
+
+    @property
+    def state_factory(self) -> Callable[[], NodeState]:
+        return functools.partial(scenario_state, self.name, self.seed)
+
+    @property
+    def registry_factory(self) -> Optional[Callable[[], OperationRegistry]]:
+        if scenario_registry(self.name) is None:
+            return None
+        return functools.partial(scenario_registry, self.name)
+
+    def state(self) -> NodeState:
+        return scenario_state(self.name, self.seed)
+
+    def registry(self) -> Optional[OperationRegistry]:
+        return scenario_registry(self.name)
+
+    def wires(self, count: int = 32, stream: str = "0") -> List[bytes]:
+        return scenario_wires(self.name, self.seed, count, stream)

@@ -125,11 +125,15 @@ class DipPipeline:
                 f"packet carries {fn_num} FNs; the parse graph unrolls "
                 f"only {self.max_fns} FN states"
             )
+        # Field ranges are validated before the hop-limit check, in
+        # Algorithm 1 order: a malformed program is a codec error even
+        # when the hop limit already expired (conformance regression
+        # vector pipeline-fieldrange-before-hoplimit).
+        header.validate_field_ranges()
         if phv.get("hop_limit") == 0:
             return PipelineResult(
                 decision=Decision.DROP, notes=["hop limit expired"]
             )
-        header.validate_field_ranges()
 
         ctx = OperationContext(
             state=self.state,

@@ -1,0 +1,18 @@
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import load_corpus
+from repro.dataplane.costs import CycleCostModel
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    return CycleCostModel()
+
+
+@pytest.fixture(scope="session")
+def corpus_vectors():
+    return load_corpus(CORPUS_DIR)

@@ -1,0 +1,45 @@
+"""Shared helpers for the conformance tests.
+
+Lives outside ``conftest.py`` so test modules (and ``tests/engine``'s
+equivalence suite) can import the helpers directly.
+"""
+
+from repro.conformance.executors import ExecutorSpec, run_reference
+
+
+def normalized(result):
+    """Every comparable field of a ProcessResult, as a plain tuple.
+
+    Field-for-field equivalence between the reference interpreter and
+    an optimized path means all of: decision, egress ports, rewritten
+    wire bytes, the per-FN trace notes, the failure taxonomy, the
+    unsupported key and all three model-cycle totals.
+    """
+    return (
+        result.decision.value,
+        tuple(result.ports),
+        result.packet.encode() if result.packet is not None else None,
+        tuple(result.notes),
+        result.failure,
+        result.unsupported_key,
+        result.cycles,
+        result.cycles_sequential,
+        result.cycles_parallel,
+    )
+
+
+def mutant_spec(corrupt=None, name="mutant", **spec_kwargs):
+    """An executor that runs the reference and then sabotages the result.
+
+    With ``corrupt=None`` it is a faithful clone (diff_case must report
+    it clean); otherwise ``corrupt(result, wires)`` edits the
+    ExecutionResult in place and diff_case must catch exactly that.
+    """
+
+    def run(scenario, wires, cost_model):
+        result = run_reference(scenario, wires, cost_model)
+        if corrupt is not None:
+            corrupt(result, wires)
+        return result
+
+    return ExecutorSpec(name, run, **spec_kwargs)

@@ -1,0 +1,197 @@
+"""Property tests: arbitrary valid headers, reference == process.
+
+Hypothesis draws composition-shaped packets (not scenario-replayed
+traffic) so the equivalence claim covers the input space, not just the
+golden paths: arbitrary addresses, digests, payloads, hop limits and
+the parallel flag.  State is rebuilt per example, so shrinking never
+chases PIT residue from a previous case.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.conformance import ReferenceInterpreter, Scenario
+from repro.conformance.scenarios import _opt_session
+from repro.core.flowcache import FlowDecisionCache
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.processor import RouterProcessor
+from repro.dataplane.costs import CycleCostModel
+from repro.protocols.xia.dag import DagAddress
+from repro.protocols.xia.xid import Xid, XidType
+from repro.realize.derived import build_ndn_opt_interest
+from repro.realize.ip import build_ipv4_packet, build_ipv6_packet
+from repro.realize.ndn import build_data_packet, build_interest_packet
+from repro.realize.opt import build_opt_packet
+from repro.realize.xia import build_xia_packet
+
+from tests.conformance.support import normalized
+
+COST_MODEL = CycleCostModel()
+# The sessions the opt / ndn_opt scenario nodes validate at position 0.
+OPT_SESSION = _opt_session(0, "conf-opt-r0", "conf-src")
+NDN_OPT_SESSION = _opt_session(0, "conf-no-r0", "conf-no-src")
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ip_packets = st.one_of(
+    st.builds(
+        build_ipv4_packet,
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.binary(max_size=24),
+        hop_limit=st.integers(0, 255),
+    ),
+    st.builds(
+        build_ipv6_packet,
+        st.integers(0, 2**128 - 1),
+        st.integers(0, 2**128 - 1),
+        st.binary(max_size=24),
+        hop_limit=st.integers(0, 255),
+    ),
+)
+
+ndn_packets = st.one_of(
+    st.builds(build_interest_packet, st.integers(0, 2**32 - 1)),
+    st.builds(
+        build_data_packet, st.integers(0, 2**32 - 1), st.binary(max_size=16)
+    ),
+)
+
+opt_packets = st.builds(
+    build_opt_packet,
+    st.just(OPT_SESSION),
+    st.binary(max_size=24),
+    timestamp=st.integers(0, 2**32 - 1),
+    parallel=st.booleans(),
+)
+
+
+@st.composite
+def xia_packets(draw):
+    cid = Xid.for_content(draw(st.binary(min_size=1, max_size=8)))
+    hid = Xid.from_name(XidType.HID, f"prop-host-{draw(st.integers(0, 7))}")
+    if draw(st.booleans()):
+        ad = Xid.from_name(XidType.AD, f"conf-ad-0-{draw(st.integers(0, 15))}")
+    else:  # an AD this router has never heard of
+        ad = Xid.from_name(XidType.AD, f"prop-foreign-{draw(st.integers(0, 7))}")
+    dag = DagAddress.with_fallback(cid, [ad, hid])
+    return build_xia_packet(dag, payload=draw(st.binary(max_size=16)))
+
+
+ndn_opt_packets = st.builds(
+    build_ndn_opt_interest,
+    st.integers(0, 2**32 - 1),
+    st.just(NDN_OPT_SESSION),
+    st.binary(max_size=16),
+    timestamp=st.integers(0, 2**32 - 1),
+    parallel=st.booleans(),
+)
+
+COMPOSITION_PACKETS = {
+    "ip": ip_packets,
+    "ndn": ndn_packets,
+    "opt": opt_packets,
+    "xia": xia_packets(),
+    "ndn_opt": ndn_opt_packets,
+}
+
+
+def assert_reference_equals_process(name, packets):
+    scenario = Scenario(name)
+    reference = ReferenceInterpreter(
+        scenario.state(), registry=scenario.registry(), cost_model=COST_MODEL
+    )
+    optimized = RouterProcessor(
+        scenario.state(), registry=scenario.registry(), cost_model=COST_MODEL
+    )
+    for packet in packets:
+        wire = packet.encode()
+        assert normalized(reference.process(wire)) == normalized(
+            optimized.process(wire)
+        )
+
+
+@SETTINGS
+@given(packets=st.lists(COMPOSITION_PACKETS["ip"], min_size=1, max_size=4))
+def test_ip_reference_equals_process(packets):
+    assert_reference_equals_process("ip", packets)
+
+
+@SETTINGS
+@given(packets=st.lists(COMPOSITION_PACKETS["ndn"], min_size=1, max_size=4))
+def test_ndn_reference_equals_process(packets):
+    assert_reference_equals_process("ndn", packets)
+
+
+@SETTINGS
+@given(packets=st.lists(COMPOSITION_PACKETS["opt"], min_size=1, max_size=4))
+def test_opt_reference_equals_process(packets):
+    assert_reference_equals_process("opt", packets)
+
+
+@SETTINGS
+@given(packets=st.lists(COMPOSITION_PACKETS["xia"], min_size=1, max_size=4))
+def test_xia_reference_equals_process(packets):
+    assert_reference_equals_process("xia", packets)
+
+
+@SETTINGS
+@given(
+    packets=st.lists(COMPOSITION_PACKETS["ndn_opt"], min_size=1, max_size=4)
+)
+def test_ndn_opt_reference_equals_process(packets):
+    assert_reference_equals_process("ndn_opt", packets)
+
+
+# ----------------------------------------------------------------------
+# the pure-operation subset, with the flow cache switched on
+# ----------------------------------------------------------------------
+@st.composite
+def pure_headers(draw):
+    """Arbitrary valid programs over pure (cacheable) operations."""
+    fns = tuple(
+        FieldOperation(
+            field_loc=draw(st.sampled_from((0, 8, 16, 32))),
+            field_len=32,
+            key=draw(
+                st.sampled_from(
+                    (OperationKey.MATCH_32, OperationKey.SOURCE)
+                )
+            ),
+            tag=draw(st.booleans()),
+        )
+        for _ in range(draw(st.integers(1, 4)))
+    )
+    return DipHeader(
+        fns=fns,
+        locations=draw(st.binary(min_size=8, max_size=8)),
+        hop_limit=draw(st.integers(0, 255)),
+        parallel=draw(st.booleans()),
+    )
+
+
+@SETTINGS
+@given(headers=st.lists(pure_headers(), min_size=1, max_size=5))
+def test_flow_cache_is_invisible_on_pure_programs(headers):
+    # Each program runs twice: the second pass is served from the cache
+    # (or bypassed), and must still match the cache-less reference
+    # field for field, notes and model cycles included.
+    wires = [DipPacket(header=h).encode() for h in headers] * 2
+    scenario = Scenario("ip")
+    reference = ReferenceInterpreter(scenario.state(), cost_model=COST_MODEL)
+    expected = [normalized(reference.process(w)) for w in wires]
+    cached = RouterProcessor(
+        scenario.state(),
+        cost_model=COST_MODEL,
+        flow_cache=FlowDecisionCache(),
+    )
+    got = [
+        normalized(result)
+        for result in cached.process_batch(list(wires), collect_notes=True)
+    ]
+    assert got == expected

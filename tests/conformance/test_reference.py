@@ -1,0 +1,182 @@
+"""The reference interpreter is the spec -- and matches the optimized walk.
+
+:class:`repro.conformance.reference.ReferenceInterpreter` shares no
+code with ``RouterProcessor`` beyond the semantic primitives, so
+field-for-field agreement here is evidence, not tautology.  The
+targeted tests pin the Algorithm 1 behaviors the differ relies on:
+note strings, the failure taxonomy, host-tag skips, limit drops, the
+unsupported-path-critical verdict and the two cycle totals.
+"""
+
+import pytest
+
+from repro.conformance import ALL_SCENARIOS, ReferenceInterpreter, Scenario
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.processor import Decision, RouterProcessor
+from repro.errors import FieldRangeError
+from repro.realize.ip import build_ipv4_packet
+
+from tests.conformance.support import normalized
+
+
+def make_pair(name, cost_model=None):
+    """(reference, optimized) over independent but identical states."""
+    scenario = Scenario(name)
+    reference = ReferenceInterpreter(
+        scenario.state(), registry=scenario.registry(), cost_model=cost_model
+    )
+    optimized = RouterProcessor(
+        scenario.state(), registry=scenario.registry(), cost_model=cost_model
+    )
+    return scenario, reference, optimized
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_matches_process_on_valid_traffic(name, cost_model):
+    scenario, reference, optimized = make_pair(name, cost_model)
+    for wire in scenario.wires(48, stream="ref-eq"):
+        assert normalized(reference.process(wire)) == normalized(
+            optimized.process(wire)
+        )
+
+
+def test_hop_limit_expiry():
+    _, reference, _ = make_pair("ip")
+    wire = build_ipv4_packet(0x0A000001, 2, hop_limit=0).encode()
+    result = reference.process(wire)
+    assert result.decision is Decision.DROP
+    assert result.notes == ("hop limit expired",)
+    assert result.failure is None
+
+
+def test_fn_count_limit_is_a_limit_failure(cost_model):
+    _, reference, optimized = make_pair("ip", cost_model)
+    fns = tuple(
+        FieldOperation(field_loc=0, field_len=32, key=OperationKey.MATCH_32)
+        for _ in range(40)
+    )
+    wire = DipPacket(
+        header=DipHeader(fns=fns, locations=b"\x00" * 8)
+    ).encode()
+    result = reference.process(wire)
+    assert result.decision is Decision.DROP
+    assert result.failure == "limit"
+    assert normalized(result) == normalized(optimized.process(wire))
+
+
+def test_unsupported_path_critical_fn():
+    # The opt_hetero node withholds PARM/MAC/MARK: the chain must end
+    # in UNSUPPORTED with the offending key, never a silent skip.
+    scenario, reference, optimized = make_pair("opt_hetero")
+    wire = scenario.wires(1, stream="ref-unsupported")[0]
+    result = reference.process(wire)
+    assert result.decision is Decision.UNSUPPORTED
+    assert result.failure == "unsupported"
+    assert result.unsupported_key in (
+        OperationKey.PARM,
+        OperationKey.MAC,
+        OperationKey.MARK,
+    )
+    assert result.notes[-1].endswith("unsupported path-critical FN")
+    got = optimized.process(wire)
+    assert (result.decision, result.failure, result.unsupported_key) == (
+        got.decision,
+        got.failure,
+        got.unsupported_key,
+    )
+
+
+def test_host_tagged_fn_is_skipped():
+    _, reference, _ = make_pair("ip")
+    packet = build_ipv4_packet(0x0A000001, 2)
+    # Lead with the tagged FN so the walk reaches it before any FIB
+    # miss can end the chain.
+    tagged = DipHeader(
+        fns=(FieldOperation(0, 8, OperationKey.VERIFY, tag=True),)
+        + packet.header.fns,
+        locations=packet.header.locations,
+        hop_limit=packet.header.hop_limit,
+    )
+    result = reference.process(DipPacket(header=tagged).encode())
+    assert any("skipped (host operation)" in note for note in result.notes)
+
+
+def test_field_range_violation_raises_like_process():
+    _, reference, optimized = make_pair("ip")
+    wire = DipPacket(
+        header=DipHeader(
+            fns=(FieldOperation(field_loc=64, field_len=32, key=1),),
+            locations=b"\x00" * 4,
+        )
+    ).encode()
+    with pytest.raises(FieldRangeError):
+        reference.process(wire)
+    with pytest.raises(FieldRangeError):
+        optimized.process(wire)
+
+
+def test_truncated_wire_raises_the_same_class():
+    _, reference, optimized = make_pair("ip")
+    wire = build_ipv4_packet(0x0A000001, 2).encode()[:9]
+    with pytest.raises(Exception) as ref_exc:
+        reference.process(wire)
+    with pytest.raises(Exception) as opt_exc:
+        optimized.process(wire)
+    assert type(ref_exc.value) is type(opt_exc.value)
+
+
+def test_parallel_flag_selects_the_level_model(cost_model):
+    scenario, reference, _ = make_pair("opt", cost_model)
+    session_wires = scenario.wires(12, stream="ref-cycles")
+    saw_parallel = saw_sequential = False
+    for wire in session_wires:
+        header = DipPacket.decode(wire).header
+        if header.hop_limit == 0:
+            continue
+        result = reference.process(wire)
+        assert result.cycles_parallel <= result.cycles_sequential
+        if header.parallel:
+            assert result.cycles == result.cycles_parallel
+            saw_parallel = True
+        else:
+            assert result.cycles == result.cycles_sequential
+            saw_sequential = True
+    assert saw_parallel and saw_sequential
+
+
+def test_default_port_static_egress():
+    # The OPT node forwards out its static egress after a clean chain.
+    _, reference, _ = make_pair("opt")
+    wire = Scenario("opt").wires(3, stream="ref-egress")[0]
+    result = reference.process(wire)
+    if result.decision is Decision.FORWARD:
+        assert result.ports == (1,)
+        assert "static egress (default port)" in result.notes
+
+
+def test_forward_rewrites_hop_limit():
+    from repro.core.state import NodeState
+
+    state = NodeState(node_id="ref-fwd")
+    state.fib_v4.insert(0x0A000000, 8, 3)
+    reference = ReferenceInterpreter(state)
+    wire = build_ipv4_packet(0x0A000001, 2, hop_limit=7).encode()
+    result = reference.process(wire)
+    assert result.decision is Decision.FORWARD
+    assert result.ports == (3,)
+    assert result.packet.header.hop_limit == 6
+
+
+def test_opt_chain_validates_at_position_zero():
+    scenario, reference, _ = make_pair("opt")
+    for wire in scenario.wires(6, stream="ref-opt"):
+        header = DipPacket.decode(wire).header
+        if header.hop_limit == 0:
+            continue
+        result = reference.process(wire)
+        # A well-formed OPT packet from the negotiated session passes
+        # the PARM/MAC/MARK chain and leaves on the static egress.
+        assert result.decision is Decision.FORWARD
+        assert result.ports == (1,)

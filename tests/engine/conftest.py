@@ -1,0 +1,13 @@
+import pytest
+
+from tests.engine.support import build_mixed_packets, sequential_reference
+
+
+@pytest.fixture(scope="package")
+def mixed_packets():
+    return build_mixed_packets()
+
+
+@pytest.fixture(scope="package")
+def reference_outcomes(mixed_packets):
+    return sequential_reference(mixed_packets)

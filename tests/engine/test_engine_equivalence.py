@@ -7,209 +7,137 @@ order -- the same decisions, egress ports and rewritten bytes as one
 NDN flows (PIT insert -> satisfy -> miss) only match when same-flow
 packets keep their order on one shard, so these tests also prove the
 dispatcher's ordering guarantee, not just per-packet correctness.
-"""
 
-import random
+The deep per-executor matrix (notes, model cycles, state fingerprints,
+degrade policies, the PISA pipeline) lives in ``tests/conformance``;
+this suite keeps the engine-specific surface -- shard affinity, report
+accounting, backpressure -- on the same shared workload and the same
+wire-level normalization (``tests/engine/support``).
+"""
 
 import pytest
 
 from repro.core.packet import DipPacket
-from repro.core.processor import RouterProcessor
-from repro.core.state import NodeState
 from repro.engine import EngineConfig, ForwardingEngine
 from repro.realize.ip import build_ipv4_packet
-from repro.realize.ndn import (
-    build_data_packet,
-    build_interest_packet,
-    name_digest,
+
+from tests.engine.support import (
+    assert_matches_reference,
+    engine_state_factory,
 )
 
-FLOW_NAMES = [f"/flow/{i}" for i in range(10)]
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+@pytest.mark.parametrize("num_shards", [1, 2, 8])
+def test_equivalent_to_sequential(
+    mixed_packets, reference_outcomes, backend, num_shards
+):
+    engine = ForwardingEngine(
+        engine_state_factory,
+        config=EngineConfig(
+            num_shards=num_shards, backend=backend, batch_size=8
+        ),
+    )
+    report = engine.run(mixed_packets)
+    assert report.packets_processed == len(mixed_packets)
+    assert report.packets_dropped_backpressure == 0
+    assert_matches_reference(report, reference_outcomes)
 
 
-def engine_state_factory():
-    """Module-level so the multiprocessing backend can rebuild it."""
-    state = NodeState(node_id="eq")
-    state.fib_v4.insert(0x0A000000, 8, 2)
-    for name in FLOW_NAMES:
-        state.name_fib_digest.insert(name_digest(name), 32, 4)
-    return state
+def test_same_flow_lands_on_one_shard(mixed_packets):
+    engine = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=8)
+    )
+    report = engine.run(mixed_packets)
+    shard_by_flow = {}
+    for raw, outcome in zip(mixed_packets, report.outcomes):
+        key = engine.dispatcher.key_of(raw)
+        shard_by_flow.setdefault(key, outcome.shard)
+        assert outcome.shard == shard_by_flow[key]
 
 
-def build_mixed_packets(seed=5, flows=10, per_flow=4):
-    """Interleaved stateful flows, preserving per-flow packet order.
-
-    Each NDN flow is interest -> data -> data -> interest: the middle
-    data consumes the PIT entry and the second one then misses, so the
-    outcome sequence is order-sensitive *within* the flow.  IPv4
-    packets (hits and misses) pad the mix.
-    """
-    rng = random.Random(seed)
-    queues = []
-    for index in range(flows):
-        name = FLOW_NAMES[index % len(FLOW_NAMES)]
-        queues.append(
-            [
-                build_interest_packet(name).encode(),
-                build_data_packet(name, b"content").encode(),
-                build_data_packet(name, b"content").encode(),
-                build_interest_packet(name).encode(),
-            ][:per_flow]
+def test_dip_packet_inputs_match_raw_inputs(mixed_packets):
+    decoded = [DipPacket.decode(raw) for raw in mixed_packets]
+    by_raw = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=2)
+    ).run(mixed_packets)
+    by_packet = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=2)
+    ).run(decoded)
+    for a, b in zip(by_raw.outcomes, by_packet.outcomes):
+        assert (a.decision, a.ports, a.packet, a.shard) == (
+            b.decision,
+            b.ports,
+            b.packet,
+            b.shard,
         )
-    for _ in range(flows):
-        dst = rng.choice([0x0A000000, 0x7F000000]) | rng.getrandbits(24)
-        queues.append([build_ipv4_packet(dst, rng.getrandbits(32)).encode()])
-    packets = []
-    while any(queues):
-        queue = rng.choice([q for q in queues if q])
-        packets.append(queue.pop(0))
-    return packets
 
 
-@pytest.fixture(scope="module")
-def mixed_packets():
-    return build_mixed_packets()
+def test_process_backend_matches_serial_backend(mixed_packets):
+    serial = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=4)
+    ).run(mixed_packets)
+    process = ForwardingEngine(
+        engine_state_factory,
+        config=EngineConfig(num_shards=4, backend="process"),
+    ).run(mixed_packets)
+    for a, b in zip(serial.outcomes, process.outcomes):
+        assert (a.decision, a.ports, a.packet, a.shard) == (
+            b.decision,
+            b.ports,
+            b.packet,
+            b.shard,
+        )
 
 
-@pytest.fixture(scope="module")
-def reference(mixed_packets):
-    processor = RouterProcessor(engine_state_factory())
-    return [
-        processor.process(DipPacket.decode(raw)) for raw in mixed_packets
+def test_report_accounting(mixed_packets):
+    engine = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=4)
+    )
+    report = engine.run(mixed_packets)
+    assert report.packets_offered == len(mixed_packets)
+    assert sum(s.packets for s in report.shards) == len(mixed_packets)
+    assert sum(report.decisions.values()) == len(mixed_packets)
+    assert report.pkts_per_second > 0
+    assert report.batch_latency_p99 >= report.batch_latency_p50 >= 0
+    assert all(r.dropped == 0 for r in report.rings)
+
+
+def test_drop_tail_backpressure():
+    # a ring smaller than the batch never accumulates a full batch,
+    # so the burst overflows: 8 queued (drained at end), 56 dropped.
+    packets = [
+        build_ipv4_packet(0x0A000001, i).encode() for i in range(64)
     ]
+    engine = ForwardingEngine(
+        engine_state_factory,
+        config=EngineConfig(
+            num_shards=1,
+            batch_size=16,
+            ring_capacity=8,
+            backpressure="drop-tail",
+        ),
+    )
+    report = engine.run(packets)
+    assert report.packets_dropped_backpressure == 56
+    assert report.packets_processed == 8
+    dropped = [o for o in report.outcomes if o is None]
+    assert len(dropped) == report.packets_dropped_backpressure
+    assert report.rings[0].dropped == 56
+    assert report.rings[0].high_watermark == 8
 
 
-def assert_matches_reference(report, reference):
-    assert len(report.outcomes) == len(reference)
-    for got, expected in zip(report.outcomes, reference):
-        assert got is not None
-        assert got.decision == expected.decision
-        assert got.ports == expected.ports
-        if expected.packet is None:
-            assert got.packet is None
-        else:
-            assert got.packet == expected.packet.encode()
-
-
-class TestSerialBackend:
-    @pytest.mark.parametrize("num_shards", [1, 2, 8])
-    def test_equivalent_to_sequential(
-        self, mixed_packets, reference, num_shards
-    ):
-        engine = ForwardingEngine(
-            engine_state_factory,
-            config=EngineConfig(num_shards=num_shards, batch_size=8),
-        )
-        report = engine.run(mixed_packets)
-        assert report.packets_processed == len(mixed_packets)
-        assert report.packets_dropped_backpressure == 0
-        assert_matches_reference(report, reference)
-
-    def test_same_flow_lands_on_one_shard(self, mixed_packets):
-        engine = ForwardingEngine(
-            engine_state_factory, config=EngineConfig(num_shards=8)
-        )
-        report = engine.run(mixed_packets)
-        shard_by_flow = {}
-        for raw, outcome in zip(mixed_packets, report.outcomes):
-            key = engine.dispatcher.key_of(raw)
-            shard_by_flow.setdefault(key, outcome.shard)
-            assert outcome.shard == shard_by_flow[key]
-
-    def test_dip_packet_inputs_match_raw_inputs(self, mixed_packets):
-        decoded = [DipPacket.decode(raw) for raw in mixed_packets]
-        by_raw = ForwardingEngine(
-            engine_state_factory, config=EngineConfig(num_shards=2)
-        ).run(mixed_packets)
-        by_packet = ForwardingEngine(
-            engine_state_factory, config=EngineConfig(num_shards=2)
-        ).run(decoded)
-        for a, b in zip(by_raw.outcomes, by_packet.outcomes):
-            assert (a.decision, a.ports, a.packet, a.shard) == (
-                b.decision,
-                b.ports,
-                b.packet,
-                b.shard,
-            )
-
-    def test_report_accounting(self, mixed_packets):
-        engine = ForwardingEngine(
-            engine_state_factory, config=EngineConfig(num_shards=4)
-        )
-        report = engine.run(mixed_packets)
-        assert report.packets_offered == len(mixed_packets)
-        assert sum(s.packets for s in report.shards) == len(mixed_packets)
-        assert sum(report.decisions.values()) == len(mixed_packets)
-        assert report.pkts_per_second > 0
-        assert report.batch_latency_p99 >= report.batch_latency_p50 >= 0
-        assert all(r.dropped == 0 for r in report.rings)
-
-    def test_drop_tail_backpressure(self):
-        # a ring smaller than the batch never accumulates a full batch,
-        # so the burst overflows: 8 queued (drained at end), 56 dropped.
-        packets = [
-            build_ipv4_packet(0x0A000001, i).encode() for i in range(64)
-        ]
-        engine = ForwardingEngine(
-            engine_state_factory,
-            config=EngineConfig(
-                num_shards=1,
-                batch_size=16,
-                ring_capacity=8,
-                backpressure="drop-tail",
-            ),
-        )
-        report = engine.run(packets)
-        assert report.packets_dropped_backpressure == 56
-        assert report.packets_processed == 8
-        dropped = [o for o in report.outcomes if o is None]
-        assert len(dropped) == report.packets_dropped_backpressure
-        assert report.rings[0].dropped == 56
-        assert report.rings[0].high_watermark == 8
-
-    def test_block_backpressure_loses_nothing(self):
-        packets = [
-            build_ipv4_packet(0x0A000001, i).encode() for i in range(64)
-        ]
-        engine = ForwardingEngine(
-            engine_state_factory,
-            config=EngineConfig(
-                num_shards=1, batch_size=16, ring_capacity=8,
-                backpressure="block",
-            ),
-        )
-        report = engine.run(packets)
-        assert report.packets_dropped_backpressure == 0
-        assert report.packets_processed == 64
-
-
-class TestProcessBackend:
-    @pytest.mark.parametrize("num_shards", [1, 2, 8])
-    def test_equivalent_to_sequential(
-        self, mixed_packets, reference, num_shards
-    ):
-        engine = ForwardingEngine(
-            engine_state_factory,
-            config=EngineConfig(
-                num_shards=num_shards, backend="process", batch_size=8
-            ),
-        )
-        report = engine.run(mixed_packets)
-        assert report.packets_processed == len(mixed_packets)
-        assert_matches_reference(report, reference)
-
-    def test_matches_serial_backend(self, mixed_packets):
-        serial = ForwardingEngine(
-            engine_state_factory, config=EngineConfig(num_shards=4)
-        ).run(mixed_packets)
-        process = ForwardingEngine(
-            engine_state_factory,
-            config=EngineConfig(num_shards=4, backend="process"),
-        ).run(mixed_packets)
-        for a, b in zip(serial.outcomes, process.outcomes):
-            assert (a.decision, a.ports, a.packet, a.shard) == (
-                b.decision,
-                b.ports,
-                b.packet,
-                b.shard,
-            )
+def test_block_backpressure_loses_nothing():
+    packets = [
+        build_ipv4_packet(0x0A000001, i).encode() for i in range(64)
+    ]
+    engine = ForwardingEngine(
+        engine_state_factory,
+        config=EngineConfig(
+            num_shards=1, batch_size=16, ring_capacity=8,
+            backpressure="block",
+        ),
+    )
+    report = engine.run(packets)
+    assert report.packets_dropped_backpressure == 0
+    assert report.packets_processed == 64
