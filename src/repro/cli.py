@@ -486,6 +486,34 @@ def cmd_conformance(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args, out) -> int:
+    """``repro serve``: the long-lived serving daemon (DESIGN.md 3.11)."""
+    from repro.serve.config import ServeConfig
+    from repro.serve.daemon import run_daemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        shards=args.shards,
+        backend=args.backend,
+        batch_max=args.batch_max,
+        batch_timeout_ms=args.batch_timeout_ms,
+        max_inflight=args.max_inflight,
+        cs_capacity=args.cs_capacity,
+        cs_ttl=args.cs_ttl if args.cs_ttl > 0 else None,
+        pit_capacity=args.pit_capacity if args.pit_capacity > 0 else None,
+        pit_eviction=args.pit_eviction,
+        flow_cache=args.flow_cache,
+        content_count=args.content_count,
+        seed=args.seed,
+        max_seconds=args.max_seconds,
+        max_packets=args.max_packets,
+    )
+    summary = run_daemon(config, json_out=args.json, out=out)
+    return 0 if summary["unaccounted"] == 0 else 1
+
+
 def _print_keys(out) -> int:
     from repro.core.registry import default_registry
 
@@ -584,6 +612,83 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         help="print the snapshot as JSON instead of a table",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived asyncio serving daemon "
+        "(UDP ingress + /metrics /healthz /reconfig control plane)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9310)
+    serve.add_argument("--metrics-port", type=int, default=9311)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--backend", choices=["serial", "process"], default="serial"
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        help="size-based flush trigger (packets per engine batch)",
+    )
+    serve.add_argument(
+        "--batch-timeout-ms",
+        type=float,
+        default=5.0,
+        help="time-based flush trigger after the first pending packet",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4096,
+        help="admission bound; arrivals past it are shed with accounting",
+    )
+    serve.add_argument(
+        "--cs-capacity",
+        type=int,
+        default=256,
+        help="content-store entries per shard (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cs-ttl",
+        type=float,
+        default=30.0,
+        help="content-store entry lifetime in seconds (0 = no TTL)",
+    )
+    serve.add_argument(
+        "--pit-capacity",
+        type=int,
+        default=2048,
+        help="PIT entries per shard (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--pit-eviction", choices=["lru", "fifo"], default="lru"
+    )
+    serve.add_argument(
+        "--flow-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="flow-level decision cache in front of every shard",
+    )
+    serve.add_argument("--content-count", type=int, default=512)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop after this many seconds (default: run until signalled)",
+    )
+    serve.add_argument(
+        "--max-packets",
+        type=int,
+        default=None,
+        help="stop after receiving this many datagrams",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the final conservation ledger as JSON",
+    )
+
     conformance = sub.add_parser(
         "conformance",
         help="differential conformance: reference interpreter vs every "
@@ -658,6 +763,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_engine(args, out)
     if args.command == "stats":
         return cmd_stats(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     if args.command == "conformance":
         return cmd_conformance(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

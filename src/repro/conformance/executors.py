@@ -283,6 +283,73 @@ def _run_engine_degrade_ip(scenario, wires, cost_model):
     return _run_engine(scenario, wires, cost_model, degrade="best-effort-ip")
 
 
+def _run_serve(scenario, wires, cost_model) -> ExecutionResult:
+    """The serving daemon's framing+batching path, driven synchronously.
+
+    Wires go through :class:`repro.serve.core.ServeCore` exactly as
+    the daemon drives it -- submit to the ingress queue, flush in
+    ``batch_max`` batches through a persistent engine -- minus the
+    sockets.  ``max_inflight`` is sized to the corpus and ``now`` is
+    pinned to the timeless 0.0 so admission control and TTL expiry
+    (the daemon's operational features) cannot alter Algorithm 1
+    verdicts; that equivalence is exactly what this executor proves.
+    Each reply is also round-tripped through the reply codec so a
+    decision that survives the engine but dies in framing still counts
+    as a divergence.
+    """
+    from repro.serve.config import ServeConfig
+    from repro.serve.core import ServeCore, decode_reply
+
+    core = ServeCore(
+        ServeConfig(
+            shards=1,
+            backend="serial",
+            batch_max=16,
+            max_inflight=max(len(wires), 1),
+            ring_capacity=max(len(wires), 16),
+            flow_cache=False,
+        ),
+        state_factory=scenario.state_factory,
+        registry_factory=scenario.registry_factory,
+        cost_model=cost_model,
+    )
+    try:
+        for index, wire in enumerate(wires):
+            if not core.submit(bytes(wire), index):
+                raise AssertionError(
+                    "serve executor shed a packet despite max_inflight "
+                    "== len(wires)"
+                )
+        collected: List[Tuple[int, object]] = []
+        replies = core.drain(now=0.0, collect=collected)
+        outcomes: List[Optional[WireOutcome]] = [None] * len(wires)
+        for (index, outcome), (reply_index, payload) in zip(
+            collected, replies
+        ):
+            status, ports, _ = decode_reply(payload)
+            if (
+                index != reply_index
+                or status != outcome.decision.value
+                or ports != tuple(outcome.ports)
+            ):
+                raise AssertionError(
+                    f"serve reply codec disagrees with engine outcome "
+                    f"for packet {index}"
+                )
+            outcomes[index] = WireOutcome(
+                outcome.decision.value,
+                tuple(outcome.ports),
+                outcome.packet,
+                outcome.reason,
+            )
+        state = state_fingerprint(
+            core.engine._workers[0].processor.state
+        )
+    finally:
+        core.close()
+    return ExecutionResult(outcomes, state=state)
+
+
 def _run_dataplane(scenario, wires, cost_model) -> ExecutionResult:
     registry = scenario.registry()
     pipeline = DipPipeline(
@@ -389,6 +456,7 @@ DEFAULT_EXECUTORS: Tuple[ExecutorSpec, ...] = (
         compare_reason=False,
         skip_limit_failures=True,
     ),
+    ExecutorSpec("serve", _run_serve),
 )
 
 EXECUTOR_NAMES: Tuple[str, ...] = tuple(

@@ -60,7 +60,7 @@ class FibOperation(Operation):
 
         # Content-store first (footnote 2 extension).
         cached = (
-            ctx.state.content_store.lookup(name)
+            ctx.state.content_store.lookup(name, now=ctx.now)
             if ctx.state.content_store.capacity
             else None
         )
@@ -121,7 +121,7 @@ class FibOperation(Operation):
             raise OperationError(f"{self.name}: bad name encoding: {exc}")
 
         cached = (
-            ctx.state.content_store.lookup(name)
+            ctx.state.content_store.lookup(name, now=ctx.now)
             if ctx.state.content_store.capacity
             else None
         )

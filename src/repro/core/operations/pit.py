@@ -61,7 +61,9 @@ class PitOperation(Operation):
             return OperationResult.drop(f"PIT miss for {label}")
 
         if ctx.state.content_store.capacity:
-            ctx.state.content_store.insert(Data(name, content=ctx.payload))
+            ctx.state.content_store.insert(
+                Data(name, content=ctx.payload), now=ctx.now
+            )
 
         out_ports = tuple(
             sorted(p for p in ports if p != ctx.ingress_port)

@@ -10,7 +10,8 @@ signals the source.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.operations.base import Operation
 from repro.core.operations.congestion import (
@@ -85,6 +86,39 @@ class OperationRegistry:
         return OperationRegistry(
             op for key, op in self._by_key.items() if key in allowed
         )
+
+
+@dataclass(frozen=True)
+class RegistryMutation:
+    """A declarative, picklable edit to a live operation registry.
+
+    The zero-downtime reconfiguration unit (Section 2.4 heterogeneous
+    configuration, live): the serving daemon ships one of these to
+    every shard -- directly for serial workers, over the pipe for
+    process workers -- and each ``register``/``unregister`` call bumps
+    ``registry.version``, which is part of the processor's generation
+    token.  The next batch on every shard therefore recompiles its
+    program cache and flushes its flow cache; batches already in
+    flight drain under the old generation.  Declarative (keys, not
+    operation instances) so it pickles under both backends.
+
+    - ``drop_keys``: uninstall these FN keys (missing keys are a
+      harmless no-op on a shard that never had them).
+    - ``restore_defaults=True``: first reinstall the full default
+      operation set (fresh instances), then apply ``drop_keys``.
+    """
+
+    drop_keys: Tuple[int, ...] = ()
+    restore_defaults: bool = False
+
+    def apply(self, registry: OperationRegistry) -> int:
+        """Mutate ``registry`` in place; returns its new version."""
+        if self.restore_defaults:
+            for operation in all_operations():
+                registry.register(operation)
+        for key in self.drop_keys:
+            registry.unregister(key)
+        return registry.version
 
 
 def all_operations() -> tuple:

@@ -45,6 +45,7 @@ from repro.core.flowcache import (
 )
 from repro.core.operations.base import Decision
 from repro.core.packet import DipPacket
+from repro.core.registry import RegistryMutation
 from repro.core.state import NodeState
 from repro.engine.dispatch import FlowDispatcher
 from repro.engine.rings import Ring, RingStats
@@ -237,7 +238,15 @@ class ShardReport:
 
 @dataclass(frozen=True)
 class EngineReport:
-    """Everything one engine run produced."""
+    """Everything one engine run produced.
+
+    ``packets_shed`` is admission-control loss *in front of* the
+    engine: the serving daemon (:mod:`repro.serve`) refuses packets
+    past its in-flight bound before they reach a ring, and folds the
+    count here so the PR 4 conservation law extends to the daemon:
+    ``offered == processed + dropped + dead-lettered + shed``.  Plain
+    ``engine.run`` calls always report 0.
+    """
 
     packets_offered: int
     packets_processed: int
@@ -264,6 +273,40 @@ class EngineReport:
     faults_injected: int = 0
     dead_letter_total: int = 0
     dead_letter: Tuple[DeadLetter, ...] = ()
+    packets_shed: int = 0
+
+    @classmethod
+    def empty(cls) -> "EngineReport":
+        """The identity element for :meth:`merge`.
+
+        A zero-packet run: every counter an explicit 0, every rate and
+        percentile an explicit 0.0.  The serving daemon folds each
+        flush into an accumulator seeded with this, so an idle period
+        (no flushes at all) still summarizes without any division by
+        packet count or wall time.
+        """
+        return cls(
+            packets_offered=0,
+            packets_processed=0,
+            packets_dropped_backpressure=0,
+            wall_seconds=0.0,
+            pkts_per_second=0.0,
+            decisions={},
+            batch_latency_p50=0.0,
+            batch_latency_p99=0.0,
+        )
+
+    @property
+    def packets_unaccounted(self) -> int:
+        """Conservation check: 0 iff ``offered == processed + dropped
+        + dead-lettered + shed`` (the PR 4 law extended by serve)."""
+        return (
+            self.packets_offered
+            - self.packets_processed
+            - self.packets_dropped_backpressure
+            - self.dead_letter_total
+            - self.packets_shed
+        )
 
     # ------------------------------------------------------------------
     # unified stats surface (repro.telemetry.Instrumented)
@@ -318,6 +361,7 @@ class EngineReport:
                 self.dead_letter_total + other.dead_letter_total
             ),
             dead_letter=self.dead_letter + other.dead_letter,
+            packets_shed=self.packets_shed + other.packets_shed,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -369,6 +413,7 @@ class EngineReport:
                 }
                 for letter in self.dead_letter
             ],
+            "packets_shed": self.packets_shed,
         }
 
     @classmethod
@@ -423,6 +468,7 @@ class EngineReport:
                 )
                 for letter in data.get("dead_letter", [])
             ),
+            packets_shed=int(data.get("packets_shed", 0)),
         )
 
     def snapshot(self) -> MetricsSnapshot:
@@ -438,6 +484,7 @@ class EngineReport:
             "engine_retries_total": self.retries,
             "engine_degraded_total": self.degraded,
             "engine_dead_letter_total": self.dead_letter_total,
+            "engine_shed_total": self.packets_shed,
             "resilience_faults_injected_total": self.faults_injected,
         }
         for name, count in self.decisions.items():
@@ -549,6 +596,157 @@ class ForwardingEngine:
                 self._make_serial_worker(i)
                 for i in range(self.config.num_shards)
             ]
+        # Persistent process-backend workers (started by start(); None
+        # means per-run spawn, the historical run-to-completion mode).
+        # The *_base lists hold each worker's cumulative busy/cache
+        # counters as of the end of the previous run, so a run under
+        # persistent workers reports per-run deltas exactly like the
+        # per-run-spawn mode does.
+        self._proc_connections: Optional[List[object]] = None
+        self._proc_processes: Optional[List[object]] = None
+        self._proc_seqs: List[int] = [0] * self.config.num_shards
+        self._proc_busy_base: List[float] = [0.0] * self.config.num_shards
+        self._proc_cache_base: List[Optional[FlowCacheStats]] = (
+            [None] * self.config.num_shards
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle (persistent mode -- the serving daemon's driving mode)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mp_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
+    def _spawn_process_worker(
+        self, ctx, shard: int, connections: List[object],
+        processes: List[object],
+    ) -> None:
+        config = self.config
+        parent, child = ctx.Pipe()
+        process = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                child,
+                shard,
+                self.state_factory,
+                self.cost_model,
+                (
+                    config.flow_cache_capacity
+                    if config.flow_cache
+                    else None
+                ),
+                self.registry_factory,
+                config.degrade,
+                config.fault_plan if config.fault_plan else None,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        connections[shard] = parent
+        processes[shard] = process
+
+    def start(self) -> "ForwardingEngine":
+        """Switch the ``process`` backend to persistent workers.
+
+        Historically the process backend spawned its shard workers per
+        :meth:`run` -- correct for run-to-completion benchmarks, wrong
+        for a long-lived daemon where every flush would pay fork cost
+        and lose all shard state (PIT, CS, flow cache).  After
+        ``start()`` the workers live until :meth:`close`, state
+        persists across runs, and reports stay per-run deltas.
+        Idempotent; a no-op for the serial backend (its shards are
+        already persistent).
+        """
+        if (
+            self.config.backend != "process"
+            or self._proc_connections is not None
+        ):
+            return self
+        num = self.config.num_shards
+        ctx = self._mp_context()
+        connections: List[object] = [None] * num
+        processes: List[object] = [None] * num
+        for shard in range(num):
+            self._spawn_process_worker(ctx, shard, connections, processes)
+        self._proc_connections = connections
+        self._proc_processes = processes
+        self._proc_seqs = [0] * num
+        self._proc_busy_base = [0.0] * num
+        self._proc_cache_base = [None] * num
+        return self
+
+    def close(self) -> None:
+        """Shut persistent process workers down.  Idempotent."""
+        if self._proc_connections is None:
+            return
+        connections = self._proc_connections
+        processes = self._proc_processes
+        self._proc_connections = None
+        self._proc_processes = None
+        for connection in connections:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for process in processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def __enter__(self) -> "ForwardingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def reconfigure(self, mutation: RegistryMutation) -> int:
+        """Hot-swap every shard's operation set mid-lifetime.
+
+        Applies a :class:`~repro.core.registry.RegistryMutation` to
+        each shard's *live* registry; the version bumps it causes make
+        the next batch on every shard recompile its program cache and
+        flush its flow cache (the generation-token invalidation the
+        flow cache already keys off), while batches already submitted
+        drain under the old generation.  Must not race :meth:`run` --
+        the serving daemon serializes both through one executor
+        thread.  Returns the highest new registry version.
+        """
+        if self.config.backend == "serial":
+            return max(
+                mutation.apply(worker.processor.registry)
+                for worker in self._workers
+            )
+        if self._proc_connections is None:
+            raise SimulationError(
+                "reconfigure() on the process backend requires start() "
+                "(per-run workers are rebuilt from the factory anyway)"
+            )
+        for connection in self._proc_connections:
+            connection.send(("reconfig", mutation))
+        versions = []
+        for shard, connection in enumerate(self._proc_connections):
+            if not connection.poll(self.config.worker_timeout):
+                raise EngineWorkerError(
+                    f"shard {shard} reconfig ack timed out "
+                    f"({self.config.worker_timeout:g}s)"
+                )
+            tag, version = connection.recv()
+            if tag != "reconfig-ack":  # pragma: no cover - protocol
+                raise EngineWorkerError(
+                    f"shard {shard} replied {tag!r} to reconfig"
+                )
+            versions.append(version)
+        return max(versions)
 
     def _make_serial_worker(
         self, shard: int, injector: Optional[object] = None
@@ -579,18 +777,27 @@ class ForwardingEngine:
 
     # ------------------------------------------------------------------
     def run(
-        self, packets: Sequence[Union[DipPacket, bytes]]
+        self,
+        packets: Sequence[Union[DipPacket, bytes]],
+        now: float = 0.0,
     ) -> EngineReport:
-        """Push ``packets`` through the engine; outcomes keep input order."""
+        """Push ``packets`` through the engine; outcomes keep input order.
+
+        ``now`` is the simulation clock stamped on every batch walk
+        (PIT lifetimes, CS TTLs).  Run-to-completion callers leave it
+        at 0.0 -- timeless, which keeps conformance scenarios
+        deterministic; the serving daemon passes a monotonic clock per
+        flush so bounded state actually ages.
+        """
         with self.tracer.span("engine.run", packets=len(packets)):
             if self.config.backend == "serial":
-                return self._run_serial(packets)
-            return self._run_process(packets)
+                return self._run_serial(packets, now)
+            return self._run_process(packets, now)
 
     # ------------------------------------------------------------------
     # serial backend
     # ------------------------------------------------------------------
-    def _run_serial(self, packets) -> EngineReport:
+    def _run_serial(self, packets, now: float = 0.0) -> EngineReport:
         config = self.config
         workers = self._workers
         rings = [Ring(config.ring_capacity) for _ in range(config.num_shards)]
@@ -674,7 +881,9 @@ class ForwardingEngine:
                     seqs[shard] += 1
                     attempts += 1
                     try:
-                        raw = workers[shard].run_batch(payloads, seq=seq)
+                        raw = workers[shard].run_batch(
+                            payloads, seq=seq, now=now
+                        )
                     except Exception as exc:
                         reason = f"{type(exc).__name__}: {exc}"
                         respawn(shard, reason)
@@ -768,7 +977,7 @@ class ForwardingEngine:
     # ------------------------------------------------------------------
     # multiprocessing backend
     # ------------------------------------------------------------------
-    def _run_process(self, packets) -> EngineReport:
+    def _run_process(self, packets, now: float = 0.0) -> EngineReport:
         """The multiprocessing backend, run under a supervisor loop.
 
         The parent is the supervisor (DESIGN.md 3.9): every batch sent
@@ -780,50 +989,43 @@ class ForwardingEngine:
         Batches failing ``max_retries`` times are dead-lettered, never
         silently lost; shards failing ``max_worker_restarts`` times
         raise :class:`EngineWorkerError`.
+
+        Two worker lifetimes: per-run spawn (the default, as before
+        :meth:`start` existed) and persistent (after ``start()``).
+        Persistent workers report *cumulative* busy/cache counters, so
+        this run's numbers are deltas against the ``*_base`` values
+        carried in ``self``; a respawned worker restarts its counters
+        at zero, so its base resets too.
         """
         config = self.config
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context()
+        ctx = self._mp_context()
         num = config.num_shards
-        connections: List[object] = [None] * num
-        processes: List[object] = [None] * num
+        persistent = self._proc_connections is not None
+        if persistent:
+            connections = self._proc_connections
+            processes = self._proc_processes
+            seqs = self._proc_seqs
+            busy_base = self._proc_busy_base
+            cache_base = self._proc_cache_base
+        else:
+            connections = [None] * num
+            processes = [None] * num
+            seqs = [0] * num
+            busy_base = [0.0] * num
+            cache_base = [None] * num
 
         def spawn(shard: int) -> None:
-            parent, child = ctx.Pipe()
-            process = ctx.Process(
-                target=_shard_worker_main,
-                args=(
-                    child,
-                    shard,
-                    self.state_factory,
-                    self.cost_model,
-                    (
-                        config.flow_cache_capacity
-                        if config.flow_cache
-                        else None
-                    ),
-                    self.registry_factory,
-                    config.degrade,
-                    config.fault_plan if config.fault_plan else None,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child.close()
-            connections[shard] = parent
-            processes[shard] = process
+            self._spawn_process_worker(ctx, shard, connections, processes)
 
-        for shard in range(num):
-            spawn(shard)
+        if not persistent:
+            for shard in range(num):
+                spawn(shard)
 
         rings = [Ring(config.ring_capacity) for _ in range(num)]
         outcomes: List[Optional[PacketOutcome]] = [None] * len(packets)
         # In-flight record per shard: [seq, indices, payloads, failures]
         # in send order (workers reply in order, so FIFO matching).
         inflight: List[deque] = [deque() for _ in range(num)]
-        seqs = [0] * num
         batches = [0] * num
         busy_live = [0.0] * num
         busy_committed = [0.0] * num
@@ -850,17 +1052,23 @@ class ForwardingEngine:
             except OSError:  # pragma: no cover - already closed
                 pass
             # Fold the dead incarnation's accounting; its unreported
-            # tail (the failing batch) is gone with the process.
+            # tail (the failing batch) is gone with the process.  The
+            # replacement's counters start at zero, so the persistent
+            # baselines reset with it.
             busy_committed[shard] += busy_live[shard]
             busy_live[shard] = 0.0
+            busy_base[shard] = 0.0
             if cache_live[shard] is not None:
                 delta = FlowCacheStats.from_dict(cache_live[shard])
+                if cache_base[shard] is not None:
+                    delta = delta - cache_base[shard]
                 cache_committed[shard] = (
                     delta
                     if cache_committed[shard] is None
                     else cache_committed[shard] + delta
                 )
                 cache_live[shard] = None
+            cache_base[shard] = None
             if plan is not None and plan.crash_scripted(shard):
                 # A crashed child cannot report its own injected-fault
                 # count; attribute one scripted crash per death.
@@ -892,7 +1100,7 @@ class ForwardingEngine:
             seqs[shard] += 1
             inflight[shard].append(entry)
             try:
-                connections[shard].send((entry[0], entry[1], entry[2]))
+                connections[shard].send((entry[0], entry[1], entry[2], now))
             except (BrokenPipeError, OSError) as exc:
                 worker_failed(
                     shard, f"pipe write failed ({type(exc).__name__})"
@@ -944,7 +1152,7 @@ class ForwardingEngine:
                     f"shard {shard} replied out of order "
                     f"(seq {seq}, expected {entry[0]})"
                 )
-            busy_live[shard] = busy_total
+            busy_live[shard] = busy_total - busy_base[shard]
             cache_live[shard] = cache_stats
             packets_done[shard] += len(indices)
             batches[shard] += 1
@@ -1004,21 +1212,22 @@ class ForwardingEngine:
                 while inflight[shard]:
                     recv_reply(shard, blocking=True)
         finally:
-            for connection in connections:
-                try:
-                    connection.send(None)
-                except (BrokenPipeError, OSError):  # pragma: no cover
-                    pass
-            for process in processes:
-                process.join(timeout=10)
-                if process.is_alive():  # pragma: no cover - hung worker
-                    process.terminate()
-                    process.join(timeout=5)
-            for connection in connections:
-                try:
-                    connection.close()
-                except OSError:  # pragma: no cover - already closed
-                    pass
+            if not persistent:
+                for connection in connections:
+                    try:
+                        connection.send(None)
+                    except (BrokenPipeError, OSError):  # pragma: no cover
+                        pass
+                for process in processes:
+                    process.join(timeout=10)
+                    if process.is_alive():  # pragma: no cover - hung
+                        process.terminate()
+                        process.join(timeout=5)
+                for connection in connections:
+                    try:
+                        connection.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
             for ring in rings:
                 # Early termination (EngineWorkerError and friends)
                 # must not strand (index, packet) refs in the rings.
@@ -1040,16 +1249,17 @@ class ForwardingEngine:
         )
         flow_stats = None
         if config.flow_cache:
-            # Process workers are fresh per run, so each incarnation's
-            # cumulative counters are this run's delta; dead
+            # Each incarnation's cumulative counters minus its base
+            # (zero for per-run workers, the previous run's cumulative
+            # for persistent ones) is this run's delta; dead
             # incarnations were folded into cache_committed.
             parts = []
             for i in range(num):
-                stats = (
-                    FlowCacheStats.from_dict(cache_live[i])
-                    if cache_live[i] is not None
-                    else None
-                )
+                stats = None
+                if cache_live[i] is not None:
+                    stats = FlowCacheStats.from_dict(cache_live[i])
+                    if cache_base[i] is not None:
+                        stats = stats - cache_base[i]
                 if cache_committed[i] is not None:
                     stats = (
                         cache_committed[i]
@@ -1059,6 +1269,13 @@ class ForwardingEngine:
                 if stats is not None:
                     parts.append(stats)
             flow_stats = FlowCacheStats.total(parts)
+        if persistent:
+            # Carry each live worker's latest cumulative counters as
+            # the next run's baseline (respawns already reset theirs).
+            for i in range(num):
+                busy_base[i] += busy_live[i]
+                if cache_live[i] is not None:
+                    cache_base[i] = FlowCacheStats.from_dict(cache_live[i])
         return self._report(
             len(packets), dropped, wall, outcomes, sorted(latencies),
             shard_reports, tuple(ring.stats() for ring in rings),
@@ -1144,6 +1361,7 @@ class ForwardingEngine:
         metrics.counter("engine_dead_letter_total").inc(
             report.dead_letter_total
         )
+        metrics.counter("engine_shed_total").inc(report.packets_shed)
         metrics.counter("resilience_faults_injected_total").inc(
             report.faults_injected
         )

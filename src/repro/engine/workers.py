@@ -151,18 +151,25 @@ class ShardWorker:
         self,
         batch: Sequence[Union[DipPacket, bytes]],
         seq: int = 0,
+        now: float = 0.0,
     ) -> List[RawOutcome]:
         """Process one batch, recording wall time spent.
 
         ``seq`` is the supervisor's batch sequence number for this
         shard -- the fault injector matches scripted faults against it
         (retried batches get fresh seqs, so pinned faults fire once).
+
+        ``now`` is the simulation clock handed to the processor walk
+        (PIT lifetimes, CS TTLs).  Run-to-completion callers leave it
+        at 0.0 (timeless, the conformance-friendly default); the
+        serving daemon stamps each flush with a monotonic clock so
+        long-lived state actually expires.
         """
         overrides = None
         if self.injector is not None:
             batch, overrides = self._inject(batch, seq)
         start = time.perf_counter()
-        results = self.processor.process_batch(batch)
+        results = self.processor.process_batch(batch, now=now)
         elapsed = time.perf_counter() - start
         self.busy_seconds += elapsed
         self.batch_latencies.append(elapsed)
@@ -316,9 +323,17 @@ def _shard_worker_main(
 
     Protocol (over a ``multiprocessing.Pipe``):
 
-    - request: ``(seq, indices, payloads)`` where ``payloads`` is a
-      list of raw packet bytes and ``seq`` the supervisor's batch
-      sequence number for this shard; ``None`` asks the worker to exit.
+    - request: ``(seq, indices, payloads)`` or ``(seq, indices,
+      payloads, now)`` where ``payloads`` is a list of raw packet
+      bytes, ``seq`` the supervisor's batch sequence number for this
+      shard and ``now`` the simulation clock for the walk (absent =
+      0.0, the timeless default); ``None`` asks the worker to exit.
+    - control: ``("reconfig", mutation)`` applies a picklable
+      :class:`~repro.core.registry.RegistryMutation` to the worker's
+      live registry *in place* (each register/unregister bumps the
+      registry version, which invalidates the compiled-program cache
+      and the flow cache on the next batch -- the zero-downtime
+      hot-swap path).  Reply: ``("reconfig-ack", version)``.
     - reply: ``(seq, indices, outcomes, busy_seconds, latency,
       cache_stats, injected, degraded)`` with the request's seq and
       indices echoed so the engine can match its in-flight record and
@@ -354,9 +369,17 @@ def _shard_worker_main(
         if request is None:
             conn.close()
             return
-        seq, indices, payloads = request
+        if request[0] == "reconfig":
+            request[1].apply(worker.processor.registry)
+            conn.send(("reconfig-ack", worker.processor.registry.version))
+            continue
+        if len(request) == 4:
+            seq, indices, payloads, now = request
+        else:
+            seq, indices, payloads = request
+            now = 0.0
         try:
-            outcomes = worker.run_batch(payloads, seq=seq)
+            outcomes = worker.run_batch(payloads, seq=seq, now=now)
         except InjectedWorkerCrash:
             os._exit(1)
         injected, degraded = worker.faults_injected, worker.degraded

@@ -1,0 +1,326 @@
+"""ServeCore: the transport-free heart of the serving daemon.
+
+Everything the daemon does between "datagram arrived" and "reply
+bytes ready" lives here, with no sockets and no event loop, so the
+same code is driven three ways:
+
+- by :mod:`repro.serve.daemon` (asyncio UDP + HTTP around it);
+- by the conformance matrix (the ``serve`` executor submits a
+  scenario's wire corpus and flushes synchronously, proving the
+  framing/batching path preserves Algorithm 1 decisions);
+- by unit tests, which can step ``submit``/``flush`` deterministically.
+
+Threading contract: ``submit`` is called from the event-loop thread,
+``flush``/``reconfigure``/``snapshot_metrics`` from the daemon's
+single-worker executor thread (one thread, so engine runs and
+reconfigs serialize and in-flight batches drain on the old generation
+before a swap applies).  The shared ingress queue and counters are the
+only cross-thread state and sit behind one lock.
+
+Conservation (DESIGN.md 3.11, extending PR 4's law): every datagram
+ever submitted is *offered*; it is then exactly one of processed /
+dropped (ring backpressure) / dead-lettered (supervisor gave up) /
+shed (admission control refused it) / still pending.  ``summary()``
+reports the difference as ``unaccounted``, which must be 0 -- the
+``/healthz`` endpoint turns nonzero into HTTP 500.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.operations.base import Decision
+from repro.core.registry import RegistryMutation
+from repro.engine import EngineConfig, EngineReport, ForwardingEngine
+from repro.serve.config import ServeConfig
+from repro.serve.state import serve_content_state_factory
+from repro.telemetry.metrics import MetricsSnapshot, nearest_rank
+
+# Reply wire format: 1 status byte, 1 port-count byte, 2 bytes per
+# port (big endian), then the rewritten packet bytes (FORWARD) or the
+# delivered payload position (empty for everything else).  Status is
+# the Decision code below, or SHED_STATUS for an admission refusal --
+# the daemon answers every datagram, so the load generator can account
+# for each packet it sent without a side channel.
+_DECISION_CODES: Dict[str, int] = {
+    Decision.CONTINUE.value: 0,
+    Decision.FORWARD.value: 1,
+    Decision.DELIVER.value: 2,
+    Decision.DROP.value: 3,
+    Decision.UNSUPPORTED.value: 4,
+    Decision.ERROR.value: 5,
+}
+_CODE_NAMES = {code: name for name, code in _DECISION_CODES.items()}
+SHED_STATUS = 0xFF
+_CODE_NAMES[SHED_STATUS] = "shed"
+SHED_REPLY = bytes((SHED_STATUS, 0))
+
+# Batch-latency history kept for the p99 the BENCH ledger reports;
+# bounded so a week-long daemon cannot grow it (the cap is logged in
+# summary() as latency_window).
+_LATENCY_WINDOW = 8192
+
+
+def encode_reply(
+    status: str, ports: Tuple[int, ...] = (), packet: Optional[bytes] = None
+) -> bytes:
+    """Render one reply (see the wire format note above)."""
+    code = (
+        SHED_STATUS if status == "shed" else _DECISION_CODES[status]
+    )
+    out = bytearray((code, len(ports)))
+    for port in ports:
+        out += int(port).to_bytes(2, "big")
+    if packet:
+        out += packet
+    return bytes(out)
+
+
+def decode_reply(data: bytes) -> Tuple[str, Tuple[int, ...], bytes]:
+    """Parse one reply into ``(status, ports, packet_bytes)``."""
+    if len(data) < 2:
+        raise ValueError("reply too short")
+    status = _CODE_NAMES.get(data[0])
+    if status is None:
+        raise ValueError(f"unknown reply status {data[0]:#x}")
+    count = data[1]
+    offset = 2 + 2 * count
+    if len(data) < offset:
+        raise ValueError("reply truncated inside port list")
+    ports = tuple(
+        int.from_bytes(data[2 + 2 * i: 4 + 2 * i], "big")
+        for i in range(count)
+    )
+    return status, ports, data[offset:]
+
+
+class ServeCore:
+    """Ingress queue + admission control + engine driving + accounting.
+
+    Parameters
+    ----------
+    config:
+        The daemon's :class:`~repro.serve.config.ServeConfig`.
+    state_factory / registry_factory:
+        Override the served node (defaults to the bounded
+        content-delivery state built from ``config``); module-level
+        callables when ``config.backend == "process"``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        state_factory=None,
+        registry_factory=None,
+        cost_model=None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        if state_factory is None:
+            state_factory = functools.partial(
+                serve_content_state_factory,
+                content_count=self.config.content_count,
+                seed=self.config.seed,
+                cs_capacity=self.config.cs_capacity,
+                cs_ttl=self.config.cs_ttl,
+                pit_capacity=self.config.pit_capacity,
+                pit_eviction=self.config.pit_eviction,
+            )
+        self.engine = ForwardingEngine(
+            state_factory,
+            cost_model=cost_model,
+            config=EngineConfig(
+                num_shards=self.config.shards,
+                backend=self.config.backend,
+                batch_size=self.config.batch_max,
+                ring_capacity=self.config.ring_capacity,
+                backpressure="drop-tail",
+                flow_cache=self.config.flow_cache,
+            ),
+            registry_factory=registry_factory,
+        )
+        self.engine.start()
+        self.started_at = time.monotonic()
+        self._lock = threading.Lock()
+        self._queue: Deque[Tuple[object, bytes]] = deque()
+        self._offered = 0
+        self._shed = 0
+        self._replied = 0
+        self._flushes = 0
+        self._reconfigs = 0
+        self._generation = 0
+        self._report = EngineReport.empty()
+        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # ingress side (event-loop thread)
+    # ------------------------------------------------------------------
+    def submit(self, data: bytes, addr: object) -> bool:
+        """Offer one datagram; False means it was shed (reply with
+        :data:`SHED_REPLY`), True means it is pending a flush."""
+        with self._lock:
+            self._offered += 1
+            if len(self._queue) >= self.config.max_inflight:
+                self._shed += 1
+                return False
+            self._queue.append((addr, data))
+            return True
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # engine side (executor thread)
+    # ------------------------------------------------------------------
+    def flush(
+        self, now: Optional[float] = None, collect: Optional[list] = None
+    ) -> List[Tuple[object, bytes]]:
+        """Run one batch through the engine; returns (addr, reply) pairs.
+
+        ``now`` defaults to the monotonic clock, so PIT lifetimes and
+        CS TTLs age in real time under the daemon (tests pass explicit
+        clocks to step time deterministically; the conformance executor
+        pins 0.0, the timeless convention every other executor runs
+        under).  ``collect``, when given, receives ``(addr,
+        PacketOutcome)`` pairs -- the pre-encoding verdicts the
+        conformance differ compares, since the reply wire format keeps
+        the decision but not the failure-reason taxonomy.
+        """
+        with self._lock:
+            batch: List[bytes] = []
+            addrs: List[object] = []
+            while self._queue and len(batch) < self.config.batch_max:
+                addr, data = self._queue.popleft()
+                addrs.append(addr)
+                batch.append(data)
+        if not batch:
+            return []
+        stamp = time.monotonic() if now is None else now
+        report = self.engine.run(batch, now=stamp)
+        if collect is not None:
+            collect.extend(zip(addrs, report.outcomes))
+        replies = [
+            (
+                addr,
+                encode_reply(
+                    "drop" if outcome is None else outcome.decision.value,
+                    () if outcome is None else outcome.ports,
+                    None if outcome is None else outcome.packet,
+                ),
+            )
+            for addr, outcome in zip(addrs, report.outcomes)
+        ]
+        with self._lock:
+            # Per-packet/per-shard tuples are stripped before folding:
+            # the accumulator lives for the daemon's lifetime and must
+            # stay O(1) per flush, not O(total packets).
+            self._report = self._report.merge(
+                replace(
+                    report,
+                    outcomes=(),
+                    shards=(),
+                    rings=(),
+                    dead_letter=(),
+                )
+            )
+            self._latencies.append(report.wall_seconds)
+            self._flushes += 1
+            self._replied += len(replies)
+        return replies
+
+    def drain(
+        self, now: Optional[float] = None, collect: Optional[list] = None
+    ) -> List[Tuple[object, bytes]]:
+        """Flush until the ingress queue is empty."""
+        replies: List[Tuple[object, bytes]] = []
+        while self.pending():
+            replies.extend(self.flush(now, collect=collect))
+        return replies
+
+    def reconfigure(self, mutation: RegistryMutation) -> Dict[str, int]:
+        """Hot-swap the operation set on every shard (executor thread,
+        so every in-flight batch has already drained on the old
+        generation by the time this runs)."""
+        version = self.engine.reconfigure(mutation)
+        with self._lock:
+            self._reconfigs += 1
+            self._generation += 1
+            generation = self._generation
+        return {"registry_version": version, "generation": generation}
+
+    def close(self) -> None:
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """The daemon's ledger; ``unaccounted`` must be 0 when idle."""
+        with self._lock:
+            report = self._report
+            pending = len(self._queue)
+            offered = self._offered
+            shed = self._shed
+            latencies = sorted(self._latencies)
+            flushes = self._flushes
+            replied = self._replied
+            reconfigs = self._reconfigs
+            generation = self._generation
+        uptime = time.monotonic() - self.started_at
+        processed = report.packets_processed
+        dropped = report.packets_dropped_backpressure
+        dead = report.dead_letter_total
+        return {
+            "offered": offered,
+            "processed": processed,
+            "dropped_backpressure": dropped,
+            "dead_lettered": dead,
+            "shed": shed,
+            "pending": pending,
+            "unaccounted": (
+                offered - processed - dropped - dead - shed - pending
+            ),
+            "replied": replied,
+            "flushes": flushes,
+            "reconfigs": reconfigs,
+            "generation": generation,
+            "decisions": dict(report.decisions),
+            "uptime_seconds": uptime,
+            "pkts_per_second": processed / uptime if uptime > 0 else 0.0,
+            "batch_latency_p50": nearest_rank(latencies, 0.50),
+            "batch_latency_p99": nearest_rank(latencies, 0.99),
+            "latency_window": _LATENCY_WINDOW,
+            "shed_fraction": shed / offered if offered else 0.0,
+            "flow_cache": (
+                None
+                if report.flow_cache is None
+                else report.flow_cache.to_dict()
+            ),
+        }
+
+    def snapshot_metrics(self) -> MetricsSnapshot:
+        """Engine counters (accumulated) plus the serve-level ledger."""
+        with self._lock:
+            report = replace(self._report, packets_shed=self._shed)
+            counters = {
+                "serve_offered_total": self._offered,
+                "serve_shed_total": self._shed,
+                "serve_replies_total": self._replied,
+                "serve_flushes_total": self._flushes,
+                "serve_reconfigs_total": self._reconfigs,
+            }
+            gauges = {
+                "serve_pending": float(len(self._queue)),
+                "serve_generation": float(self._generation),
+                "serve_uptime_seconds": (
+                    time.monotonic() - self.started_at
+                ),
+            }
+        return report.snapshot().merge(
+            MetricsSnapshot(counters=counters, gauges=gauges)
+        )

@@ -1,0 +1,324 @@
+"""The asyncio serving daemon: UDP ingress + HTTP control plane.
+
+One event loop owns three things:
+
+- a ``DatagramProtocol`` ingress that submits every datagram to the
+  :class:`~repro.serve.core.ServeCore` (shed refusals answered
+  immediately, accepted packets woken into the batcher);
+- the batcher task: waits for ``batch_max`` pending (event) or
+  ``batch_timeout_ms`` after the first arrival (timeout), then runs
+  ``core.flush`` on the single-worker executor and sends each reply
+  back to its originating socket address;
+- a minimal HTTP server (``asyncio.start_server``; no third-party
+  deps) for ``/metrics`` (Prometheus text), ``/healthz`` (JSON ledger,
+  500 when conservation is broken) and ``/reconfig``
+  (``?drop=4,5`` / ``?restore=1`` -- live operation-set hot-swap).
+
+Everything that touches the engine goes through the one-thread
+executor, so flushes, reconfigs and metric scrapes serialize without
+any engine-side locking; the ingress queue is the only object shared
+with the loop thread and ServeCore already locks it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Dict, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.registry import RegistryMutation
+from repro.serve.config import ServeConfig
+from repro.serve.core import SHED_REPLY, ServeCore
+from repro.telemetry.export import to_prometheus
+
+_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                 500: "Internal Server Error"}
+
+
+class _IngressProtocol(asyncio.DatagramProtocol):
+    """UDP ingress: submit-or-shed, then wake the batcher."""
+
+    def __init__(self, daemon: "ServingDaemon") -> None:
+        self.daemon = daemon
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        daemon = self.daemon
+        daemon.received += 1
+        if daemon.core.submit(data, addr):
+            daemon.wake.set()
+            if daemon.core.pending() >= daemon.config.batch_max:
+                daemon.full.set()
+        elif self.transport is not None:
+            # Shed is answered from the loop thread immediately: the
+            # whole point of accounted admission control is that the
+            # sender learns, in-band, that this packet was refused.
+            self.transport.sendto(SHED_REPLY, addr)
+        if (
+            daemon.config.max_packets is not None
+            and daemon.received >= daemon.config.max_packets
+        ):
+            daemon.request_stop("max_packets")
+
+
+class ServingDaemon:
+    """Lifecycle owner: sockets, batcher task, executor, shutdown."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        core: Optional[ServeCore] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.core = core if core is not None else ServeCore(self.config)
+        self.wake = asyncio.Event()
+        self.full = asyncio.Event()
+        self.stopping = asyncio.Event()
+        self.stop_reason: Optional[str] = None
+        self.received = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-engine"
+        )
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._batcher: Optional[asyncio.Task] = None
+        # Bound at serve() time (the loop the daemon runs on).
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    def request_stop(self, reason: str) -> None:
+        """Begin shutdown (idempotent; signal handlers land here)."""
+        if not self.stopping.is_set():
+            self.stop_reason = reason
+            self.stopping.set()
+            self.wake.set()
+            self.full.set()
+
+    async def _run_core(self, fn, *args):
+        """Run one engine-touching callable on the single worker."""
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    # ------------------------------------------------------------------
+    # batcher
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        timeout = self.config.batch_timeout_ms / 1000.0
+        while True:
+            await self.wake.wait()
+            self.wake.clear()
+            if self.core.pending() < self.config.batch_max:
+                # Time-based trigger: give the batch `timeout` to fill,
+                # cut short by the size trigger (`full`) or shutdown.
+                try:
+                    await asyncio.wait_for(self.full.wait(), timeout)
+                except asyncio.TimeoutError:
+                    pass
+            self.full.clear()
+            while self.core.pending():
+                replies = await self._run_core(self.core.flush)
+                transport = self._transport
+                if transport is not None:
+                    for addr, payload in replies:
+                        transport.sendto(payload, addr)
+            if self.stopping.is_set() and not self.core.pending():
+                return
+
+    # ------------------------------------------------------------------
+    # HTTP control plane
+    # ------------------------------------------------------------------
+    async def _handle_http(self, reader, writer) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            while True:  # drain headers; we never need them
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                await self._respond(writer, 400, "text/plain", "bad request")
+                return
+            path, _, query = parts[1].partition("?")
+            status, ctype, body = await self._route(path, query)
+            await self._respond(writer, status, ctype, body)
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, path: str, query: str
+    ) -> Tuple[int, str, str]:
+        if path == "/metrics":
+            snapshot = await self._run_core(self.core.snapshot_metrics)
+            return 200, "text/plain; version=0.0.4", to_prometheus(snapshot)
+        if path == "/healthz":
+            summary = await self._run_core(self.core.summary)
+            # In-flight packets are not "unaccounted" -- only a ledger
+            # that stays off the law once everything has drained is.
+            healthy = summary["unaccounted"] == 0
+            return (
+                200 if healthy else 500,
+                "application/json",
+                json.dumps(summary, sort_keys=True),
+            )
+        if path == "/reconfig":
+            try:
+                mutation = _parse_reconfig(query)
+            except ValueError as exc:
+                return 400, "application/json", json.dumps(
+                    {"error": str(exc)}
+                )
+            result = await self._run_core(self.core.reconfigure, mutation)
+            return 200, "application/json", json.dumps(result)
+        return 404, "text/plain", "not found"
+
+    @staticmethod
+    async def _respond(writer, status: int, ctype: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self) -> Dict[str, object]:
+        """Run until signalled (or the configured bound); returns the
+        final conservation ledger."""
+        self._loop = asyncio.get_running_loop()
+        config = self.config
+        self._transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _IngressProtocol(self),
+            local_addr=(config.host, config.port),
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_http, config.host, config.metrics_port
+        )
+        self._batcher = asyncio.ensure_future(self._batch_loop())
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(
+                    signum, self.request_stop, signal.Signals(signum).name
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX loops; ^C still raises KeyboardInterrupt
+        deadline = (
+            time.monotonic() + config.max_seconds
+            if config.max_seconds is not None
+            else None
+        )
+        try:
+            if deadline is None:
+                await self.stopping.wait()
+            else:
+                while not self.stopping.is_set():
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.request_stop("max_seconds")
+                        break
+                    try:
+                        await asyncio.wait_for(
+                            self.stopping.wait(), timeout=remaining
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+            return await self.shutdown()
+        finally:
+            self._executor.shutdown(wait=True)
+
+    async def shutdown(self) -> Dict[str, object]:
+        """Drain pending packets (replies still go out), then close."""
+        self.request_stop(self.stop_reason or "shutdown")
+        # The batcher drains and *answers* everything pending before the
+        # ingress socket closes -- a drain that eats the tail of replies
+        # would leave the load generator unable to account for packets
+        # the ledger says were processed.
+        if self._batcher is not None:
+            self.wake.set()
+            self.full.set()
+            await self._batcher
+            self._batcher = None
+        late = await self._run_core(self.core.drain)
+        if self._transport is not None:
+            for addr, payload in late:
+                self._transport.sendto(payload, addr)
+            self._transport.close()
+            self._transport = None
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        summary = await self._run_core(self.core.summary)
+        summary["stop_reason"] = self.stop_reason
+        summary["received"] = self.received
+        await self._run_core(self.core.close)
+        return summary
+
+
+def run_daemon(
+    config: Optional[ServeConfig] = None,
+    json_out: bool = False,
+    out=None,
+) -> Dict[str, object]:
+    """Blocking entry point behind ``repro serve``."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    daemon = ServingDaemon(config)
+    summary = asyncio.run(daemon.serve())
+    if json_out:
+        print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+    else:
+        print(
+            f"serve: offered={summary['offered']} "
+            f"processed={summary['processed']} "
+            f"dropped={summary['dropped_backpressure']} "
+            f"dead={summary['dead_lettered']} shed={summary['shed']} "
+            f"unaccounted={summary['unaccounted']} "
+            f"reconfigs={summary['reconfigs']} "
+            f"p99={summary['batch_latency_p99'] * 1e3:.3f}ms "
+            f"({summary['stop_reason']})",
+            file=out,
+        )
+    return summary
+
+
+def _parse_reconfig(query: str) -> RegistryMutation:
+    """``drop=4,5&restore=1`` -> a RegistryMutation (ValueError on junk)."""
+    drop: Tuple[int, ...] = ()
+    restore = False
+    for piece in filter(None, query.split("&")):
+        key, _, value = piece.partition("=")
+        if key == "drop":
+            try:
+                drop = tuple(
+                    int(item) for item in value.split(",") if item
+                )
+            except ValueError:
+                raise ValueError(f"bad drop list {value!r}")
+        elif key == "restore":
+            restore = value not in ("", "0", "false")
+        else:
+            raise ValueError(f"unknown reconfig parameter {key!r}")
+    if not drop and not restore:
+        raise ValueError("reconfig needs ?drop=<keys> and/or ?restore=1")
+    return RegistryMutation(drop_keys=drop, restore_defaults=restore)

@@ -1,0 +1,74 @@
+"""The daemon's default node: a bounded NDN content-delivery router.
+
+Module-level (picklable) factories, like
+:func:`repro.workloads.throughput.dip32_state_factory`: the engine's
+process backend rebuilds each shard's private state from
+``functools.partial`` over these, so nothing live crosses a pipe.
+
+The catalog is deterministic in ``(content_count, seed)``: the load
+generator (:mod:`repro.serve.client`) rebuilds the same names from the
+same pair and therefore knows, without talking to the daemon, which
+digests route upstream, which are producer-local, and what Zipf rank
+each one has.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.state import NodeState
+from repro.protocols.ndn.cs import ContentStore
+from repro.protocols.ndn.names import Name
+from repro.protocols.ndn.pit import Pit
+
+# Every LOCAL_EVERY-th catalog entry is produced by the daemon's node
+# itself: interests for it DELIVER (host delivery) instead of
+# forwarding, so the client exercises all three NDN interest outcomes.
+LOCAL_EVERY = 16
+# Upstream ports cycle over this many egresses.
+PORT_FAN = 8
+
+
+def serve_content_names(content_count: int = 512, seed: int = 7) -> List[Name]:
+    """The catalog: deterministic names shared by daemon and client."""
+    return [
+        Name.parse(f"/serve/s{seed}/c{index}")
+        for index in range(content_count)
+    ]
+
+
+def serve_content_state_factory(
+    content_count: int = 512,
+    seed: int = 7,
+    cs_capacity: int = 256,
+    cs_ttl: Optional[float] = 30.0,
+    pit_capacity: Optional[int] = 2048,
+    pit_eviction: str = "lru",
+    pit_lifetime: float = 4.0,
+) -> NodeState:
+    """One shard's content-delivery state, bounded for long life.
+
+    Routes every catalog digest on the 32-bit digest FIB (exact /32
+    entries, egress cycling over :data:`PORT_FAN` ports), marks every
+    :data:`LOCAL_EVERY`-th entry producer-local, and installs a
+    capacity-capped PIT and a TTL'd content store -- the bounded-state
+    configuration DESIGN.md 3.11 requires of anything the daemon keeps
+    per flow.
+    """
+    state = NodeState(node_id=f"serve-{seed}")
+    state.pit = Pit(
+        default_lifetime=pit_lifetime,
+        capacity=pit_capacity,
+        eviction=pit_eviction,
+    )
+    state.content_store = ContentStore(cs_capacity, ttl=cs_ttl)
+    state.default_port = 1
+    for index, name in enumerate(serve_content_names(content_count, seed)):
+        digest = name.digest32()
+        if index % LOCAL_EVERY == 0:
+            state.local_digests.add(digest)
+        else:
+            state.name_fib_digest.insert(
+                digest, 32, 1 + (index % PORT_FAN)
+            )
+    return state

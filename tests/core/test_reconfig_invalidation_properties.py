@@ -1,0 +1,85 @@
+"""Property: a flow-cache hit after a registry generation bump is
+impossible (satellite of the serve PR's live-reconfiguration work).
+
+Hypothesis drives random pure IPv4 flows through a cached processor
+until entries exist (and hits are demonstrably possible), then applies
+a random :class:`~repro.core.registry.RegistryMutation`.  Whatever the
+mutation was, if it moved ``registry.version`` the very next packet --
+even one that just hit -- must not be served from the cache: the
+generation token changed, so ``sync`` flushes every entry before the
+lookup.  This is the safety half of zero-downtime reconfiguration;
+the liveness half (decisions actually change) is covered by
+tests/engine/test_reconfig.py and the serve suite."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.flowcache import FlowDecisionCache
+from repro.core.processor import RouterProcessor
+from repro.core.registry import RegistryMutation
+from repro.core.state import NodeState
+from repro.realize.ip import build_ipv4_packet
+
+# Keys worth dropping: pure lookups (MATCH_32=1 serves these flows),
+# stateful NDN, and keys no default registry installs.
+DROP_POOL = [1, 2, 3, 4, 5, 6, 500, 9999]
+
+
+def make_state():
+    state = NodeState(node_id="bump")
+    state.fib_v4.insert(0x0A000000, 8, 2)
+    state.fib_v4.insert(0, 0, 1)
+    return state
+
+
+mutation_strategy = st.builds(
+    RegistryMutation,
+    drop_keys=st.lists(
+        st.sampled_from(DROP_POOL), max_size=3, unique=True
+    ).map(tuple),
+    restore_defaults=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    ),
+    mutation=mutation_strategy,
+    capacity=st.integers(min_value=2, max_value=16),
+)
+def test_post_bump_hit_is_impossible(addresses, mutation, capacity):
+    cache = FlowDecisionCache(capacity=capacity)
+    processor = RouterProcessor(make_state(), flow_cache=cache)
+    packets = [build_ipv4_packet(dst, 0xC0A80001) for dst in addresses]
+
+    # Warm: the replay makes first-pass misses into second-pass hits,
+    # proving these flows are cacheable at this capacity.
+    processor.process_batch(packets)
+    processor.process_batch(packets)
+    warm = cache.stats()
+    assume(warm.hits > 0 and warm.size > 0)
+
+    version_before = processor.registry.version
+    mutation.apply(processor.registry)
+    assume(processor.registry.version != version_before)
+
+    invalidations_before = cache.invalidations
+    hits_before = cache.hits
+    for packet in packets:
+        processor.process_batch([packet])
+        # The first packet after the bump can never hit; later packets
+        # may hit again only on entries seeded *after* the flush.
+        break
+    assert cache.hits == hits_before
+    assert cache.invalidations == invalidations_before + 1
+
+    # The flush is one-shot, not a wedge: the same flows re-seed and
+    # hit again under the new generation.
+    processor.process_batch(packets)
+    processor.process_batch(packets)
+    assert cache.hits > hits_before

@@ -1,0 +1,58 @@
+"""A zero-packet run reports explicit zeros (satellite of the serve PR).
+
+The serving daemon folds every flush into an accumulator seeded with
+``EngineReport.empty()``; an idle daemon therefore summarizes from
+this exact shape, so every counter must be a real 0 and every rate a
+real 0.0 -- never a division by packet count or wall time."""
+
+import dataclasses
+
+from repro.engine import EngineConfig, EngineReport, ForwardingEngine
+
+from tests.engine.support import build_mixed_packets, engine_state_factory
+
+
+def test_zero_packet_run_reports_explicit_zeros():
+    engine = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=2)
+    )
+    report = engine.run([])
+    assert report.packets_offered == 0
+    assert report.packets_processed == 0
+    assert report.packets_dropped_backpressure == 0
+    assert report.dead_letter_total == 0
+    assert report.packets_shed == 0
+    assert report.packets_unaccounted == 0
+    assert report.pkts_per_second == 0.0
+    assert report.batch_latency_p50 == 0.0
+    assert report.batch_latency_p99 == 0.0
+    assert report.decisions == {}
+    assert report.outcomes == ()
+    snapshot = report.snapshot()
+    assert snapshot.counters["engine_packets_offered_total"] == 0
+    assert snapshot.counters["engine_shed_total"] == 0
+
+
+def test_empty_is_the_merge_identity():
+    empty = EngineReport.empty()
+    for field in dataclasses.fields(EngineReport):
+        value = getattr(empty, field.name)
+        assert not value, f"{field.name} is not falsy in empty()"
+    engine = ForwardingEngine(
+        engine_state_factory, config=EngineConfig(num_shards=2)
+    )
+    report = engine.run(build_mixed_packets())
+    assert empty.merge(report).to_dict() == report.to_dict()
+    assert report.merge(empty).to_dict() == report.to_dict()
+    assert empty.merge(empty).to_dict() == empty.to_dict()
+
+
+def test_report_dict_round_trip_keeps_shed():
+    report = dataclasses.replace(EngineReport.empty(), packets_shed=7)
+    data = report.to_dict()
+    assert data["packets_shed"] == 7
+    assert EngineReport.from_dict(data).packets_shed == 7
+    assert report.packets_unaccounted == -7  # shed without offers
+    # Pre-serve payloads (no packets_shed key) still load as 0.
+    del data["packets_shed"]
+    assert EngineReport.from_dict(data).packets_shed == 0

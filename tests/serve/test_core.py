@@ -1,0 +1,213 @@
+"""ServeCore unit tests: admission control, conservation, batching,
+reply codec and live reconfiguration -- all transport-free, stepping
+``submit``/``flush`` deterministically with explicit clocks."""
+
+import pytest
+
+from repro.core.registry import RegistryMutation
+from repro.errors import SimulationError
+from repro.realize.ndn import build_interest_packet
+from repro.serve import (
+    SHED_REPLY,
+    ServeConfig,
+    ServeCore,
+    decode_reply,
+    encode_reply,
+)
+from repro.serve.client import build_load
+from repro.serve.state import LOCAL_EVERY, serve_content_names
+
+
+def make_core(**overrides):
+    defaults = dict(
+        shards=1,
+        backend="serial",
+        batch_max=8,
+        max_inflight=32,
+        ring_capacity=64,
+        content_count=32,
+    )
+    defaults.update(overrides)
+    return ServeCore(ServeConfig(**defaults))
+
+
+@pytest.fixture
+def core():
+    core = make_core()
+    yield core
+    core.close()
+
+
+# ----------------------------------------------------------------------
+# reply wire format
+# ----------------------------------------------------------------------
+def test_reply_codec_round_trips_every_status():
+    statuses = ["continue", "forward", "deliver", "drop", "unsupported",
+                "error", "shed"]
+    for status in statuses:
+        for ports in ((), (1,), (4, 65535, 0)):
+            for packet in (None, b"", b"\x01payload"):
+                wire = encode_reply(status, ports, packet)
+                got_status, got_ports, got_packet = decode_reply(wire)
+                assert got_status == status
+                assert got_ports == ports
+                assert got_packet == (packet or b"")
+
+
+def test_shed_reply_constant_decodes():
+    assert decode_reply(SHED_REPLY) == ("shed", (), b"")
+
+
+def test_decode_rejects_junk():
+    with pytest.raises(ValueError):
+        decode_reply(b"")
+    with pytest.raises(ValueError):
+        decode_reply(b"\x01")  # missing port-count byte
+    with pytest.raises(ValueError):
+        decode_reply(bytes((0x7E, 0)))  # unknown status code
+    with pytest.raises(ValueError):
+        decode_reply(bytes((1, 2, 0)))  # truncated port list
+
+
+# ----------------------------------------------------------------------
+# admission control + conservation
+# ----------------------------------------------------------------------
+def test_submit_sheds_past_max_inflight():
+    core = make_core(max_inflight=4)
+    try:
+        packet = build_interest_packet(
+            serve_content_names(32, 7)[1]
+        ).encode()
+        accepted = [core.submit(packet, addr) for addr in range(10)]
+        assert accepted == [True] * 4 + [False] * 6
+        summary = core.summary()
+        assert summary["offered"] == 10
+        assert summary["shed"] == 6
+        assert summary["pending"] == 4
+        assert summary["unaccounted"] == 0
+        assert summary["shed_fraction"] == pytest.approx(0.6)
+        replies = core.drain(now=1.0)
+        assert len(replies) == 4
+        summary = core.summary()
+        assert summary["processed"] == 4
+        assert summary["pending"] == 0
+        assert summary["unaccounted"] == 0
+        assert summary["replied"] == 4
+    finally:
+        core.close()
+
+
+def test_flush_preserves_arrival_order_and_batch_bound(core):
+    packet = build_interest_packet(serve_content_names(32, 7)[1]).encode()
+    for addr in range(20):
+        core.submit(packet, addr)
+    replies = core.flush(now=1.0)
+    assert [addr for addr, _ in replies] == list(range(8))  # batch_max
+    replies = core.drain(now=1.0)
+    assert [addr for addr, _ in replies] == list(range(8, 20))
+    for _, wire in replies:
+        status, _, _ = decode_reply(wire)
+        assert status in ("forward", "deliver", "drop")
+
+
+def test_conservation_over_zipf_load():
+    core = make_core(max_inflight=512)
+    try:
+        load = build_load(300, content_count=32)
+        for index, packet in enumerate(load):
+            assert core.submit(packet, index)
+            if index % 50 == 49:
+                core.flush(now=1.0 + index / 100.0)
+        core.drain(now=5.0)
+        summary = core.summary()
+        assert summary["offered"] == 300
+        assert summary["unaccounted"] == 0
+        assert summary["replied"] == 300
+        assert sum(summary["decisions"].values()) == summary["processed"]
+        # The Zipf interest/data mix must exercise more than one verdict.
+        assert len(summary["decisions"]) >= 2
+    finally:
+        core.close()
+
+
+def test_flush_on_empty_queue_is_a_noop(core):
+    assert core.flush(now=1.0) == []
+    summary = core.summary()
+    assert summary["flushes"] == 0
+    assert summary["unaccounted"] == 0
+    assert summary["batch_latency_p99"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# live reconfiguration
+# ----------------------------------------------------------------------
+def test_reconfigure_changes_live_decisions(core):
+    names = serve_content_names(32, 7)
+    local = names[0]  # index % LOCAL_EVERY == 0: producer-local
+    assert LOCAL_EVERY == 16
+    interest = build_interest_packet(local).encode()
+
+    core.submit(interest, "a")
+    (_, wire), = core.flush(now=1.0)
+    assert decode_reply(wire)[0] == "deliver"
+
+    result = core.reconfigure(RegistryMutation(drop_keys=(4,)))
+    assert result["generation"] == 1
+    assert result["registry_version"] > 0
+
+    # Without F_FIB the interest's FN is ignored (non-path-critical,
+    # paper section 2.4) and the packet default-forwards instead.
+    core.submit(interest, "b")
+    (_, wire), = core.flush(now=2.0)
+    assert decode_reply(wire)[0] == "forward"
+
+    result = core.reconfigure(RegistryMutation(restore_defaults=True))
+    assert result["generation"] == 2
+    core.submit(interest, "c")
+    (_, wire), = core.flush(now=3.0)
+    assert decode_reply(wire)[0] == "deliver"
+
+    summary = core.summary()
+    assert summary["reconfigs"] == 2
+    assert summary["unaccounted"] == 0
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_snapshot_metrics_includes_serve_and_engine_counters():
+    core = make_core(max_inflight=2)
+    try:
+        packet = build_interest_packet(
+            serve_content_names(32, 7)[1]
+        ).encode()
+        for addr in range(5):
+            core.submit(packet, addr)
+        core.drain(now=1.0)
+        snapshot = core.snapshot_metrics()
+        assert snapshot.counters["serve_offered_total"] == 5
+        assert snapshot.counters["serve_shed_total"] == 3
+        assert snapshot.counters["engine_shed_total"] == 3
+        assert snapshot.counters["serve_replies_total"] == 2
+        assert snapshot.counters["engine_packets_processed_total"] == 2
+        assert snapshot.gauges["serve_pending"] == 0.0
+    finally:
+        core.close()
+
+
+def test_serve_executor_is_in_the_conformance_matrix():
+    # The framing+batching path is differentially tested like every
+    # other execution strategy (tests/conformance replays the corpus
+    # through it; `repro conformance --fuzz` covers it too).
+    from repro.conformance.executors import EXECUTOR_NAMES
+
+    assert "serve" in EXECUTOR_NAMES
+
+
+def test_config_validation():
+    with pytest.raises(SimulationError):
+        ServeConfig(batch_max=0)
+    with pytest.raises(SimulationError):
+        ServeConfig(ring_capacity=4, batch_max=8)
+    with pytest.raises(SimulationError):
+        ServeConfig(max_inflight=0)

@@ -1,0 +1,171 @@
+"""End-to-end daemon tests over loopback UDP + the HTTP control plane.
+
+Each test runs a full asyncio scenario (``asyncio.run`` -- the suite
+has no async plugin): start a daemon on ephemeral ports, drive it with
+the real load generator, scrape/steer it over HTTP, and check the
+final conservation ledger against the client-side accounting.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.registry import RegistryMutation
+from repro.serve import ServeConfig
+from repro.serve.client import run_load
+from repro.serve.daemon import ServingDaemon, _parse_reconfig
+
+
+async def start_daemon(**overrides):
+    """A running daemon on ephemeral ports + its serve() task."""
+    defaults = dict(
+        port=0,
+        metrics_port=0,
+        shards=2,
+        batch_max=16,
+        batch_timeout_ms=2.0,
+        content_count=64,
+        cs_ttl=30.0,
+    )
+    defaults.update(overrides)
+    daemon = ServingDaemon(ServeConfig(**defaults))
+    task = asyncio.ensure_future(daemon.serve())
+    while daemon._http_server is None:
+        if task.done():
+            task.result()  # surface the startup error
+        await asyncio.sleep(0.01)
+    udp_port = daemon._transport.get_extra_info("sockname")[1]
+    http_port = daemon._http_server.sockets[0].getsockname()[1]
+    return daemon, task, udp_port, http_port
+
+
+async def http_get(port, path):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode("latin-1")
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), body.decode("utf-8")
+
+
+def test_daemon_serves_load_and_control_plane():
+    async def scenario():
+        daemon, task, udp_port, http_port = await start_daemon()
+
+        client = await run_load(
+            port=udp_port, packets=400, content_count=64, window=64
+        )
+        assert client["sent"] == 400
+        assert client["missing"] == 0
+        assert client["decode_errors"] == 0
+
+        status, body = await http_get(http_port, "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["unaccounted"] == 0
+        assert health["offered"] == 400
+
+        status, body = await http_get(http_port, "/metrics")
+        assert status == 200
+        assert "serve_offered_total 400" in body
+        assert "engine_shed_total" in body
+        assert "engine_packets_processed_total" in body
+
+        # Live hot-swap: drop F_FIB mid-life, then keep serving.
+        status, body = await http_get(http_port, "/reconfig?drop=4")
+        assert status == 200
+        assert json.loads(body) == {
+            "registry_version": json.loads(body)["registry_version"],
+            "generation": 1,
+        }
+        client2 = await run_load(
+            port=udp_port, packets=200, content_count=64, window=64
+        )
+        assert client2["missing"] == 0
+        # With F_FIB dropped nothing DELIVERs any more: local names
+        # default-forward like everything else (ignored non-critical FN).
+        assert "deliver" in client["statuses"]
+        assert "deliver" not in client2["statuses"]
+
+        daemon.request_stop("test")
+        summary = await task
+        assert summary["offered"] == 600
+        assert summary["unaccounted"] == 0
+        assert summary["reconfigs"] == 1
+        assert summary["stop_reason"] == "test"
+
+    asyncio.run(scenario())
+
+
+def test_daemon_http_error_paths():
+    async def scenario():
+        daemon, task, _, http_port = await start_daemon()
+        status, _ = await http_get(http_port, "/nope")
+        assert status == 404
+        status, body = await http_get(http_port, "/reconfig")
+        assert status == 400
+        assert "error" in json.loads(body)
+        status, _ = await http_get(http_port, "/reconfig?drop=x")
+        assert status == 400
+        daemon.request_stop("test")
+        summary = await task
+        assert summary["reconfigs"] == 0
+
+    asyncio.run(scenario())
+
+
+def test_daemon_stops_at_max_packets_and_answers_everything():
+    async def scenario():
+        daemon, task, udp_port, _ = await start_daemon(max_packets=120)
+        client = await run_load(
+            port=udp_port, packets=120, content_count=64, window=32
+        )
+        summary = await task
+        assert summary["stop_reason"] == "max_packets"
+        assert summary["offered"] == 120
+        assert summary["unaccounted"] == 0
+        assert client["missing"] == 0
+        assert client["replies"] == 120
+
+    asyncio.run(scenario())
+
+
+def test_shed_replies_reach_the_client():
+    async def scenario():
+        # max_inflight=1 with per-packet flushes: almost every packet
+        # of a window finds the queue full and the client sees "shed".
+        # The window stays small enough that the kernel's UDP receive
+        # buffer never drops the burst -- shed must be the *accounted*
+        # refusal, not wire loss.
+        daemon, task, udp_port, _ = await start_daemon(
+            max_inflight=1, batch_max=1, batch_timeout_ms=50.0
+        )
+        client = await run_load(
+            port=udp_port, packets=300, content_count=64, window=32
+        )
+        daemon.request_stop("test")
+        summary = await task
+        assert summary["unaccounted"] == 0
+        assert client["missing"] == 0
+        assert summary["shed"] == client["statuses"].get("shed", 0)
+        assert summary["shed"] > 0
+
+    asyncio.run(scenario())
+
+
+def test_parse_reconfig():
+    mutation = _parse_reconfig("drop=4,5")
+    assert mutation == RegistryMutation(drop_keys=(4, 5))
+    mutation = _parse_reconfig("restore=1&drop=9")
+    assert mutation.restore_defaults and mutation.drop_keys == (9,)
+    with pytest.raises(ValueError):
+        _parse_reconfig("")
+    with pytest.raises(ValueError):
+        _parse_reconfig("frob=1")
+    with pytest.raises(ValueError):
+        _parse_reconfig("drop=a,b")
