@@ -2,7 +2,9 @@
 
 The budget from DESIGN.md 3.8: with ``EngineConfig(telemetry=False)``
 (the default), the engine must stay within 5% of the uninstrumented
-throughput.  Two checks enforce it:
+throughput -- and since the pending-accumulator rework (three list
+appends per packet, Counter-folded into the registry once per batch),
+the *enabled* path must too.  Three checks enforce it:
 
 - **ledger gate** (``REPRO_CHECK_LEDGER=1``): the disabled-telemetry
   pkts/s measured here must be >= 95% of the committed ``engine`` row
@@ -11,9 +13,12 @@ throughput.  Two checks enforce it:
   the comparison is drift-free.  Without the env var the check is
   informational (a laptop's ledger row may come from different
   hardware).
-- **same-run report**: disabled and enabled throughput are measured
-  interleaved and recorded in the ledger (rows ``engine notelemetry``
-  / ``engine telemetry``) so enablement cost stays visible in-tree.
+- **enabled-path gate** (always on): the telemetry-enabled engine must
+  reach >= 95% of the disabled engine measured interleaved in the same
+  run, so the comparison is immune to machine drift.
+- **same-run report**: disabled and enabled throughput are recorded in
+  the ledger (rows ``engine notelemetry`` / ``engine telemetry``) so
+  enablement cost stays visible in-tree.
 
 When ``REPRO_REPORT_DIR`` is set, a ``metrics.prom`` artifact from the
 instrumented run is left behind for CI to publish.
@@ -38,6 +43,7 @@ PACKETS = 2000
 PASSES = 3
 REPEATS = 3
 DISABLED_BUDGET = 0.95  # >= 95% of the ledger baseline
+ENABLED_BUDGET = 0.95  # enabled >= 95% of disabled, same run
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_engine.json"
 BENCH_HEADERS = ["mode", "pkts/s", "speedup vs per-packet"]
@@ -115,6 +121,12 @@ def test_disabled_telemetry_within_budget(engine_packets):
             engine.metrics.snapshot(),
             os.path.join(report_dir, "metrics.prom"),
         )
+
+    assert enabled >= ENABLED_BUDGET * disabled, (
+        f"telemetry-enabled engine at {enabled:,.0f} pkts/s is below "
+        f"{ENABLED_BUDGET:.0%} of the same-run disabled engine "
+        f"{disabled:,.0f} pkts/s"
+    )
 
     baseline_cell = Reporter.read_ledger_value(str(BENCH_JSON), "engine", 1)
     if os.environ.get("REPRO_CHECK_LEDGER") and baseline_cell:

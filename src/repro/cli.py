@@ -242,6 +242,8 @@ def _build_engine(args, out, telemetry: bool):
             backpressure=args.backpressure,
             flow_cache=args.flow_cache,
             flow_cache_capacity=args.flow_cache_capacity,
+            columnar=getattr(args, "columnar", False),
+            shm=getattr(args, "shm", True),
             telemetry=telemetry,
             degrade=getattr(args, "degrade", None),
             fault_plan=fault_plan,
@@ -557,6 +559,21 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             help="put a flow-level decision cache in front of every shard",
         )
         p.add_argument("--flow-cache-capacity", type=int, default=65536)
+        p.add_argument(
+            "--columnar",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="run shard workers through the columnar batch "
+            "specializer (numpy kernels; falls back to the scalar "
+            "path when unavailable)",
+        )
+        p.add_argument(
+            "--shm",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="use shared-memory rings for process-backend shard "
+            "IPC (falls back to pipe payloads when unavailable)",
+        )
         p.add_argument(
             "--zipf",
             action="store_true",

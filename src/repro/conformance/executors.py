@@ -178,7 +178,9 @@ def _run_process(scenario, wires, cost_model) -> ExecutionResult:
     )
 
 
-def _run_batch(scenario, wires, cost_model, flow_cache: bool) -> ExecutionResult:
+def _run_batch(
+    scenario, wires, cost_model, flow_cache: bool, columnar: bool = False
+) -> ExecutionResult:
     processor = RouterProcessor(
         scenario.state(),
         registry=scenario.registry(),
@@ -186,7 +188,14 @@ def _run_batch(scenario, wires, cost_model, flow_cache: bool) -> ExecutionResult
         flow_cache=FlowDecisionCache() if flow_cache else None,
         quarantine=True,
     )
-    results = processor.process_batch(wires, collect_notes=True)
+    if columnar:
+        from repro.engine.columnar import ColumnarSpecializer
+
+        results = ColumnarSpecializer(processor).process_batch(
+            wires, collect_notes=True
+        )
+    else:
+        results = processor.process_batch(wires, collect_notes=True)
     outcomes: List[Optional[WireOutcome]] = []
     notes: List[Optional[Tuple[str, ...]]] = []
     cycles: List[Optional[Tuple[int, int, int]]] = []
@@ -209,6 +218,18 @@ def _run_process_batch(scenario, wires, cost_model) -> ExecutionResult:
 
 def _run_flow_cache(scenario, wires, cost_model) -> ExecutionResult:
     return _run_batch(scenario, wires, cost_model, flow_cache=True)
+
+
+def _run_columnar(scenario, wires, cost_model) -> ExecutionResult:
+    """The batch specializer over the quarantining batch processor.
+
+    Falls back to the scalar path internally for anything the kernels
+    cannot express, so the executor is meaningful even without numpy
+    (it then *is* the scalar batch path, and the matrix still passes).
+    """
+    return _run_batch(
+        scenario, wires, cost_model, flow_cache=False, columnar=True
+    )
 
 
 def _run_engine(
@@ -428,6 +449,9 @@ DEFAULT_EXECUTORS: Tuple[ExecutorSpec, ...] = (
     ),
     ExecutorSpec(
         "flow-cache", _run_flow_cache, compare_notes=True, compare_cycles=True
+    ),
+    ExecutorSpec(
+        "columnar", _run_columnar, compare_notes=True, compare_cycles=True
     ),
     ExecutorSpec("engine-serial", _run_engine_serial),
     ExecutorSpec(

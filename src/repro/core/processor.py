@@ -20,6 +20,7 @@ Beyond the paper's pseudocode the processor also implements:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -326,6 +327,16 @@ class RouterProcessor:
             )
             self._tel_op_counters: Dict[int, object] = {}
             self._tel_decision_counters: Dict[object, object] = {}
+            # Pending per-batch accumulators (the FlowDecisionCache
+            # publish pattern): the instrumented walk only appends to
+            # plain Python lists; _tel_flush() folds them into the
+            # registry once per batch via C-speed Counter aggregation,
+            # so the enabled path pays three list appends per packet
+            # instead of histogram/counter bookkeeping.
+            self._tel_pending_cycles: List[int] = []
+            self._tel_pending_programs: List[object] = []
+            self._tel_pending_decisions: List[object] = []
+            self._tel_pending_ops: Dict[int, int] = {}
             self._process_compiled = self._process_compiled_instrumented
 
     # ------------------------------------------------------------------
@@ -503,25 +514,63 @@ class RouterProcessor:
             self._programs.clear()
             self._programs_version = self.registry.version
         if self.flow_cache is not None:
-            return self._process_batch_cached(
-                packets, ingress_port, now, collect_notes
-            )
-        out: List[ProcessResult] = []
-        for packet in packets:
             try:
-                if isinstance(packet, (bytes, bytearray)):
-                    packet, program = self._decode_raw(bytes(packet))
-                else:
-                    program = self._compiled(packet.header.fns)
-                out.append(
-                    self._process_compiled(
-                        packet, program, ingress_port, now, collect_notes
-                    )
+                return self._process_batch_cached(
+                    packets, ingress_port, now, collect_notes
                 )
-            except Exception as exc:
-                if not self.quarantine:
-                    raise
-                out.append(poison_result(exc))
+            finally:
+                if self.telemetry:
+                    self._tel_flush()
+        out: List[ProcessResult] = []
+        telemetry = self.telemetry
+        try:
+            if telemetry:
+                # Same walk + accumulation as the instrumented wrapper,
+                # inlined so the batch loop skips one call frame per
+                # packet (benchmarks/test_telemetry_overhead.py).
+                plain = RouterProcessor._process_compiled
+                cycles_append = self._tel_pending_cycles.append
+                programs_append = self._tel_pending_programs.append
+                decisions_append = self._tel_pending_decisions.append
+                for packet in packets:
+                    try:
+                        if isinstance(packet, (bytes, bytearray)):
+                            packet, program = self._decode_raw(bytes(packet))
+                        else:
+                            program = self._compiled(packet.header.fns)
+                        result = plain(
+                            self, packet, program, ingress_port, now,
+                            collect_notes,
+                        )
+                    except Exception as exc:
+                        if not self.quarantine:
+                            raise
+                        out.append(poison_result(exc))
+                        continue
+                    out.append(result)
+                    cycles_append(result.cycles)
+                    programs_append(program)
+                    decisions_append(result.decision)
+            else:
+                for packet in packets:
+                    try:
+                        if isinstance(packet, (bytes, bytearray)):
+                            packet, program = self._decode_raw(bytes(packet))
+                        else:
+                            program = self._compiled(packet.header.fns)
+                        out.append(
+                            self._process_compiled(
+                                packet, program, ingress_port, now,
+                                collect_notes,
+                            )
+                        )
+                    except Exception as exc:
+                        if not self.quarantine:
+                            raise
+                        out.append(poison_result(exc))
+        finally:
+            if telemetry:
+                self._tel_flush()
         return out
 
     def _compiled(
@@ -769,29 +818,64 @@ class RouterProcessor:
         result = RouterProcessor._process_compiled(
             self, packet, program, ingress_port, now, collect_notes
         )
-        self._tel_cycles.observe(result.cycles)
-        op_counters = self._tel_op_counters
-        for key, count in program.op_counts.items():
-            counter = op_counters.get(key)
-            if counter is None:
-                counter = self.telemetry.counter(
-                    "processor_fn_ops_total",
-                    "operation-module executions by FN key",
-                    labels=(("key", _key_label(key)),),
-                )
-                op_counters[key] = counter
-            counter.inc(count)
-        decision_counters = self._tel_decision_counters
-        counter = decision_counters.get(result.decision)
-        if counter is None:
-            counter = self.telemetry.counter(
-                "processor_decisions_total",
-                "packet fates decided by the FN walk",
-                labels=(("decision", result.decision.value),),
-            )
-            decision_counters[result.decision] = counter
-        counter.inc()
+        # Per-packet cost: three list appends.  The registry work
+        # (bucket math, labelled-counter lookups) happens once per
+        # batch in _tel_flush().
+        self._tel_pending_cycles.append(result.cycles)
+        self._tel_pending_programs.append(program)
+        self._tel_pending_decisions.append(result.decision)
         return result
+
+    def _tel_flush(self) -> None:
+        """Drain the pending telemetry accumulators into the registry.
+
+        Called once per batch (and by the columnar specializer after
+        its bulk feed).  Cycle observations collapse by distinct value
+        before touching the histogram; op executions expand each
+        program's per-key counts by how many packets walked it (same
+        attribution as the per-packet path: an early-exit drop still
+        counts the full program, DESIGN.md 3.8).
+        """
+        cycles = self._tel_pending_cycles
+        if cycles:
+            observe_count = self._tel_cycles.observe_count
+            for value, count in Counter(cycles).items():
+                observe_count(value, count)
+            cycles.clear()
+        programs = self._tel_pending_programs
+        ops = self._tel_pending_ops
+        if programs:
+            for program, packets in Counter(programs).items():
+                for key, count in program.op_counts.items():
+                    ops[key] = ops.get(key, 0) + count * packets
+            programs.clear()
+        if ops:
+            op_counters = self._tel_op_counters
+            for key, count in ops.items():
+                counter = op_counters.get(key)
+                if counter is None:
+                    counter = self.telemetry.counter(
+                        "processor_fn_ops_total",
+                        "operation-module executions by FN key",
+                        labels=(("key", _key_label(key)),),
+                    )
+                    op_counters[key] = counter
+                counter.inc(count)
+            ops.clear()
+        decisions = self._tel_pending_decisions
+        if decisions:
+            decision_counters = self._tel_decision_counters
+            for decision, count in Counter(decisions).items():
+                counter = decision_counters.get(decision)
+                if counter is None:
+                    counter = self.telemetry.counter(
+                        "processor_decisions_total",
+                        "packet fates decided by the FN walk",
+                        labels=(("decision", decision.value),),
+                    )
+                    decision_counters[decision] = counter
+                counter.inc(count)
+            decisions.clear()
 
     # ------------------------------------------------------------------
     # flow-level decision cache (repro.core.flowcache)

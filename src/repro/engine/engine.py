@@ -49,6 +49,7 @@ from repro.core.registry import RegistryMutation
 from repro.core.state import NodeState
 from repro.engine.dispatch import FlowDispatcher
 from repro.engine.rings import Ring, RingStats
+from repro.engine.shm import ShardChannel, make_channels, split_blob
 from repro.engine.workers import ShardWorker, _shard_worker_main
 from repro.errors import EngineWorkerError, SimulationError
 from repro.resilience.faults import FaultPlan
@@ -97,6 +98,15 @@ class EngineConfig:
     batch_size: int = 64
     ring_capacity: int = 1024
     backpressure: str = "block"
+    # ``shm`` moves batch payloads off the pickled pipe and into
+    # fixed-slot shared-memory rings (repro.engine.shm); the pipes keep
+    # carrying the control protocol.  Auto-disabled where fork or
+    # shared_memory is unavailable.  ``columnar`` puts the batch
+    # specializer (repro.engine.columnar) in front of every shard's
+    # processor; compositions outside the pure subset fall back to the
+    # scalar walk per packet, so it is safe for any workload.
+    shm: bool = True
+    columnar: bool = False
     flow_cache: bool = False
     flow_cache_capacity: int = DEFAULT_CAPACITY
     telemetry: bool = False
@@ -604,6 +614,10 @@ class ForwardingEngine:
         # per-run-spawn mode does.
         self._proc_connections: Optional[List[object]] = None
         self._proc_processes: Optional[List[object]] = None
+        # Shared-memory channels for persistent workers (created in
+        # start(), unlinked in close()); per-run workers build and
+        # unlink their own set inside _run_process.
+        self._proc_channels: Optional[List[ShardChannel]] = None
         self._proc_seqs: List[int] = [0] * self.config.num_shards
         self._proc_busy_base: List[float] = [0.0] * self.config.num_shards
         self._proc_cache_base: List[Optional[FlowCacheStats]] = (
@@ -623,6 +637,7 @@ class ForwardingEngine:
     def _spawn_process_worker(
         self, ctx, shard: int, connections: List[object],
         processes: List[object],
+        channels: Optional[List[ShardChannel]] = None,
     ) -> None:
         config = self.config
         parent, child = ctx.Pipe()
@@ -641,6 +656,8 @@ class ForwardingEngine:
                 self.registry_factory,
                 config.degrade,
                 config.fault_plan if config.fault_plan else None,
+                channels[shard] if channels is not None else None,
+                config.columnar,
             ),
             daemon=True,
         )
@@ -648,6 +665,30 @@ class ForwardingEngine:
         child.close()
         connections[shard] = parent
         processes[shard] = process
+
+    def _make_channels(self, ctx) -> Optional[List[ShardChannel]]:
+        """Shared-memory channels, or None when disabled/unavailable.
+
+        Channels require fork: the children must inherit the parent's
+        mappings (a by-name attach would re-register with the resource
+        tracker and race the parent's unlink on CPython 3.11).
+        """
+        if not self.config.shm:
+            return None
+        if ctx.get_start_method() != "fork":
+            return None
+        return make_channels(self.config.num_shards)
+
+    @staticmethod
+    def _drop_channels(
+        channels: Optional[List[ShardChannel]],
+    ) -> None:
+        """Unlink and unmap a channel set.  None-safe, idempotent."""
+        if channels is None:
+            return
+        for channel in channels:
+            channel.unlink()
+            channel.close()
 
     def start(self) -> "ForwardingEngine":
         """Switch the ``process`` backend to persistent workers.
@@ -670,10 +711,14 @@ class ForwardingEngine:
         ctx = self._mp_context()
         connections: List[object] = [None] * num
         processes: List[object] = [None] * num
+        channels = self._make_channels(ctx)
         for shard in range(num):
-            self._spawn_process_worker(ctx, shard, connections, processes)
+            self._spawn_process_worker(
+                ctx, shard, connections, processes, channels
+            )
         self._proc_connections = connections
         self._proc_processes = processes
+        self._proc_channels = channels
         self._proc_seqs = [0] * num
         self._proc_busy_base = [0.0] * num
         self._proc_cache_base = [None] * num
@@ -702,6 +747,9 @@ class ForwardingEngine:
                 connection.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        channels = self._proc_channels
+        self._proc_channels = None
+        self._drop_channels(channels)
 
     def __enter__(self) -> "ForwardingEngine":
         return self.start()
@@ -773,6 +821,7 @@ class ForwardingEngine:
             degrade=config.degrade,
             fault_plan=config.fault_plan,
             injector=injector,
+            columnar=config.columnar,
         )
 
     # ------------------------------------------------------------------
@@ -1004,18 +1053,22 @@ class ForwardingEngine:
         if persistent:
             connections = self._proc_connections
             processes = self._proc_processes
+            channels = self._proc_channels
             seqs = self._proc_seqs
             busy_base = self._proc_busy_base
             cache_base = self._proc_cache_base
         else:
             connections = [None] * num
             processes = [None] * num
+            channels = self._make_channels(ctx)
             seqs = [0] * num
             busy_base = [0.0] * num
             cache_base = [None] * num
 
         def spawn(shard: int) -> None:
-            self._spawn_process_worker(ctx, shard, connections, processes)
+            self._spawn_process_worker(
+                ctx, shard, connections, processes, channels
+            )
 
         if not persistent:
             for shard in range(num):
@@ -1096,11 +1149,27 @@ class ForwardingEngine:
                     transmit(shard, entry)
 
         def transmit(shard: int, entry: list) -> None:
+            channel = channels[shard] if channels is not None else None
+            if channel is not None:
+                # A frame must not be rewritten while its batch is
+                # still in flight, so the window is bounded by the
+                # frame count (the blocking recv doubles as the
+                # supervisor heartbeat).
+                while len(inflight[shard]) >= channel.slots:
+                    recv_reply(shard, blocking=True)
             entry[0] = seqs[shard]
             seqs[shard] += 1
             inflight[shard].append(entry)
+            wire = entry[2]
+            if channel is not None:
+                blob = b"".join(wire)
+                slot = entry[0] % channel.slots
+                if channel.write_request(slot, blob):
+                    # entry[2] keeps the raw payloads for retransmit;
+                    # only the wire form points into the frame.
+                    wire = ("shm", slot, [len(p) for p in entry[2]])
             try:
-                connections[shard].send((entry[0], entry[1], entry[2], now))
+                connections[shard].send((entry[0], entry[1], wire, now))
             except (BrokenPipeError, OSError) as exc:
                 worker_failed(
                     shard, f"pipe write failed ({type(exc).__name__})"
@@ -1146,6 +1215,25 @@ class ForwardingEngine:
                 seq, indices, raw, busy_total, latency,
                 cache_stats, injected, degraded,
             ) = reply
+            if type(raw) is tuple and raw and raw[0] == "shm":
+                # Outcome bytes live in the reply frame; the pipe only
+                # carried (decision, ports, length, failure) metadata.
+                _, slot, meta = raw
+                blob = channels[shard].read_reply(
+                    slot,
+                    sum(m[2] for m in meta if m[2] is not None),
+                )
+                raw = []
+                offset = 0
+                for decision, ports, length, failure in meta:
+                    if length is None:
+                        raw.append((decision, ports, None, failure))
+                    else:
+                        end = offset + length
+                        raw.append(
+                            (decision, ports, blob[offset:end], failure)
+                        )
+                        offset = end
             entry = inflight[shard].popleft()
             if entry[0] != seq:  # pragma: no cover - protocol invariant
                 raise EngineWorkerError(
@@ -1228,6 +1316,7 @@ class ForwardingEngine:
                         connection.close()
                     except OSError:  # pragma: no cover - already closed
                         pass
+                self._drop_channels(channels)
             for ring in rings:
                 # Early termination (EngineWorkerError and friends)
                 # must not strand (index, packet) refs in the rings.

@@ -34,6 +34,7 @@ from repro.core.header import BASIC_HEADER_SIZE
 from repro.core.packet import DipPacket
 from repro.core.processor import RouterProcessor, poison_result
 from repro.core.state import NodeState
+from repro.engine.shm import split_blob
 from repro.resilience.faults import (
     CRASH,
     CORRUPT,
@@ -117,6 +118,7 @@ class ShardWorker:
         degrade: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
         injector: Optional[FaultInjector] = None,
+        columnar: bool = False,
     ) -> None:
         self.shard_id = shard_id
         self.flow_cache = flow_cache
@@ -131,6 +133,19 @@ class ShardWorker:
             telemetry=telemetry,
             quarantine=True,
         )
+        # The batch specializer sits in front of the processor when
+        # requested (and numpy is importable); unsupported compositions
+        # fall back to the scalar walk inside process_batch, so the
+        # swap is decision-invisible (conformance executor 13).
+        self.specializer = None
+        if columnar:
+            from repro.engine.columnar import (
+                ColumnarSpecializer,
+                columnar_available,
+            )
+
+            if columnar_available():
+                self.specializer = ColumnarSpecializer(self.processor)
         self.degrade = degrade
         if injector is not None:
             self.injector = injector
@@ -169,7 +184,10 @@ class ShardWorker:
         if self.injector is not None:
             batch, overrides = self._inject(batch, seq)
         start = time.perf_counter()
-        results = self.processor.process_batch(batch, now=now)
+        if self.specializer is not None:
+            results = self.specializer.process_batch(batch, now=now)
+        else:
+            results = self.processor.process_batch(batch, now=now)
         elapsed = time.perf_counter() - start
         self.busy_seconds += elapsed
         self.batch_latencies.append(elapsed)
@@ -318,6 +336,8 @@ def _shard_worker_main(
     registry_factory: Optional[Callable[[], object]] = None,
     degrade: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    channel=None,
+    columnar: bool = False,
 ) -> None:
     """Multiprocessing shard loop: receive raw batches, return outcomes.
 
@@ -328,6 +348,9 @@ def _shard_worker_main(
       bytes, ``seq`` the supervisor's batch sequence number for this
       shard and ``now`` the simulation clock for the walk (absent =
       0.0, the timeless default); ``None`` asks the worker to exit.
+      With a shared-memory ``channel``, ``payloads`` may instead be
+      ``("shm", slot, lengths)`` -- the batch blob sits in request
+      frame ``slot`` and is cut back apart by ``lengths``.
     - control: ``("reconfig", mutation)`` applies a picklable
       :class:`~repro.core.registry.RegistryMutation` to the worker's
       live registry *in place* (each register/unregister bumps the
@@ -335,7 +358,11 @@ def _shard_worker_main(
       and the flow cache on the next batch -- the zero-downtime
       hot-swap path).  Reply: ``("reconfig-ack", version)``.
     - reply: ``(seq, indices, outcomes, busy_seconds, latency,
-      cache_stats, injected, degraded)`` with the request's seq and
+      cache_stats, injected, degraded)``; with a shared-memory
+      channel ``outcomes`` becomes ``("shm", slot, meta)`` where
+      ``meta`` rows are ``(decision, ports, length-or-None, failure)``
+      and the encoded output packets sit concatenated in reply frame
+      ``slot`` (an oversize blob ships inline instead).  Seq and
       indices echoed so the engine can match its in-flight record and
       restore input order; ``cache_stats`` is the flow cache's
       cumulative counter dict
@@ -361,12 +388,17 @@ def _shard_worker_main(
         registry_factory=registry_factory,
         degrade=degrade,
         fault_plan=fault_plan,
+        columnar=columnar,
     )
     injected_seen = 0
     degraded_seen = 0
     while True:
         request = conn.recv()
         if request is None:
+            if channel is not None:
+                # Drop this process's mappings only; the parent owns
+                # the segments and unlinks them on every exit path.
+                channel.close()
             conn.close()
             return
         if request[0] == "reconfig":
@@ -378,16 +410,47 @@ def _shard_worker_main(
         else:
             seq, indices, payloads = request
             now = 0.0
+        if (
+            type(payloads) is tuple
+            and payloads
+            and payloads[0] == "shm"
+        ):
+            _, slot, lengths = payloads
+            payloads = split_blob(
+                channel.read_request(slot, sum(lengths)), lengths
+            )
         try:
             outcomes = worker.run_batch(payloads, seq=seq, now=now)
         except InjectedWorkerCrash:
             os._exit(1)
+        wire_outcomes = outcomes
+        if channel is not None:
+            blob = b"".join(
+                encoded
+                for _, _, encoded, _ in outcomes
+                if encoded is not None
+            )
+            slot = seq % channel.slots
+            if channel.write_reply(slot, blob):
+                wire_outcomes = (
+                    "shm",
+                    slot,
+                    [
+                        (
+                            decision,
+                            ports,
+                            len(encoded) if encoded is not None else None,
+                            failure,
+                        )
+                        for decision, ports, encoded, failure in outcomes
+                    ],
+                )
         injected, degraded = worker.faults_injected, worker.degraded
         conn.send(
             (
                 seq,
                 indices,
-                outcomes,
+                wire_outcomes,
                 worker.busy_seconds,
                 worker.batch_latencies[-1],
                 cache.stats().as_dict() if cache is not None else None,

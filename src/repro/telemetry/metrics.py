@@ -241,6 +241,25 @@ class Histogram:
         for value in values:
             self.observe(value)
 
+    def observe_count(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in one update.
+
+        The bulk form behind the processor's per-flush telemetry drain:
+        a batch's cycle observations collapse to a handful of distinct
+        values, so the flush aggregates first and pays one bucket
+        update per distinct value instead of one per packet.
+        """
+        if count <= 0:
+            return
+        exponent = bucket_exponent(value)
+        self._buckets[exponent] = self._buckets.get(exponent, 0) + count
+        self.count += count
+        self.sum += value * count
+        if value < self.low:
+            self.low = value
+        if value > self.high:
+            self.high = value
+
     def quantile(self, fraction: float) -> float:
         """Nearest-rank quantile (see :meth:`HistogramSnapshot.quantile`)."""
         return self.snapshot().quantile(fraction)
@@ -476,6 +495,9 @@ class NullHistogram:
         pass
 
     def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+    def observe_count(self, value: float, count: int) -> None:
         pass
 
     def quantile(self, fraction: float) -> float:

@@ -146,6 +146,7 @@ class Reporter:
         title: str,
         headers: Sequence[str],
         rows: Sequence[Sequence[object]],
+        meta: Optional[Dict[str, Any]] = None,
     ) -> str:
         """Merge benchmark rows into a committed JSON file; returns it.
 
@@ -154,11 +155,14 @@ class Reporter:
         root) that successive benchmark runs update in place: rows
         merge by their first-column label, so a partial run refreshes
         only the rows it measured.  A missing or unparsable existing
-        file is simply rebuilt.
+        file is simply rebuilt.  ``meta`` records machine/run context
+        (shard count, CPU count) next to the rows; keys merge over any
+        existing meta so independent benchmarks can each contribute.
         """
         payload: Dict[str, Any] = {
             "title": title, "headers": list(headers), "rows": []
         }
+        old_meta: Dict[str, Any] = {}
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 existing = json.load(handle)
@@ -172,6 +176,8 @@ class Reporter:
                     for row in existing["rows"]
                     if isinstance(row, list)
                 ]
+                if isinstance(existing.get("meta"), dict):
+                    old_meta = existing["meta"]
         except (OSError, ValueError):
             pass
         merged = {row[0]: row for row in payload["rows"] if row}
@@ -179,6 +185,8 @@ class Reporter:
             str_row = [str(cell) for cell in row]
             merged[str_row[0]] = str_row
         payload["rows"] = list(merged.values())
+        if meta or old_meta:
+            payload["meta"] = {**old_meta, **(meta or {})}
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
@@ -261,9 +269,10 @@ def update_bench_json(
     title: str,
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
+    meta: Optional[Dict[str, Any]] = None,
 ) -> str:
     """See :meth:`Reporter.update_ledger`."""
-    return _DEFAULT.update_ledger(path, title, headers, rows)
+    return _DEFAULT.update_ledger(path, title, headers, rows, meta=meta)
 
 
 def print_table(

@@ -21,6 +21,7 @@ from repro.core.packet import DipPacket
 from repro.core.processor import RouterProcessor
 from repro.core.state import NodeState
 from repro.engine import EngineConfig, ForwardingEngine
+from repro.engine.columnar import ColumnarSpecializer
 from repro.workloads.generators import (
     make_dip_ipv4_workload,
     make_dip_ipv4_zipf_workload,
@@ -79,15 +80,23 @@ def measure_throughput(
     batch_size: int = 64,
     repeats: int = 3,
     flow_cache: bool = False,
+    shm: bool = True,
+    columnar: bool = False,
 ) -> Dict[str, object]:
     """pkts/s of one processing mode over a prepared packet batch.
 
     Modes: ``per-packet`` (the reference Algorithm 1 interpreter),
-    ``batch`` (:meth:`RouterProcessor.process_batch`), ``engine``
-    (the full dispatch/ring/shard path).  ``flow_cache`` puts the
-    flow-level decision cache in front of the ``batch`` and ``engine``
-    modes (the per-packet reference path never uses it).
+    ``batch`` (:meth:`RouterProcessor.process_batch`), ``columnar``
+    (the batch specializer of :mod:`repro.engine.columnar` in front of
+    the same processor), ``engine`` (the full dispatch/ring/shard
+    path).  ``flow_cache`` puts the flow-level decision cache in front
+    of the ``batch`` and ``engine`` modes (the per-packet reference
+    path never uses it).  ``shm``/``columnar`` shape the engine mode's
+    :class:`EngineConfig`; the engine is measured with *persistent*
+    workers (started before the timed runs, closed after) so the
+    numbers describe the serving steady state, not fork cost.
     """
+    cleanup = None
     if mode == "per-packet":
         processor = RouterProcessor(dip32_state_factory())
 
@@ -104,6 +113,14 @@ def measure_throughput(
         def work() -> None:
             processor.process_batch(packets)
 
+    elif mode == "columnar":
+        specializer = ColumnarSpecializer(
+            RouterProcessor(dip32_state_factory())
+        )
+
+        def work() -> None:
+            specializer.process_batch(packets)
+
     elif mode == "engine":
         engine = ForwardingEngine(
             dip32_state_factory,
@@ -112,8 +129,12 @@ def measure_throughput(
                 backend=backend,
                 batch_size=batch_size,
                 flow_cache=flow_cache,
+                shm=shm,
+                columnar=columnar,
             ),
         )
+        engine.start()
+        cleanup = engine.close
 
         def work() -> None:
             engine.run(packets)
@@ -121,8 +142,12 @@ def measure_throughput(
     else:
         raise ValueError(f"unknown throughput mode {mode!r}")
 
-    work()  # warm caches so every mode is measured steady-state
-    seconds = time_callable(work, repeats=repeats)
+    try:
+        work()  # warm caches so every mode is measured steady-state
+        seconds = time_callable(work, repeats=repeats)
+    finally:
+        if cleanup is not None:
+            cleanup()
     return {
         "mode": mode,
         "pkts_per_second": len(packets) / seconds if seconds > 0 else 0.0,

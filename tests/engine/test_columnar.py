@@ -1,0 +1,190 @@
+"""Decision identity of the columnar batch specializer.
+
+Every test compares :meth:`ColumnarSpecializer.process_batch` against
+the scalar :meth:`RouterProcessor.process_batch` over identically
+seeded state -- the specializer's contract is *byte-exact* equivalence,
+not approximate: same decisions, ports, rewritten wire bytes, cycle
+triples, scratch and notes, and the same exceptions for inputs the
+scalar path raises on.  The mixed pure/impure batch proves the scalar
+fallback composes with kernel rows in original order; the conformance
+matrix's ``columnar`` executor extends these checks to the full fuzz
+corpus.
+"""
+
+import pytest
+
+from repro.core.fn import FieldOperation, OperationKey
+from repro.core.header import DipHeader
+from repro.core.packet import DipPacket
+from repro.core.processor import RouterProcessor
+from repro.engine.columnar import ColumnarSpecializer, columnar_available
+from repro.errors import ReproError
+from repro.workloads.throughput import (
+    dip32_state_factory,
+    make_engine_packets,
+    make_zipf_engine_packets,
+)
+
+pytestmark = pytest.mark.skipif(
+    not columnar_available(), reason="numpy unavailable"
+)
+
+
+def assert_identical(reference, candidate):
+    assert len(reference) == len(candidate)
+    for ref, got in zip(reference, candidate):
+        assert ref.decision == got.decision
+        assert ref.ports == got.ports
+        assert ref.notes == got.notes
+        assert ref.cycles == got.cycles
+        assert ref.cycles_sequential == got.cycles_sequential
+        assert ref.cycles_parallel == got.cycles_parallel
+        assert ref.unsupported_key == got.unsupported_key
+        assert ref.scratch == got.scratch
+        assert ref.failure == got.failure
+        if ref.packet is None:
+            assert got.packet is None
+        else:
+            assert ref.packet.encode() == got.packet.encode()
+            # Output slices must be real bytes even for bytearray
+            # inputs -- downstream encode/splice relies on it.
+            assert type(got.packet.payload) is bytes
+            assert type(got.packet.header.locations) is bytes
+
+
+def run_both(packets, collect_notes=False):
+    reference = RouterProcessor(dip32_state_factory())
+    specializer = ColumnarSpecializer(RouterProcessor(dip32_state_factory()))
+    expected = reference.process_batch(packets, collect_notes=collect_notes)
+    actual = specializer.process_batch(packets, collect_notes=collect_notes)
+    return expected, actual, specializer
+
+
+@pytest.mark.parametrize("collect_notes", [False, True])
+def test_zipf_batch_identity(collect_notes):
+    packets = make_zipf_engine_packets(packet_count=400)
+    expected, actual, specializer = run_both(packets, collect_notes)
+    assert_identical(expected, actual)
+    assert specializer.stats.vectorized_packets == len(packets)
+    assert specializer.stats.fallback_packets == 0
+
+
+def test_uniform_batch_identity():
+    packets = make_engine_packets(packet_count=400)
+    expected, actual, specializer = run_both(packets)
+    assert_identical(expected, actual)
+    assert specializer.stats.kernels_compiled >= 1
+
+
+def test_hop_expired_rows_match_scalar():
+    packets = make_engine_packets(packet_count=64)
+    expired = []
+    for raw in packets[:8]:
+        mutated = bytearray(raw)
+        mutated[3] = 0  # hop_limit
+        expired.append(bytes(mutated))
+    mixed = expired + packets[8:]
+    expected, actual, _ = run_both(mixed, collect_notes=True)
+    assert_identical(expected, actual)
+    assert expected[0].decision.value == "drop"
+
+
+def test_bytearray_inputs_match_scalar():
+    packets = [bytearray(raw) for raw in make_engine_packets(packet_count=32)]
+    expected, actual, _ = run_both(packets)
+    assert_identical(expected, actual)
+
+
+def test_truncated_packet_raises_identically():
+    packets = make_engine_packets(packet_count=4)
+    truncated = packets[0][:10]
+    reference = RouterProcessor(dip32_state_factory())
+    specializer = ColumnarSpecializer(RouterProcessor(dip32_state_factory()))
+    with pytest.raises(ReproError) as ref_exc:
+        reference.process_batch(packets[:2] + [truncated])
+    with pytest.raises(ReproError) as got_exc:
+        specializer.process_batch(packets[:2] + [truncated])
+    assert type(ref_exc.value) is type(got_exc.value)
+    assert str(ref_exc.value) == str(got_exc.value)
+
+
+def test_tail_truncated_locations_raise_identically():
+    # Intact defs but a truncated locations region, placed LAST in
+    # the batch: the kernel's gathers must not index past the joined
+    # buffer (regression -- this once raised IndexError instead of
+    # the reference codec error).
+    packets = make_engine_packets(packet_count=8)
+    fn_num = packets[0][2]
+    defs_end = 6 + 6 * fn_num
+    clipped = packets[0][: defs_end + 1]
+    reference = RouterProcessor(dip32_state_factory())
+    specializer = ColumnarSpecializer(RouterProcessor(dip32_state_factory()))
+    with pytest.raises(ReproError) as ref_exc:
+        reference.process_batch(packets + [clipped])
+    with pytest.raises(ReproError) as got_exc:
+        specializer.process_batch(packets + [clipped])
+    assert type(ref_exc.value) is type(got_exc.value)
+    assert str(ref_exc.value) == str(got_exc.value)
+
+
+def make_mark_packet(index):
+    """An impure composition: MATCH_32 + SOURCE + path-critical MARK."""
+    header = DipHeader(
+        fns=(
+            FieldOperation(field_loc=0, field_len=32, key=OperationKey.MATCH_32),
+            FieldOperation(field_loc=32, field_len=32, key=OperationKey.SOURCE),
+            FieldOperation(field_loc=64, field_len=8, key=OperationKey.MARK),
+        ),
+        locations=(
+            (0x0A000000 | index).to_bytes(4, "big")
+            + (0x0B000000 | index).to_bytes(4, "big")
+            + b"\x00"
+        ),
+    )
+    return DipPacket(header=header, payload=b"mark").encode()
+
+
+def test_mixed_pure_impure_batch_falls_back_scalar_identical():
+    """Impure compositions ride the scalar path, pure ones the kernel,
+    and the merged output is indistinguishable from all-scalar."""
+    pure = make_zipf_engine_packets(packet_count=60)
+    impure = [make_mark_packet(i) for i in range(20)]
+    # Interleave so the fallback merge must restore original order.
+    mixed = []
+    for i in range(20):
+        mixed.append(pure[3 * i])
+        mixed.append(impure[i])
+        mixed.extend(pure[3 * i + 1 : 3 * i + 3])
+    expected, actual, specializer = run_both(mixed, collect_notes=True)
+    assert_identical(expected, actual)
+    assert specializer.stats.vectorized_packets == 60
+    assert specializer.stats.fallback_packets == 20
+    assert specializer.stats.kernel_refusals >= 1
+
+
+def test_repeat_batches_reuse_compiled_kernels():
+    packets = make_zipf_engine_packets(packet_count=100)
+    specializer = ColumnarSpecializer(RouterProcessor(dip32_state_factory()))
+    specializer.process_batch(packets)
+    compiled = specializer.stats.kernels_compiled
+    specializer.process_batch(packets)
+    assert specializer.stats.kernels_compiled == compiled
+    assert specializer.stats.vectorized_packets == 200
+
+
+def test_fib_mutation_invalidates_and_changes_decisions():
+    """A FIB edit between batches must be visible immediately -- the
+    kernel (and its LPM interval tables) is generation-keyed."""
+    packets = make_engine_packets(packet_count=50)
+    reference = RouterProcessor(dip32_state_factory())
+    processor = RouterProcessor(dip32_state_factory())
+    specializer = ColumnarSpecializer(processor)
+    assert_identical(
+        reference.process_batch(packets), specializer.process_batch(packets)
+    )
+    reference.state.fib_v4.insert(0, 0, 42)
+    processor.state.fib_v4.insert(0, 0, 42)
+    assert_identical(
+        reference.process_batch(packets), specializer.process_batch(packets)
+    )
+    assert specializer.stats.invalidations == 1

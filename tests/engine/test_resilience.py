@@ -21,6 +21,7 @@ from repro.core.packet import DipPacket
 from repro.core.registry import OperationRegistry, all_operations
 from repro.core.state import NodeState
 from repro.engine import EngineConfig, EngineReport, ForwardingEngine
+from repro.engine.shm import leaked_segments
 from repro.errors import EngineWorkerError
 from repro.resilience import (
     CORRUPT,
@@ -171,7 +172,10 @@ class TestWorkerCrashRecovery:
 
     def test_process_crash_zero_loss(self):
         # Acceptance: kill one shard worker mid-run (process backend);
-        # the run completes with zero lost packets.
+        # the run completes with zero lost packets, and the crashed
+        # child (os._exit, no cleanup hooks) leaks no shm segments --
+        # the parent owns every unlink.
+        segments_before = leaked_segments()
         plan = FaultPlan(faults=(Fault(kind=CRASH, shard=0, batch=1),))
         config = EngineConfig(
             num_shards=2,
@@ -193,11 +197,13 @@ class TestWorkerCrashRecovery:
         assert all(outcome is not None for outcome in report.outcomes)
         assert report.decisions == {"forward": 200}
         assert_conservation(report)
+        assert leaked_segments() == segments_before
 
     @pytest.mark.parametrize("backend", ["serial", "process"])
     def test_crash_every_batch_dead_letters(self, backend):
         # Shard 0 never survives a batch: after max_retries the batch
         # is dead-lettered, the rest of the run is unharmed.
+        segments_before = leaked_segments()
         plan = FaultPlan(
             faults=(Fault(kind=CRASH, shard=0, times=0),)
         )
@@ -220,6 +226,7 @@ class TestWorkerCrashRecovery:
             assert letter.attempts == 2  # 1 try + max_retries retries
             assert letter.reason
         assert_conservation(report)
+        assert leaked_segments() == segments_before
 
     @pytest.mark.parametrize("backend", ["serial", "process"])
     def test_restart_budget_exhaustion_raises(self, backend):
@@ -241,6 +248,7 @@ class TestWorkerCrashRecovery:
     def test_process_heartbeat_timeout_respawns(self):
         # A wedged (not dead) worker: the scripted stall outlives the
         # heartbeat, so the supervisor declares it dead and respawns.
+        segments_before = leaked_segments()
         plan = FaultPlan(
             faults=(Fault(kind=STALL, shard=0, batch=0, delay=3.0),)
         )
@@ -258,6 +266,7 @@ class TestWorkerCrashRecovery:
         assert report.worker_restarts >= 1
         assert all(outcome is not None for outcome in report.outcomes)
         assert_conservation(report)
+        assert leaked_segments() == segments_before
 
 
 class TestPoisonQuarantine:

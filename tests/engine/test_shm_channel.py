@@ -1,0 +1,154 @@
+"""Shared-memory shard IPC: frame protocol, fallbacks and leak-freedom.
+
+The ring protocol's correctness story has three layers, each covered
+here: the frame primitives (fixed-slot write/read, oversize refusal,
+blob splitting), the engine integration (process-backend outcomes are
+identical with rings on or off, including batches that overflow a
+frame and fall back to inline pipe payloads), and the ownership rule
+-- the parent creates segments before forking and exclusively unlinks
+them, so every exit path (per-run, persistent close, worker crashed
+with ``os._exit``) leaves ``/dev/shm`` clean.
+"""
+
+import pytest
+
+from repro.engine import EngineConfig, ForwardingEngine
+from repro.engine.shm import (
+    ShardChannel,
+    leaked_segments,
+    make_channels,
+    shm_available,
+    split_blob,
+)
+from repro.resilience import CRASH, Fault, FaultPlan
+
+from tests.engine.test_resilience import (
+    assert_conservation,
+    make_packets,
+    resilience_state_factory,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared-memory fork IPC unavailable"
+)
+
+
+@pytest.fixture
+def channel():
+    channel = ShardChannel(slots=2, slot_size=64)
+    yield channel
+    channel.unlink()
+    channel.close()
+
+
+class TestFramePrimitives:
+    def test_request_reply_roundtrip(self, channel):
+        assert channel.write_request(0, b"abc")
+        assert channel.write_request(1, b"xyzw")
+        assert channel.write_reply(1, b"reply")
+        assert channel.read_request(0, 3) == b"abc"
+        assert channel.read_request(1, 4) == b"xyzw"
+        assert channel.read_reply(1, 5) == b"reply"
+
+    def test_slot_reuse_overwrites(self, channel):
+        assert channel.write_request(0, b"first")
+        assert channel.write_request(0, b"second")
+        assert channel.read_request(0, 6) == b"second"
+
+    def test_oversize_blob_is_refused(self, channel):
+        assert not channel.write_request(0, b"x" * 65)
+        assert not channel.write_reply(1, b"y" * 100)
+        # A refusal leaves the frame usable.
+        assert channel.write_request(0, b"z" * 64)
+        assert channel.read_request(0, 64) == b"z" * 64
+
+    def test_read_returns_private_bytes(self, channel):
+        channel.write_reply(0, b"stable")
+        copy = channel.read_reply(0, 6)
+        channel.write_reply(0, b"XXXXXX")
+        assert copy == b"stable"
+        assert type(copy) is bytes
+
+    def test_split_blob(self):
+        payloads = [b"a", b"", b"ccc", b"dd"]
+        blob = b"".join(payloads)
+        assert split_blob(blob, [len(p) for p in payloads]) == payloads
+
+    def test_make_channels_then_unlink_leaves_no_segments(self):
+        before = leaked_segments()
+        channels = make_channels(3)
+        assert channels is not None and len(channels) == 3
+        assert len(leaked_segments()) == len(before) + 6
+        for channel in channels:
+            channel.unlink()
+            channel.close()
+        assert leaked_segments() == before
+
+
+class TestEngineIntegration:
+    def run_engine(self, packets, **overrides):
+        config = EngineConfig(
+            num_shards=2, backend="process", batch_size=16, **overrides
+        )
+        engine = ForwardingEngine(resilience_state_factory, config=config)
+        return engine.run(packets)
+
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_shm_outcomes_match_pipe_outcomes(self, columnar):
+        packets = make_packets(150)
+        baseline = self.run_engine(packets, shm=False)
+        ringed = self.run_engine(packets, shm=True, columnar=columnar)
+        assert ringed.outcomes == baseline.outcomes
+        assert ringed.decisions == baseline.decisions
+        assert ringed.packets_processed == 150
+
+    def test_oversize_batch_falls_back_inline(self):
+        # A payload bigger than a whole frame: every batch overflows
+        # the ring and ships inline over the pipe instead -- outcomes
+        # must not change.
+        packets = make_packets(24)
+        big = [raw + b"P" * 2048 for raw in packets]
+        config = EngineConfig(
+            num_shards=2, backend="process", batch_size=8, shm=True
+        )
+        engine = ForwardingEngine(resilience_state_factory, config=config)
+        report = engine.run(big)
+        baseline = self.run_engine(big, shm=False)
+        assert report.outcomes == baseline.outcomes
+        assert report.packets_processed == 24
+
+    def test_per_run_engine_leaves_no_segments(self):
+        before = leaked_segments()
+        self.run_engine(make_packets(64), shm=True)
+        assert leaked_segments() == before
+
+    def test_persistent_engine_releases_segments_on_close(self):
+        before = leaked_segments()
+        config = EngineConfig(num_shards=2, backend="process", shm=True)
+        engine = ForwardingEngine(resilience_state_factory, config=config)
+        engine.start()
+        try:
+            report = engine.run(make_packets(64))
+            assert report.packets_processed == 64
+            report = engine.run(make_packets(64, seed_base=7))
+            assert report.packets_processed == 64
+        finally:
+            engine.close()
+        assert leaked_segments() == before
+
+    def test_worker_crash_leaks_nothing(self):
+        # The crash fault is an ``os._exit`` inside the child -- no
+        # atexit hooks, no resource tracker.  The parent's unlink is
+        # the only cleanup, and it must suffice even across respawns.
+        before = leaked_segments()
+        plan = FaultPlan(faults=(Fault(kind=CRASH, shard=0, batch=1),))
+        report = self.run_engine(
+            make_packets(200),
+            shm=True,
+            fault_plan=plan,
+            retry_backoff=0.0,
+        )
+        assert report.packets_processed == 200
+        assert report.worker_restarts == 1
+        assert_conservation(report)
+        assert leaked_segments() == before
