@@ -62,7 +62,8 @@ def main() -> None:
     # 2. the global capability map (BGP-community style advertisements)
     capabilities = CapabilityMap()
     for router in (as1, as2, as3):
-        capabilities.advertise_router(router)
+        # One router per AS here, so the AS id is the router id.
+        capabilities.advertise_router(router, as_id=router.node_id)
     path = ["as1", "as2", "as3"]
     session = negotiate_session(
         "host-b", "host-a",

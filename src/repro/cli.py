@@ -266,7 +266,7 @@ def _build_engine(args, out, telemetry: bool):
 
 def cmd_engine(args, out) -> int:
     """Run the sharded forwarding engine over a DIP-32 batch."""
-    from repro.workloads.reporting import Reporter, format_table
+    from repro.workloads.reporting import Reporter, emit_payload, format_table
 
     # Either export flag implies telemetry; the run itself is otherwise
     # identical (tests/engine/test_telemetry_equivalence.py).
@@ -277,69 +277,73 @@ def cmd_engine(args, out) -> int:
     engine, packets = built
     report = engine.run(packets)
 
-    out.write(
-        f"engine: {report.packets_processed}/{report.packets_offered} "
-        f"packets in {report.wall_seconds:.3f}s = "
-        f"{report.pkts_per_second:,.0f} pkts/s "
-        f"({args.backend}, {args.shards} shard(s))\n"
-    )
-    decisions = ", ".join(
-        f"{name} {count}" for name, count in sorted(report.decisions.items())
-    )
-    out.write(f"  decisions: {decisions or 'none'}\n")
-    out.write(
-        f"  batch latency: p50 {report.batch_latency_p50 * 1e6:.0f}us, "
-        f"p99 {report.batch_latency_p99 * 1e6:.0f}us\n"
-    )
-    if (
-        report.worker_restarts
-        or report.retries
-        or report.degraded
-        or report.faults_injected
-        or report.dead_letter_total
-    ):
+    def render() -> None:
         out.write(
-            f"  resilience: {report.worker_restarts} restart(s), "
-            f"{report.retries} retried batch(es), "
-            f"{report.degraded} degraded, "
-            f"{report.faults_injected} fault(s) injected, "
-            f"{report.dead_letter_total} dead-lettered\n"
+            f"engine: {report.packets_processed}/{report.packets_offered} "
+            f"packets in {report.wall_seconds:.3f}s = "
+            f"{report.pkts_per_second:,.0f} pkts/s "
+            f"({args.backend}, {args.shards} shard(s))\n"
         )
-    rows = [
-        [
-            shard.shard_id,
-            shard.packets,
-            shard.batches,
-            f"{shard.utilization * 100:.1f}%",
-            ring.high_watermark,
-            ring.dropped,
-        ]
-        for shard, ring in zip(report.shards, report.rings)
-    ]
-    table = format_table(
-        ["shard", "packets", "batches", "util", "ring hwm", "drops"], rows
-    )
-    for line in table.splitlines():
-        out.write(f"  {line}\n")
-    if report.flow_cache is not None:
-        stats = report.flow_cache
-        cache_rows = [
-            ["hits", stats.hits],
-            ["misses", stats.misses],
-            ["bypasses", stats.bypasses],
-            ["evictions", stats.evictions],
-            ["invalidations", stats.invalidations],
-            ["size", stats.size],
-            ["capacity", stats.capacity],
-        ]
-        out.write("  flow cache:\n")
-        cache_table = format_table(["counter", "value"], cache_rows)
-        for line in cache_table.splitlines():
-            out.write(f"    {line}\n")
-        # JSON twin (written when REPRO_REPORT_DIR is configured).
-        Reporter(out=out).write_json(
-            "engine flow cache", ["counter", "value"], cache_rows
+        decisions = ", ".join(
+            f"{name} {count}"
+            for name, count in sorted(report.decisions.items())
         )
+        out.write(f"  decisions: {decisions or 'none'}\n")
+        out.write(
+            f"  batch latency: p50 {report.batch_latency_p50 * 1e6:.0f}us, "
+            f"p99 {report.batch_latency_p99 * 1e6:.0f}us\n"
+        )
+        if (
+            report.worker_restarts
+            or report.retries
+            or report.degraded
+            or report.faults_injected
+            or report.dead_letter_total
+        ):
+            out.write(
+                f"  resilience: {report.worker_restarts} restart(s), "
+                f"{report.retries} retried batch(es), "
+                f"{report.degraded} degraded, "
+                f"{report.faults_injected} fault(s) injected, "
+                f"{report.dead_letter_total} dead-lettered\n"
+            )
+        rows = [
+            [
+                shard.shard_id,
+                shard.packets,
+                shard.batches,
+                f"{shard.utilization * 100:.1f}%",
+                ring.high_watermark,
+                ring.dropped,
+            ]
+            for shard, ring in zip(report.shards, report.rings)
+        ]
+        table = format_table(
+            ["shard", "packets", "batches", "util", "ring hwm", "drops"], rows
+        )
+        for line in table.splitlines():
+            out.write(f"  {line}\n")
+        if report.flow_cache is not None:
+            stats = report.flow_cache
+            cache_rows = [
+                ["hits", stats.hits],
+                ["misses", stats.misses],
+                ["bypasses", stats.bypasses],
+                ["evictions", stats.evictions],
+                ["invalidations", stats.invalidations],
+                ["size", stats.size],
+                ["capacity", stats.capacity],
+            ]
+            out.write("  flow cache:\n")
+            cache_table = format_table(["counter", "value"], cache_rows)
+            for line in cache_table.splitlines():
+                out.write(f"    {line}\n")
+            # JSON twin (written when REPRO_REPORT_DIR is configured).
+            Reporter(out=out).write_json(
+                "engine flow cache", ["counter", "value"], cache_rows
+            )
+
+    emit_payload(args.json, report.to_dict, render, out=out)
     reporter = Reporter(out=out)
     if args.metrics_out:
         path = reporter.write_metrics(
@@ -354,9 +358,7 @@ def cmd_engine(args, out) -> int:
 
 def cmd_stats(args, out) -> int:
     """Run the engine with telemetry on and print the unified snapshot."""
-    import json
-
-    from repro.workloads.reporting import Reporter
+    from repro.workloads.reporting import Reporter, emit_payload
 
     built = _build_engine(args, out, telemetry=True)
     if built is None:
@@ -367,12 +369,18 @@ def cmd_stats(args, out) -> int:
     # counters, batch-latency histogram, processor and flow-cache
     # metrics), so its snapshot is the complete view.
     snapshot = engine.metrics.snapshot()
-    if args.json:
+
+    def payload():
         from repro.telemetry.export import snapshot_to_json
 
-        out.write(json.dumps(snapshot_to_json(snapshot), indent=2) + "\n")
-        return 0
-    Reporter(out=out).stats_table("engine telemetry", snapshot)
+        return snapshot_to_json(snapshot)
+
+    emit_payload(
+        args.json,
+        payload,
+        lambda: Reporter(out=out).stats_table("engine telemetry", snapshot),
+        out=out,
+    )
     return 0
 
 
@@ -383,7 +391,6 @@ def cmd_conformance(args, out) -> int:
     interpreter on every compared packet; 1 means divergences (the
     report, plus shrunk repros, goes to ``--json``).
     """
-    import json as json_module
     from pathlib import Path
 
     from repro.conformance import (
@@ -480,11 +487,11 @@ def cmd_conformance(args, out) -> int:
             f"{','.join(repro['executors'])}: "
             f"{' '.join(repro['wires'])}\n"
         )
-    if args.json:
-        Path(args.json).write_text(
-            json_module.dumps(report.to_dict(), indent=2) + "\n"
-        )
-        out.write(f"  report written to {args.json}\n")
+    from repro.workloads.reporting import emit_payload
+
+    written = emit_payload(args.json, report.to_dict, None, out=out)
+    if written:
+        out.write(f"  report written to {written}\n")
     return 0 if report.ok else 1
 
 
@@ -514,6 +521,158 @@ def cmd_serve(args, out) -> int:
     )
     summary = run_daemon(config, json_out=args.json, out=out)
     return 0 if summary["unaccounted"] == 0 else 1
+
+
+def cmd_topology(args, out) -> int:
+    """``repro topology``: internet-scale multi-AS graphs (DESIGN.md 3.13).
+
+    Default mode generates and materializes the graph (nodes, links,
+    tunnels, routes, host bootstrap) and prints a summary;
+    ``--describe`` prints per-AS detail from the pure plan; ``--sweep``
+    runs the staged adoption sweep with engine-backed routers and
+    writes the ``BENCH_topology.json`` artifact.
+    """
+    from repro.netsim.internet import InternetGenerator, NetworkSpec
+    from repro.workloads.reporting import emit_payload, format_table
+
+    try:
+        spec = NetworkSpec(
+            seed=args.seed,
+            transit=args.transit,
+            regional=args.regional,
+            stub=args.stub,
+            ix_count=args.ix,
+            adoption=args.adoption,
+            hosts_per_stub=args.hosts_per_stub,
+            multihome=args.multihome,
+        )
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    generator = InternetGenerator(spec)
+
+    if args.sweep:
+        import time
+
+        from repro.workloads.adoption import run_adoption_sweep, write_bench
+
+        try:
+            fractions = [
+                float(piece)
+                for piece in args.fractions.split(",")
+                if piece.strip()
+            ]
+        except ValueError:
+            out.write(f"error: bad --fractions {args.fractions!r}\n")
+            return 2
+        if not fractions:
+            out.write("error: --fractions is empty\n")
+            return 2
+        start = time.perf_counter()
+        result = run_adoption_sweep(
+            spec,
+            fractions=fractions,
+            flows=args.flows,
+            packets_per_flow=args.packets_per_flow,
+            min_forwarded=args.min_forwarded,
+        )
+        elapsed = time.perf_counter() - start
+        if args.out:
+            write_bench(args.out, result)
+
+        def render_sweep() -> None:
+            rows = [
+                [
+                    f"{point['fraction']:.2f}",
+                    point["dip_ases"],
+                    point["tunnels"],
+                    f"{point['flows_deliverable']}/{point['flows_total']}",
+                    f"{point['delivery_rate']:.4f}",
+                    f"{point['mean_header_bytes_per_hop']:.2f}",
+                    f"{point['header_overhead_vs_ipv4']:.3f}",
+                    point["packets_forwarded"],
+                ]
+                for point in result["points"]
+            ]
+            table = format_table(
+                [
+                    "adoption", "dip ASes", "tunnels", "flows",
+                    "delivery", "hdr B/hop", "vs IPv4", "forwarded",
+                ],
+                rows,
+            )
+            out.write(table + "\n")
+            totals = result["totals"]
+            rate = totals["packets_forwarded"] / elapsed if elapsed else 0.0
+            out.write(
+                f"sweep: {totals['packets_forwarded']:,} packets forwarded "
+                f"({totals['topup_rounds']} top-up round(s)) in "
+                f"{elapsed:.1f}s = {rate:,.0f} pkts/s\n"
+            )
+            if args.out:
+                out.write(f"  sweep written to {args.out}\n")
+
+        emit_payload(args.json, lambda: result, render_sweep, out=out)
+        return 0
+
+    if args.describe:
+        plan = generator.plan()
+
+        def describe_payload():
+            return {
+                "summary": plan.summary(),
+                "ases": plan.describe_rows(),
+                "ixps": [
+                    {"ix_id": ix.ix_id, "members": list(ix.members)}
+                    for ix in plan.ixps
+                ],
+                "tunnels": [
+                    {"spoke": t.spoke, "hub": t.hub, "via": list(t.via)}
+                    for t in plan.tunnels
+                ],
+            }
+
+        def render_describe() -> None:
+            rows = [
+                [
+                    row["as_id"], row["role"], row["mode"], row["profile"],
+                    row["degree"], row["hosts"], row["prefix"],
+                ]
+                for row in plan.describe_rows()
+            ]
+            table = format_table(
+                ["AS", "role", "mode", "profile", "degree", "hosts",
+                 "prefix"],
+                rows,
+            )
+            out.write(table + "\n")
+            for ix in plan.ixps:
+                out.write(
+                    f"{ix.name}: {len(ix.members)} members "
+                    f"({', '.join(f'AS{m}' for m in ix.members[:8])}"
+                    f"{', ...' if len(ix.members) > 8 else ''})\n"
+                )
+            for tunnel in plan.tunnels:
+                out.write(
+                    f"tunnel AS{tunnel.spoke} -> AS{tunnel.hub} via "
+                    f"{len(tunnel.via)} legacy AS(es)\n"
+                )
+            out.write(f"fingerprint: {plan.fingerprint()}\n")
+
+        emit_payload(args.json, describe_payload, render_describe, out=out)
+        return 0
+
+    internet = generator.build()
+    bootstrapped = internet.bootstrap_hosts()
+    summary = internet.summary()
+    summary["hosts_bootstrapped"] = bootstrapped
+
+    def render_generate() -> None:
+        rows = [[key, summary[key]] for key in summary]
+        out.write(format_table(["property", "value"], rows) + "\n")
+
+    emit_payload(args.json, lambda: summary, render_generate, out=out)
+    return 0
 
 
 def _print_keys(out) -> int:
@@ -618,6 +777,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         metavar="PATH",
         help="write stage spans as JSONL (enables telemetry)",
     )
+    engine.add_argument(
+        "--json",
+        action="store_true",
+        help="print the engine report as JSON instead of text",
+    )
     stats = sub.add_parser(
         "stats",
         help="run the engine with telemetry on; print the metrics snapshot",
@@ -706,6 +870,74 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         help="print the final conservation ledger as JSON",
     )
 
+    topology = sub.add_parser(
+        "topology",
+        help="generate internet-scale multi-AS graphs and run "
+        "partial-adoption sweeps (generate / --describe / --sweep)",
+    )
+    topology.add_argument("--seed", type=int, default=0)
+    topology.add_argument(
+        "--transit", type=int, default=4, help="tier-1 transit ASes"
+    )
+    topology.add_argument(
+        "--regional", type=int, default=24, help="mid-tier provider ASes"
+    )
+    topology.add_argument(
+        "--stub", type=int, default=180, help="edge ASes with hosts"
+    )
+    topology.add_argument(
+        "--ix", type=int, default=3, help="internet exchange points"
+    )
+    topology.add_argument(
+        "--adoption",
+        type=float,
+        default=0.5,
+        help="DIP adoption fraction for generate/describe "
+        "(--sweep uses --fractions instead)",
+    )
+    topology.add_argument("--hosts-per-stub", type=int, default=2)
+    topology.add_argument(
+        "--multihome", type=int, default=2, help="providers per stub AS"
+    )
+    mode = topology.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--describe",
+        action="store_true",
+        help="print per-AS detail, IXPs and planned tunnels",
+    )
+    mode.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the staged adoption sweep with engine-backed routers",
+    )
+    topology.add_argument(
+        "--fractions",
+        default="0.05,0.1,0.2,0.3,0.4,0.5,0.65,0.8",
+        help="comma-separated adoption fractions for --sweep",
+    )
+    topology.add_argument(
+        "--flows", type=int, default=192, help="stub-to-stub flows per point"
+    )
+    topology.add_argument("--packets-per-flow", type=int, default=800)
+    topology.add_argument(
+        "--min-forwarded",
+        type=int,
+        default=1_000_000,
+        help="top the sweep up until engines forwarded this many packets "
+        "(0 disables)",
+    )
+    topology.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_topology.json",
+        help="sweep artifact path ('' disables writing)",
+    )
+    topology.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary/detail/sweep payload as JSON",
+    )
+
     conformance = sub.add_parser(
         "conformance",
         help="differential conformance: reference interpreter vs every "
@@ -782,6 +1014,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_stats(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
+    if args.command == "topology":
+        return cmd_topology(args, out)
     if args.command == "conformance":
         return cmd_conformance(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

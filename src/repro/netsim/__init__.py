@@ -6,8 +6,20 @@ bandwidth, FN bootstrap (Section 2.3), tunneling across DIP-agnostic
 domains and FN-unsupported signalling (Section 2.4).
 """
 
-from repro.netsim.bootstrap import CapabilityMap, bootstrap_host
+from repro.netsim.bootstrap import (
+    CapabilityMap,
+    bootstrap_host,
+    bootstrap_host_async,
+)
 from repro.netsim.engine import Engine
+from repro.netsim.internet import (
+    AutonomousSystem,
+    Internet,
+    InternetExchange,
+    InternetGenerator,
+    InternetPlan,
+    NetworkSpec,
+)
 from repro.netsim.links import Link
 from repro.netsim.messages import Frame
 from repro.netsim.nodes import (
@@ -33,4 +45,11 @@ __all__ = [
     "TraceRecorder",
     "CapabilityMap",
     "bootstrap_host",
+    "bootstrap_host_async",
+    "AutonomousSystem",
+    "InternetExchange",
+    "NetworkSpec",
+    "InternetGenerator",
+    "InternetPlan",
+    "Internet",
 ]

@@ -13,8 +13,9 @@ heterogeneous-configuration rules).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.netsim.nodes import DipRouterNode, HostNode
 
@@ -60,25 +61,65 @@ def bootstrap_host_async(host: HostNode, port: int = 0) -> None:
 
 
 class CapabilityMap:
-    """Global AS -> supported-FN-set view (BGP-community style)."""
+    """Global AS -> supported-FN-set view (BGP-community style).
+
+    Routers are *members* of an AS: :meth:`advertise_router` records
+    both the AS's capability set and the router's membership, so path
+    queries (:meth:`supported_on_path`, :meth:`missing_on_path`) accept
+    AS-level paths, router-level paths, or a mix — router ids resolve
+    to their AS before lookup.
+    """
 
     def __init__(self) -> None:
         self._capabilities: Dict[str, Set[int]] = {}
+        self._membership: Dict[str, str] = {}  # node_id -> as_id
 
     def advertise(self, as_id: str, keys: Iterable[int]) -> None:
         """An AS announces (or updates) its supported FN set."""
         self._capabilities[as_id] = set(keys)
 
-    def advertise_router(self, router: DipRouterNode) -> None:
-        """Advertise a router's registry as its AS's capability set."""
-        self.advertise(router.node_id, router.processor.registry.supported_keys())
+    def advertise_router(
+        self, router: DipRouterNode, as_id: Optional[str] = None
+    ) -> None:
+        """Advertise a router's registry as its AS's capability set.
 
-    def capabilities_of(self, as_id: str) -> Set[int]:
-        """One AS's advertised set (empty when unknown)."""
+        ``as_id`` names the AS the router belongs to.  Omitting it
+        falls back to the historical behavior of using the router id as
+        the AS id — deprecated, because it conflates the two namespaces
+        and breaks AS-level path queries on multi-router ASes.
+        """
+        if as_id is None:
+            warnings.warn(
+                "advertise_router() without as_id= conflates router id "
+                "with AS id; pass the AS explicitly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            as_id = router.node_id
+        self.add_member(router.node_id, as_id)
+        self.advertise(as_id, router.processor.registry.supported_keys())
+
+    def add_member(self, node_id: str, as_id: str) -> None:
+        """Record that ``node_id`` (router or host) belongs to ``as_id``."""
+        self._membership[node_id] = as_id
+
+    def as_of(self, node_or_as_id: str) -> str:
+        """Resolve a node id to its AS id (identity for AS ids)."""
+        return self._membership.get(node_or_as_id, node_or_as_id)
+
+    def capabilities_of(self, node_or_as_id: str) -> Set[int]:
+        """An AS's advertised set (empty when unknown).
+
+        Accepts either an AS id or a member node's id.
+        """
+        as_id = self.as_of(node_or_as_id)
         return set(self._capabilities.get(as_id, set()))
 
     def supported_on_path(self, path: Sequence[str]) -> Set[int]:
-        """FN keys every AS along ``path`` supports (intersection)."""
+        """FN keys every AS along ``path`` supports (intersection).
+
+        ``path`` entries may be AS ids or member node ids.
+        """
         sets = [self.capabilities_of(as_id) for as_id in path]
         if not sets:
             return set()
@@ -92,7 +133,8 @@ class CapabilityMap:
     ) -> List[Tuple[str, int]]:
         """``(as_id, key)`` pairs a construction would trip over."""
         missing = []
-        for as_id in path:
+        for entry in path:
+            as_id = self.as_of(entry)
             supported = self.capabilities_of(as_id)
             for key in keys:
                 if key not in supported:

@@ -84,6 +84,17 @@ class Link:
                 return node, port
         raise SimulationError(f"link has no peer for {node_id}")
 
+    def port_of(self, node_id: str) -> int:
+        """The port this link occupies on ``node_id``'s side.
+
+        Lets callers of auto-port :meth:`Topology.connect` recover the
+        allocated port (e.g. to install a FIB route toward it).
+        """
+        try:
+            return self._ends[node_id][1]
+        except KeyError:
+            raise SimulationError(f"link has no end at {node_id}") from None
+
     def transmit(self, sender_id: str, frame: Frame) -> bool:
         """Send a frame from ``sender_id`` toward the peer.
 

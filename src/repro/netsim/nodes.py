@@ -59,6 +59,18 @@ class Node:
         self.ports[port] = link
         link.attach(self, port)
 
+    def allocate_port(self) -> int:
+        """The smallest port number not yet wired.
+
+        Generated topologies (:mod:`repro.netsim.internet`) never
+        hand-number ports; :meth:`Topology.connect` calls this when a
+        port argument is omitted.
+        """
+        port = 0
+        while port in self.ports:
+            port += 1
+        return port
+
     def send(self, port: int, frame: Frame) -> bool:
         """Transmit a frame out of ``port``."""
         link = self.ports.get(port)

@@ -6,7 +6,7 @@ questions (paths, degrees) about the network they built.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import networkx as nx
 
@@ -60,26 +60,83 @@ class Topology:
         """All registered nodes."""
         return list(self._nodes.values())
 
+    def _resolve(self, endpoint: Union[str, Node]) -> Node:
+        """Turn an id or a Node object into a registered node.
+
+        Node objects not yet registered are added on the spot, so
+        generated topologies can build and wire in one pass.
+        """
+        if isinstance(endpoint, Node):
+            registered = self._nodes.get(endpoint.node_id)
+            if registered is None:
+                return self.add(endpoint)
+            if registered is not endpoint:
+                raise SimulationError(
+                    f"node id {endpoint.node_id!r} is registered to a "
+                    "different object"
+                )
+            return endpoint
+        if isinstance(endpoint, str):
+            return self.node(endpoint)
+        raise SimulationError(f"not a node or node id: {endpoint!r}")
+
     def connect(
         self,
-        a_id: str,
-        a_port: int,
-        b_id: str,
-        b_port: int,
+        a: Union[str, Node],
+        a_port: Optional[Union[int, str, Node]] = None,
+        b: Optional[Union[str, Node]] = None,
+        b_port: Optional[int] = None,
         delay: float = 0.001,
         bandwidth: float = 0.0,
         queue_capacity: int = 0,
     ) -> Link:
-        """Create a link between two node ports."""
+        """Create a link between two nodes.
+
+        Endpoints may be node ids or :class:`Node` objects (unregistered
+        objects are added automatically).  Ports are optional: an
+        omitted port is auto-allocated via :meth:`Node.allocate_port`,
+        so all of these are equivalent ways to wire ``a`` to ``b``:
+
+        - ``connect("a", 0, "b", 1)`` (the original positional form)
+        - ``connect(a_node, b_node)``
+        - ``connect("a", "b")``
+        - ``connect(a_node, 0, b_node)`` (pin only one side)
+
+        Because ports are ints and endpoints are ids/objects, the
+        two-endpoint form is recognized positionally: a str/Node in the
+        ``a_port`` slot is treated as the ``b`` endpoint.
+        """
+        if isinstance(a_port, (str, Node)):
+            if b is not None and b_port is not None:
+                raise SimulationError("connect(): too many endpoints")
+            # connect(a, b[, b_port]): shift the arguments over.
+            a_port, b, b_port = None, a_port, b
+        if b is None:
+            raise SimulationError("connect() needs two endpoints")
+        for port in (a_port, b_port):
+            if port is not None and not isinstance(port, int):
+                raise SimulationError(f"not a port number: {port!r}")
+        node_a = self._resolve(a)
+        node_b = self._resolve(b)
+        if node_a is node_b:
+            raise SimulationError(
+                f"cannot connect {node_a.node_id!r} to itself"
+            )
+        if a_port is None:
+            a_port = node_a.allocate_port()
+        if b_port is None:
+            b_port = node_b.allocate_port()
         link = Link(
             self.engine,
             delay=delay,
             bandwidth=bandwidth,
             queue_capacity=queue_capacity,
         )
-        self.node(a_id).attach_link(a_port, link)
-        self.node(b_id).attach_link(b_port, link)
-        self.graph.add_edge(a_id, b_id, delay=delay, bandwidth=bandwidth)
+        node_a.attach_link(a_port, link)
+        node_b.attach_link(b_port, link)
+        self.graph.add_edge(
+            node_a.node_id, node_b.node_id, delay=delay, bandwidth=bandwidth
+        )
         return link
 
     # ------------------------------------------------------------------

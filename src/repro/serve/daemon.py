@@ -282,12 +282,13 @@ def run_daemon(
     """Blocking entry point behind ``repro serve``."""
     import sys
 
+    from repro.workloads.reporting import emit_payload
+
     out = out if out is not None else sys.stdout
     daemon = ServingDaemon(config)
     summary = asyncio.run(daemon.serve())
-    if json_out:
-        print(json.dumps(summary, indent=2, sort_keys=True), file=out)
-    else:
+
+    def render() -> None:
         print(
             f"serve: offered={summary['offered']} "
             f"processed={summary['processed']} "
@@ -299,6 +300,8 @@ def run_daemon(
             f"({summary['stop_reason']})",
             file=out,
         )
+
+    emit_payload(json_out, lambda: summary, render, out=out, sort_keys=True)
     return summary
 
 

@@ -1,0 +1,277 @@
+"""Adoption-sweep workload: delivery and header cost vs DIP deployment.
+
+Drives the Section 2.4 incremental-deployment story at scale: one
+seeded internet (:mod:`repro.netsim.internet`), swept across adoption
+fractions.  Because the generator's adoption order is *staged* (the DIP
+set at a higher fraction is a superset of the set at a lower one), the
+sweep reads as one internet deploying DIP AS by AS — the graph, the
+flows and the capability profiles never change, only who has adopted.
+
+Packets really flow: every AS hop of every deliverable flow is executed
+by a :class:`~repro.engine.ForwardingEngine` whose registry comes from
+that AS's capability profile (``registry_factory``, the PR-4
+heterogeneous-node plumbing), one shared engine per profile with a flow
+cache in front.  Delivery is decided by DIP overlay reachability
+(legacy endpoints and partitioned DIP islands fail); header cost counts
+the DIP-32 basic header per AS hop plus the outer IPv4 header for every
+legacy hop a tunnel hides.
+
+The sweep result is deliberately free of wall-clock data so
+``BENCH_topology.json`` regenerates byte-identically from the same
+spec; throughput belongs on stdout, not in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.state import NodeState
+from repro.engine import EngineConfig, ForwardingEngine
+from repro.netsim.internet import (
+    InternetGenerator,
+    NetworkSpec,
+    ProfileRegistryFactory,
+    PROFILES,
+)
+from repro.protocols.ip.ipv4 import IPV4_HEADER_SIZE
+from repro.realize.ip import build_ipv4_packet
+
+#: 5% -> 80%, the ISSUE's incremental-deployment range.
+DEFAULT_FRACTIONS: Tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8,
+)
+
+#: DIP-32 basic header + two FN definitions + two 32-bit locations.
+DIP32_HEADER_BYTES = len(build_ipv4_packet(1, 2).header.encode())
+
+#: A tunneled legacy hop carries the DIP header plus the outer IPv4.
+TUNNEL_HOP_HEADER_BYTES = DIP32_HEADER_BYTES + IPV4_HEADER_SIZE
+
+
+def adoption_state_factory() -> NodeState:
+    """Per-shard transit-hop state: a default route forwards everything.
+
+    Module-level (picklable) so the sweep can also run on the process
+    backend.  Survival at each hop is then decided by the AS's FN
+    capability set, not by FIB contents — the sweep models AS-level
+    reachability, which the overlay path already resolved.
+    """
+    state = NodeState(node_id="adoption-sweep")
+    state.fib_v4.insert(0, 0, 0)
+    return state
+
+
+def _profile_engines(
+    profiles: Sequence[str], batch_size: int
+) -> Dict[str, ForwardingEngine]:
+    """One serial engine per capability profile, flow cache in front."""
+    config = EngineConfig(
+        num_shards=1,
+        backend="serial",
+        batch_size=batch_size,
+        flow_cache=True,
+        shm=False,
+    )
+    return {
+        profile: ForwardingEngine(
+            adoption_state_factory,
+            config=config,
+            registry_factory=ProfileRegistryFactory(profile),
+        )
+        for profile in profiles
+    }
+
+
+def _sample_flows(
+    spec: NetworkSpec, count: int
+) -> List[Tuple[int, int]]:
+    """Seeded (src_stub, dst_stub) pairs, fixed across all fractions."""
+    stubs = InternetGenerator(spec).plan().stub_asns
+    if len(stubs) < 2:
+        return []
+    rng = random.Random(f"dip-sweep-{spec.seed}")
+    flows = []
+    for _ in range(count):
+        src, dst = rng.sample(stubs, 2)
+        flows.append((src, dst))
+    return flows
+
+
+def _flow_batch(
+    src_asn: int, dst_asn: int, packets: int, variants: int
+) -> List[bytes]:
+    """Encoded DIP-32 packets for one flow.
+
+    A few source-address variants per flow so the flow cache sees
+    realistic reuse (hot hits after one miss per variant).
+    """
+    dst_addr = (dst_asn << 16) | 1
+    variants = max(1, min(variants, packets))
+    encoded = [
+        build_ipv4_packet(dst_addr, (src_asn << 16) | (variant + 1)).encode()
+        for variant in range(variants)
+    ]
+    return [encoded[i % variants] for i in range(packets)]
+
+
+def run_adoption_sweep(
+    spec: NetworkSpec,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    flows: int = 192,
+    packets_per_flow: int = 800,
+    src_variants: int = 8,
+    min_forwarded: int = 0,
+    batch_size: int = 256,
+) -> Dict[str, object]:
+    """Sweep DIP adoption over one seeded internet.
+
+    Returns a deterministic result dict (same spec -> same bytes when
+    JSON-encoded with sorted keys): per-fraction delivery rate, header
+    cost, tunnel usage and engine-forwarded packet counts, plus totals.
+
+    ``min_forwarded`` tops the sweep up (replaying the highest
+    fraction's deliverable flows) until the engines have forwarded at
+    least that many packets — deterministic, because the top-up rounds
+    depend only on the deterministic per-round counts.
+    """
+    fractions = sorted(set(float(f) for f in fractions))
+    if not fractions:
+        raise ValueError("need at least one adoption fraction")
+    engines = _profile_engines(sorted(PROFILES), batch_size)
+    flow_pairs = _sample_flows(spec, flows)
+    batches = {
+        pair: _flow_batch(pair[0], pair[1], packets_per_flow, src_variants)
+        for pair in flow_pairs
+    }
+
+    def run_flows(plan, collect: Optional[Dict[str, float]]) -> int:
+        """Push every deliverable flow through its AS-path engines.
+
+        Returns packets forwarded; per-point stats accumulate into
+        ``collect`` when given (top-up rounds pass None).
+        """
+        forwarded = 0
+        for pair in flow_pairs:
+            src, dst = pair
+            source, sink = plan.by_asn[src], plan.by_asn[dst]
+            path = None
+            if source.dip and sink.dip:
+                path = plan.overlay_path(src, dst)
+            if collect is not None:
+                collect["flows_total"] += 1
+                collect["packets_offered"] += packets_per_flow
+            if path is None:
+                continue
+            dip_hops, legacy_hops = plan.path_hop_breakdown(path)
+            surviving = batches[pair]
+            for asn in path:
+                if not surviving:
+                    break
+                report = engines[plan.by_asn[asn].profile].run(surviving)
+                alive = report.decisions.get("forward", 0)
+                forwarded += alive
+                if alive < len(surviving):
+                    surviving = surviving[:alive]
+            if collect is not None:
+                delivered = len(surviving)
+                collect["flows_deliverable"] += 1
+                collect["packets_delivered"] += delivered
+                collect["dip_hops"] += dip_hops
+                collect["legacy_hops"] += legacy_hops
+                collect["header_bytes"] += packets_per_flow * (
+                    dip_hops * DIP32_HEADER_BYTES
+                    + legacy_hops * TUNNEL_HOP_HEADER_BYTES
+                )
+                collect["packet_hops"] += packets_per_flow * (
+                    dip_hops + legacy_hops
+                )
+        return forwarded
+
+    points: List[Dict[str, object]] = []
+    total_forwarded = 0
+    last_plan = None
+    for fraction in fractions:
+        plan = InternetGenerator(replace(spec, adoption=fraction)).plan()
+        last_plan = plan
+        stats: Dict[str, float] = {
+            key: 0
+            for key in (
+                "flows_total", "flows_deliverable", "packets_offered",
+                "packets_delivered", "dip_hops", "legacy_hops",
+                "header_bytes", "packet_hops",
+            )
+        }
+        forwarded = run_flows(plan, stats)
+        total_forwarded += forwarded
+        offered = int(stats["packets_offered"])
+        packet_hops = int(stats["packet_hops"])
+        mean_header = (
+            stats["header_bytes"] / packet_hops if packet_hops else 0.0
+        )
+        points.append({
+            "fraction": round(fraction, 4),
+            "dip_ases": len(plan.dip_asns),
+            "tunnels": len(plan.tunnels),
+            "flows_total": int(stats["flows_total"]),
+            "flows_deliverable": int(stats["flows_deliverable"]),
+            "packets_offered": offered,
+            "packets_delivered": int(stats["packets_delivered"]),
+            "packets_forwarded": forwarded,
+            "delivery_rate": round(
+                stats["packets_delivered"] / offered if offered else 0.0, 6
+            ),
+            "dip_hops": int(stats["dip_hops"]),
+            "legacy_hops": int(stats["legacy_hops"]),
+            "mean_header_bytes_per_hop": round(mean_header, 4),
+            "header_overhead_vs_ipv4": round(
+                mean_header / IPV4_HEADER_SIZE if packet_hops else 0.0, 4
+            ),
+        })
+
+    topup_rounds = 0
+    while total_forwarded < min_forwarded:
+        extra = run_flows(last_plan, None)
+        if extra == 0:
+            break  # nothing deliverable: a floor can never be met
+        total_forwarded += extra
+        topup_rounds += 1
+
+    return {
+        "spec": spec.to_dict(),
+        "fingerprint": last_plan.fingerprint() if last_plan else "",
+        "fractions": [round(f, 4) for f in fractions],
+        "flows": flows,
+        "packets_per_flow": packets_per_flow,
+        "profiles": {
+            name: sorted(int(key) for key in keys)
+            for name, keys in PROFILES.items()
+        },
+        "points": points,
+        "totals": {
+            "packets_offered": sum(p["packets_offered"] for p in points),
+            "packets_delivered": sum(p["packets_delivered"] for p in points),
+            "packets_forwarded": total_forwarded,
+            "topup_rounds": topup_rounds,
+        },
+    }
+
+
+def write_bench(path, result: Dict[str, object]) -> None:
+    """Write the sweep artifact (sorted keys: same spec, same bytes)."""
+    Path(path).write_text(
+        json.dumps(result, sort_keys=True, indent=2) + "\n"
+    )
+
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "DIP32_HEADER_BYTES",
+    "TUNNEL_HOP_HEADER_BYTES",
+    "adoption_state_factory",
+    "run_adoption_sweep",
+    "write_bench",
+]

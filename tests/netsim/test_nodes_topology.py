@@ -213,5 +213,19 @@ class TestBootstrap:
     def test_advertise_router(self):
         topo, _consumer, router, _producer = line_topology()
         cap = CapabilityMap()
-        cap.advertise_router(router)
+        cap.advertise_router(router, as_id="AS64496")
+        assert OperationKey.MAC in cap.capabilities_of("AS64496")
+        # Member node ids resolve to their AS for every path query.
+        assert cap.as_of("router") == "AS64496"
+        assert cap.capabilities_of("router") == cap.capabilities_of("AS64496")
+        assert cap.supported_on_path(["router"]) == cap.capabilities_of(
+            "AS64496"
+        )
+
+    def test_advertise_router_without_as_id_deprecated(self):
+        topo, _consumer, router, _producer = line_topology()
+        cap = CapabilityMap()
+        with pytest.warns(DeprecationWarning):
+            cap.advertise_router(router)
+        # The historical fallback still works: router id doubles as AS id.
         assert OperationKey.MAC in cap.capabilities_of("router")

@@ -1,0 +1,103 @@
+"""The redesigned Topology.connect: Node endpoints and auto ports."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import DipRouterNode, HostNode, Topology
+
+
+def two_nodes():
+    topo = Topology()
+    a = DipRouterNode("a", topo.engine, topo.trace)
+    b = DipRouterNode("b", topo.engine, topo.trace)
+    return topo, a, b
+
+
+class TestConnectForms:
+    def test_legacy_positional_form(self):
+        topo, a, b = two_nodes()
+        topo.add(a)
+        topo.add(b)
+        link = topo.connect("a", 0, "b", 1)
+        assert a.ports[0] is link
+        assert b.ports[1] is link
+        assert topo.graph.has_edge("a", "b")
+
+    def test_node_objects_with_auto_ports(self):
+        topo, a, b = two_nodes()
+        link = topo.connect(a, b)  # neither registered: auto-added
+        assert topo.node("a") is a
+        assert a.ports[0] is link and b.ports[0] is link
+        assert link.port_of("a") == 0 and link.port_of("b") == 0
+
+    def test_ids_with_auto_ports(self):
+        topo, a, b = two_nodes()
+        topo.add(a)
+        topo.add(b)
+        first = topo.connect("a", "b")
+        second = topo.connect("a", "b")  # parallel link, next free ports
+        assert a.ports[0] is first and a.ports[1] is second
+        assert first.port_of("a") == 0 and second.port_of("a") == 1
+
+    def test_pin_one_side(self):
+        topo, a, b = two_nodes()
+        link = topo.connect(a, 5, b)
+        assert a.ports[5] is link
+        assert b.ports[0] is link
+        # connect(a, b, b_port) pins the other side.
+        other = topo.connect(a, b, 9)
+        assert other.port_of("a") == 0 and other.port_of("b") == 9
+
+    def test_auto_port_skips_wired_ports(self):
+        topo, a, b = two_nodes()
+        c = HostNode("c", topo.engine, topo.trace)
+        topo.connect(a, 0, b)
+        topo.connect(a, 2, c)
+        link = topo.connect(a, b)
+        assert link.port_of("a") == 1  # smallest unused
+        assert a.allocate_port() == 3
+
+    def test_mixed_endpoint_kinds(self):
+        topo, a, b = two_nodes()
+        topo.add(a)
+        link = topo.connect("a", b)
+        assert link.port_of("a") == 0 and link.port_of("b") == 0
+
+
+class TestConnectErrors:
+    def test_self_loop_rejected(self):
+        topo, a, _b = two_nodes()
+        with pytest.raises(SimulationError):
+            topo.connect(a, a)
+
+    def test_unknown_id_rejected(self):
+        topo, a, _b = two_nodes()
+        topo.add(a)
+        with pytest.raises(SimulationError):
+            topo.connect("a", "ghost")
+
+    def test_missing_second_endpoint(self):
+        topo, a, _b = two_nodes()
+        with pytest.raises(SimulationError):
+            topo.connect(a)
+
+    def test_conflicting_node_object(self):
+        topo, a, _b = two_nodes()
+        topo.add(a)
+        impostor = DipRouterNode("a", topo.engine, topo.trace)
+        other = DipRouterNode("x", topo.engine, topo.trace)
+        with pytest.raises(SimulationError):
+            topo.connect(impostor, other)
+
+    def test_bad_port_type(self):
+        topo, a, b = two_nodes()
+        c = HostNode("c", topo.engine, topo.trace)
+        with pytest.raises(SimulationError):
+            topo.connect(a, b, c)  # three endpoints, no ports
+
+    def test_busy_port_still_rejected(self):
+        topo, a, b = two_nodes()
+        topo.connect(a, 0, b, 0)
+        c = HostNode("c", topo.engine, topo.trace)
+        with pytest.raises(SimulationError):
+            topo.connect(a, 0, c, 0)
