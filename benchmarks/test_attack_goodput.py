@@ -1,0 +1,159 @@
+"""ATTACK: goodput under adversarial load, mitigated vs not.
+
+The paper's §5 defenses (processing limits, ``F_pass``) are unit-tested
+elsewhere; this benchmark *load*-tests them (DESIGN.md 3.14): seeded
+attack blends -- content poisoning, limit-exhaustion chains, spoofed
+high-entropy flows -- swept over attack fraction, through two arms:
+
+- **engine arm**: the sharded engine end to end; legit goodput must
+  hold at 1.0 (the walk refuses every attack packet), and the
+  mitigation gate must shift refusals from in-walk drops to pre-ring
+  quarantines;
+- **serve arm**: the serving core's capacity model (fixed legit load,
+  one flush per round); unmitigated, the flood crowds legit arrivals
+  out of the admission bound, and the mitigated goodput curve must sit
+  measurably above the unmitigated one from 30% attack fraction up.
+
+Hard gates: at least one million packets offered across the sweep, and
+``BENCH_attack.json`` must regenerate byte-identically from the same
+seed (logical clocks only -- no wall time in the artifact).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.adoption import write_bench
+from repro.workloads.attack import DEFAULT_FRACTIONS, run_attack_sweep
+from repro.workloads.reporting import Reporter
+
+REPORTER = Reporter()
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_attack.json"
+
+# Mirrors `repro attack --packets 100000 --out BENCH_attack.json` (the
+# committed artifact is produced by that invocation).
+PACKETS_PER_POINT = 100_000
+SERVE_ROUNDS = 30
+SEED = 0
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_attack_sweep(
+        packets_per_point=PACKETS_PER_POINT,
+        serve_rounds=SERVE_ROUNDS,
+        seed=SEED,
+    )
+
+
+def test_sweep_offers_a_million_packets(sweep_result):
+    assert list(sweep_result["fractions"]) == list(DEFAULT_FRACTIONS)
+    assert len(sweep_result["fractions"]) >= 5
+    assert sweep_result["total_packets"] >= 1_000_000
+    rows = [
+        [
+            f"{unmit['fraction']:.0%}",
+            f"{unmit['goodput']:.4f}",
+            f"{mit['goodput']:.4f}",
+            f"{mit['quarantine_rate']:.3f}",
+            f"{mit['rate_limited'] + mit['quarantined']:,}",
+            f"{unmit['legit_offered'] + unmit['attack_offered']:,}",
+        ]
+        for unmit, mit in zip(
+            sweep_result["engine"]["unmitigated"],
+            sweep_result["engine"]["mitigated"],
+        )
+    ]
+    REPORTER.table(
+        "ATTACK: engine-arm legit goodput and gate refusals",
+        ["attack", "goodput", "mitigated", "q-rate", "refused", "offered"],
+        rows,
+    )
+
+
+def test_engine_arm_conserves_and_holds_goodput(sweep_result):
+    for arm in ("unmitigated", "mitigated"):
+        for point in sweep_result["engine"][arm]:
+            assert point["unaccounted"] == 0, (arm, point["fraction"])
+            assert point["lost"] == 0
+            # The walk (and, mitigated, the gate) refuses every attack
+            # packet without costing legit traffic anything.
+            assert point["goodput"] == 1.0, (arm, point["fraction"])
+    # The gate moves poison refusals in front of the rings.
+    for point in sweep_result["engine"]["mitigated"]:
+        if point["fraction"] >= 0.3:
+            assert point["attack_quarantined_gate"] > 0
+            assert point["quarantine_rate"] > 0.25
+
+
+def test_serve_arm_mitigation_lifts_goodput(sweep_result):
+    serve = sweep_result["serve"]
+    rows = []
+    for unmit, mit in zip(serve["unmitigated"], serve["mitigated"]):
+        assert unmit["unaccounted"] == 0
+        assert mit["unaccounted"] == 0
+        rows.append(
+            [
+                f"{unmit['fraction']:.0%}",
+                f"{unmit['goodput']:.4f}",
+                f"{mit['goodput']:.4f}",
+                f"{unmit['packets_shed']:,}",
+                f"{mit['packets_shed']:,}",
+                f"{mit['quarantined']:,}",
+            ]
+        )
+        if unmit["fraction"] == 0.0:
+            # Headroom: clean traffic is never shed or refused, gated
+            # or not -- mitigation must cost nothing when idle.
+            assert unmit["goodput"] == 1.0
+            assert mit["goodput"] == 1.0
+            assert mit["rate_limited"] == 0
+            assert mit["quarantined"] == 0
+        if unmit["fraction"] >= 0.3:
+            # The acceptance gate: measurably higher goodput with the
+            # gate on, at every congested fraction.
+            assert mit["goodput"] > unmit["goodput"] + 0.01, (
+                unmit["fraction"]
+            )
+    REPORTER.table(
+        "ATTACK: serve-arm goodput under flood (capacity model)",
+        ["attack", "goodput", "mitigated", "shed", "mit shed",
+         "quarantined"],
+        rows,
+    )
+
+
+def test_artifact_is_deterministic(sweep_result, tmp_path):
+    path = tmp_path / "bench.json"
+    write_bench(str(path), sweep_result)
+    assert json.loads(path.read_text()) == sweep_result
+    # Regenerate the cheapest attack-bearing slice and compare
+    # verbatim: logical clocks make the point reproducible bit for bit.
+    again = run_attack_sweep(
+        fractions=(sweep_result["fractions"][1],),
+        packets_per_point=PACKETS_PER_POINT,
+        serve_rounds=SERVE_ROUNDS,
+        seed=SEED,
+    )
+    assert (
+        again["engine"]["unmitigated"][0]
+        == sweep_result["engine"]["unmitigated"][1]
+    )
+    assert (
+        again["serve"]["mitigated"][0]
+        == sweep_result["serve"]["mitigated"][1]
+    )
+
+
+def test_committed_ledger_matches_sweep(sweep_result):
+    """BENCH_attack.json at the repo root is the committed artifact; it
+    must be exactly what this sweep regenerates."""
+    if not BENCH_JSON.exists():
+        pytest.skip("ledger not committed yet")
+    committed = BENCH_JSON.read_text()
+    expected = json.dumps(sweep_result, indent=2, sort_keys=True) + "\n"
+    assert committed == expected

@@ -495,6 +495,102 @@ def cmd_conformance(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_attack(args, out) -> int:
+    """``repro attack``: goodput-under-attack A/B sweep (DESIGN.md 3.14)."""
+    from repro.workloads.adoption import write_bench
+    from repro.workloads.attack import DEFAULT_FRACTIONS, run_attack_sweep
+    from repro.workloads.reporting import emit_payload, format_table
+
+    if args.fractions:
+        try:
+            fractions = [
+                float(piece)
+                for piece in args.fractions.split(",")
+                if piece.strip()
+            ]
+        except ValueError:
+            out.write(f"error: bad --fractions {args.fractions!r}\n")
+            return 2
+        if not fractions:
+            out.write("error: --fractions is empty\n")
+            return 2
+        if any(not 0.0 <= f < 1.0 for f in fractions):
+            out.write("error: fractions must be in [0, 1)\n")
+            return 2
+    else:
+        fractions = list(DEFAULT_FRACTIONS)
+
+    result = run_attack_sweep(
+        fractions=fractions,
+        packets_per_point=args.packets,
+        seed=args.seed,
+        serve_rounds=args.serve_rounds,
+        legit_per_round=args.legit_per_round,
+        include_serve=not args.no_serve,
+        shards=args.shards,
+        backend=args.backend,
+    )
+    if args.out:
+        write_bench(args.out, result)
+
+    def render() -> None:
+        engine = result["engine"]
+        rows = [
+            [
+                f"{unmit['fraction']:.2f}",
+                f"{unmit['goodput']:.4f}",
+                f"{mit['goodput']:.4f}",
+                f"{mit['quarantine_rate']:.3f}",
+                mit["rate_limited"] + mit["quarantined"],
+                unmit["unaccounted"] + mit["unaccounted"],
+            ]
+            for unmit, mit in zip(engine["unmitigated"], engine["mitigated"])
+        ]
+        out.write("engine arm:\n")
+        out.write(
+            format_table(
+                ["attack", "goodput", "mitigated", "q-rate", "refused",
+                 "unacct"],
+                rows,
+            )
+            + "\n"
+        )
+        if "serve" in result:
+            serve = result["serve"]
+            rows = [
+                [
+                    f"{unmit['fraction']:.2f}",
+                    f"{unmit['goodput']:.4f}",
+                    f"{mit['goodput']:.4f}",
+                    unmit["packets_shed"],
+                    mit["packets_shed"],
+                    mit["rate_limited"] + mit["quarantined"],
+                    unmit["unaccounted"] + mit["unaccounted"],
+                ]
+                for unmit, mit in zip(
+                    serve["unmitigated"], serve["mitigated"]
+                )
+            ]
+            out.write("serve arm:\n")
+            out.write(
+                format_table(
+                    ["attack", "goodput", "mitigated", "shed", "mit shed",
+                     "refused", "unacct"],
+                    rows,
+                )
+                + "\n"
+            )
+        out.write(
+            f"sweep: {result['total_packets']:,} packets offered over "
+            f"{len(fractions)} fraction(s), seed {result['seed']}\n"
+        )
+        if args.out:
+            out.write(f"  sweep written to {args.out}\n")
+
+    emit_payload(args.json, lambda: result, render, out=out)
+    return 0
+
+
 def cmd_serve(args, out) -> int:
     """``repro serve``: the long-lived serving daemon (DESIGN.md 3.11)."""
     from repro.serve.config import ServeConfig
@@ -516,6 +612,7 @@ def cmd_serve(args, out) -> int:
         flow_cache=args.flow_cache,
         content_count=args.content_count,
         seed=args.seed,
+        mitigation=args.mitigation,
         max_seconds=args.max_seconds,
         max_packets=args.max_packets,
     )
@@ -853,6 +950,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     serve.add_argument("--content-count", type=int, default=512)
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument(
+        "--mitigation",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="attack-mitigation gate in front of the ingress queue "
+        "(token-bucket rate limiting, F_pass sampling, circuit breaker)",
+    )
+    serve.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -997,6 +1101,58 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         help="report diverging cases without minimizing them",
     )
 
+    attack = sub.add_parser(
+        "attack",
+        help="goodput-under-attack sweep: seeded attack blends vs the "
+        "engine and serve admission paths, mitigated and not",
+    )
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--fractions",
+        default="",
+        help="comma-separated attack fractions in [0, 1) "
+        "(default: 0.0,0.1,0.3,0.5,0.8)",
+    )
+    attack.add_argument(
+        "--packets",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="engine-arm packets per (fraction, mitigation) point",
+    )
+    attack.add_argument(
+        "--serve-rounds",
+        type=int,
+        default=30,
+        help="serve-arm load rounds per point",
+    )
+    attack.add_argument(
+        "--legit-per-round",
+        type=int,
+        default=48,
+        help="serve-arm legit packets per round",
+    )
+    attack.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the serve-capacity arm (engine arm only)",
+    )
+    attack.add_argument("--shards", type=int, default=4)
+    attack.add_argument(
+        "--backend", choices=("serial", "process"), default="serial",
+    )
+    attack.add_argument(
+        "--out",
+        metavar="PATH",
+        default="",
+        help="write the sweep artifact to PATH ('' disables writing)",
+    )
+    attack.add_argument(
+        "--json",
+        action="store_true",
+        help="print the sweep payload as JSON",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "decode":
         return cmd_decode(args, out)
@@ -1018,6 +1174,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_topology(args, out)
     if args.command == "conformance":
         return cmd_conformance(args, out)
+    if args.command == "attack":
+        return cmd_attack(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

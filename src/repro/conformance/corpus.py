@@ -34,7 +34,8 @@ from repro.core.packet import DipPacket
 
 #: Files the recorder regenerates; anything else (regressions.json) is
 #: preserved as-is.
-GENERATED_GROUPS = tuple(ALL_SCENARIOS)
+ATTACK_GROUP = "attack"
+GENERATED_GROUPS = tuple(ALL_SCENARIOS) + (ATTACK_GROUP,)
 REGRESSION_GROUP = "regressions"
 
 
@@ -271,5 +272,67 @@ def build_golden_corpus(seed: int = 0) -> List[Vector]:
         [w for i, w in enumerate(tagged) if i % 8 == 6],
         "host-tagged verify FN rides along: routers must skip it "
         "(Section 2.3 tag bit)",
+    )
+
+    # Attack-family vectors (DESIGN.md 3.14): recorded adversarial
+    # streams from the attack workload generators, replayed through
+    # the full matrix.  Scenario states keep passport disabled, so
+    # forged F_pass records ride as no-ops; what these pin is that
+    # every executor refuses (or ignores) each family identically and
+    # that a trailing valid packet still walks -- refusal must not
+    # corrupt walk state anywhere in the matrix.
+    # Local import: workloads.attack itself imports the fuzzer, which
+    # would cycle through conformance/__init__ at module-import time.
+    from repro.workloads.attack import attack_wires
+
+    for family, rotation, note in (
+        (
+            "poison",
+            ("ndn", "ndn_opt", "opt"),
+            "content-poisoning data: real-looking names, bogus payloads "
+            "and forged passport records (unknown label / spliced tag)",
+        ),
+        (
+            "limit",
+            ("ip", "xia", "opt_hetero"),
+            "processing-limit exhaustion chains from the fuzzer's "
+            "limit-violating generator",
+        ),
+        (
+            "spoof",
+            ("ip", "ndn", "opt"),
+            "spoofed-flow DDoS: high-entropy unrouted destinations, a "
+            "fresh CRC-32 flow key per packet",
+        ),
+    ):
+        for index, scenario in enumerate(rotation):
+            base = scenario_wires(
+                scenario, seed, 4, stream=f"golden-attack-{family}"
+            )
+            add(
+                f"attack-{family}-{scenario}",
+                scenario,
+                attack_wires(
+                    family, seed, 3, stream=f"golden-{index}"
+                ) + [base[index]],
+                note + "; trailing valid packet proves state survives",
+                group=ATTACK_GROUP,
+            )
+    mixed = [
+        wire
+        for trio in zip(
+            attack_wires("poison", seed, 3, stream="golden-mixed"),
+            attack_wires("limit", seed, 3, stream="golden-mixed"),
+            attack_wires("spoof", seed, 3, stream="golden-mixed"),
+        )
+        for wire in trio
+    ]
+    add(
+        "attack-mixed-blend",
+        "ndn",
+        mixed + [scenario_wires("ndn", seed, 1, stream="golden-mixed")[0]],
+        "all three families interleaved against one node: the refusal "
+        "taxonomy stays per-packet, never sticky",
+        group=ATTACK_GROUP,
     )
     return vectors

@@ -166,6 +166,12 @@ def _limit_violating_wire(rng: random.Random) -> bytes:
     return DipPacket(header=header, payload=b"over-budget").encode()
 
 
+#: Public name: the attack workload's processing-limit exhaustion
+#: family (:mod:`repro.workloads.attack`) reuses this generator at
+#: engine scale.
+limit_violating_wire = _limit_violating_wire
+
+
 def fuzz_wires(
     scenario_name: str,
     seed: int,

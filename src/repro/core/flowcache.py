@@ -80,6 +80,12 @@ class FlowCacheStats:
         Entries currently cached.
     capacity:
         The LRU bound.
+    peak_size:
+        High-watermark of :attr:`size` over the cache's lifetime — the
+        capacity-pressure stat.  ``peak_size == capacity`` together
+        with a climbing :attr:`evictions` counter is the signature of
+        adversarial key churn (cache-busting floods): the table is
+        pinned at its bound and every new flow displaces a live one.
     """
 
     hits: int = 0
@@ -89,6 +95,7 @@ class FlowCacheStats:
     invalidations: int = 0
     size: int = 0
     capacity: int = 0
+    peak_size: int = 0
 
     def __add__(self, other: "FlowCacheStats") -> "FlowCacheStats":
         return FlowCacheStats(
@@ -99,10 +106,12 @@ class FlowCacheStats:
             invalidations=self.invalidations + other.invalidations,
             size=self.size + other.size,
             capacity=self.capacity + other.capacity,
+            peak_size=self.peak_size + other.peak_size,
         )
 
     def __sub__(self, other: "FlowCacheStats") -> "FlowCacheStats":
-        """Delta of the monotonic counters (size/capacity stay absolute)."""
+        """Delta of the monotonic counters (size/capacity/peak stay
+        absolute)."""
         return FlowCacheStats(
             hits=self.hits - other.hits,
             misses=self.misses - other.misses,
@@ -111,6 +120,7 @@ class FlowCacheStats:
             invalidations=self.invalidations - other.invalidations,
             size=self.size,
             capacity=self.capacity,
+            peak_size=self.peak_size,
         )
 
     def merge(self, other: "FlowCacheStats") -> "FlowCacheStats":
@@ -129,6 +139,7 @@ class FlowCacheStats:
             "invalidations": self.invalidations,
             "size": self.size,
             "capacity": self.capacity,
+            "peak_size": self.peak_size,
         }
 
     # Unified stats surface (repro.telemetry.Instrumented).
@@ -147,12 +158,17 @@ class FlowCacheStats:
             gauges={
                 "flowcache_size": self.size,
                 "flowcache_capacity": self.capacity,
+                "flowcache_peak_size": self.peak_size,
             },
         )
 
     @classmethod
     def from_dict(cls, data: Dict[str, int]) -> "FlowCacheStats":
-        """Inverse of :meth:`as_dict` / :meth:`to_dict`."""
+        """Inverse of :meth:`as_dict` / :meth:`to_dict`.
+
+        Accepts dicts recorded before ``peak_size`` existed (the field
+        defaults to 0), so old shard snapshots stay loadable.
+        """
         return cls(**data)
 
     @classmethod
@@ -295,6 +311,7 @@ class FlowDecisionCache:
         "bypasses",
         "evictions",
         "invalidations",
+        "peak_size",
         "_entries",
         "_token",
     )
@@ -308,6 +325,7 @@ class FlowDecisionCache:
         self.bypasses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.peak_size = 0
         self._entries: "OrderedDict[Any, DecisionTemplate]" = OrderedDict()
         self._token: Optional[tuple] = None
 
@@ -356,6 +374,8 @@ class FlowDecisionCache:
         if len(entries) > self.capacity:
             entries.popitem(last=False)
             self.evictions += 1
+        if len(entries) > self.peak_size:
+            self.peak_size = len(entries)
 
     # ------------------------------------------------------------------
     # reporting
@@ -370,6 +390,7 @@ class FlowDecisionCache:
             invalidations=self.invalidations,
             size=len(self._entries),
             capacity=self.capacity,
+            peak_size=self.peak_size,
         )
 
     def publish(self, registry) -> None:
@@ -392,3 +413,4 @@ class FlowDecisionCache:
         )
         registry.gauge("flowcache_size").set(len(self._entries))
         registry.gauge("flowcache_capacity").set(self.capacity)
+        registry.gauge("flowcache_peak_size").set(self.peak_size)

@@ -256,6 +256,13 @@ class EngineReport:
     count here so the PR 4 conservation law extends to the daemon:
     ``offered == processed + dropped + dead-lettered + shed``.  Plain
     ``engine.run`` calls always report 0.
+
+    ``packets_rate_limited`` and ``packets_quarantined`` are mitigation
+    verdicts in front of the rings (:mod:`repro.resilience.mitigation`):
+    packets refused by the per-source token buckets, and packets whose
+    sampled ``F_pass`` verification failed.  Both extend the law again:
+    ``offered == processed + dropped + dead-lettered + shed +
+    rate-limited + quarantined``.  Plain runs report 0 for both.
     """
 
     packets_offered: int
@@ -284,6 +291,8 @@ class EngineReport:
     dead_letter_total: int = 0
     dead_letter: Tuple[DeadLetter, ...] = ()
     packets_shed: int = 0
+    packets_rate_limited: int = 0
+    packets_quarantined: int = 0
 
     @classmethod
     def empty(cls) -> "EngineReport":
@@ -309,13 +318,16 @@ class EngineReport:
     @property
     def packets_unaccounted(self) -> int:
         """Conservation check: 0 iff ``offered == processed + dropped
-        + dead-lettered + shed`` (the PR 4 law extended by serve)."""
+        + dead-lettered + shed + rate-limited + quarantined`` (the
+        PR 4 law, extended by serve and the mitigation layer)."""
         return (
             self.packets_offered
             - self.packets_processed
             - self.packets_dropped_backpressure
             - self.dead_letter_total
             - self.packets_shed
+            - self.packets_rate_limited
+            - self.packets_quarantined
         )
 
     # ------------------------------------------------------------------
@@ -372,6 +384,12 @@ class EngineReport:
             ),
             dead_letter=self.dead_letter + other.dead_letter,
             packets_shed=self.packets_shed + other.packets_shed,
+            packets_rate_limited=(
+                self.packets_rate_limited + other.packets_rate_limited
+            ),
+            packets_quarantined=(
+                self.packets_quarantined + other.packets_quarantined
+            ),
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -424,6 +442,8 @@ class EngineReport:
                 for letter in self.dead_letter
             ],
             "packets_shed": self.packets_shed,
+            "packets_rate_limited": self.packets_rate_limited,
+            "packets_quarantined": self.packets_quarantined,
         }
 
     @classmethod
@@ -479,6 +499,8 @@ class EngineReport:
                 for letter in data.get("dead_letter", [])
             ),
             packets_shed=int(data.get("packets_shed", 0)),
+            packets_rate_limited=int(data.get("packets_rate_limited", 0)),
+            packets_quarantined=int(data.get("packets_quarantined", 0)),
         )
 
     def snapshot(self) -> MetricsSnapshot:
@@ -495,6 +517,8 @@ class EngineReport:
             "engine_degraded_total": self.degraded,
             "engine_dead_letter_total": self.dead_letter_total,
             "engine_shed_total": self.packets_shed,
+            "engine_rate_limited_total": self.packets_rate_limited,
+            "engine_quarantined_total": self.packets_quarantined,
             "resilience_faults_injected_total": self.faults_injected,
         }
         for name, count in self.decisions.items():
@@ -588,6 +612,11 @@ class ForwardingEngine:
         self.cost_model = cost_model
         self.registry_factory = registry_factory
         self.dispatcher = FlowDispatcher(self.config.num_shards)
+        # Live degrade policy: starts at the config's value and can be
+        # flipped mid-lifetime by set_degrade() (the quarantine-rate
+        # circuit breaker's actuator).  Workers built or respawned
+        # after a flip inherit the current value.
+        self._degrade: Optional[str] = self.config.degrade
         # Unified telemetry (repro.telemetry): live registry + tracer
         # when configured, falsy no-op null objects otherwise -- so the
         # hot paths never branch on "is telemetry on?".
@@ -654,7 +683,7 @@ class ForwardingEngine:
                     else None
                 ),
                 self.registry_factory,
-                config.degrade,
+                self._degrade,
                 config.fault_plan if config.fault_plan else None,
                 channels[shard] if channels is not None else None,
                 config.columnar,
@@ -796,6 +825,54 @@ class ForwardingEngine:
             versions.append(version)
         return max(versions)
 
+    def set_degrade(self, policy: Optional[str]) -> Optional[str]:
+        """Flip every shard's degrade policy mid-lifetime.
+
+        The circuit breaker's actuator: a node whose quarantine rate
+        trips the breaker switches into one of the PR 4 policies
+        (``"drop"`` / ``"pass-to-host"`` / ``"best-effort-ip"``) and
+        back to ``None`` on recovery, without restarting workers or
+        losing shard state.  Safe mid-stream: degrade applies at emit
+        time, *after* the walk and the flow cache, so no cache flush or
+        recompile is needed.  Like :meth:`reconfigure`, must not race
+        :meth:`run`.  Returns the previous policy.
+        """
+        if policy is not None and policy not in _DEGRADE_POLICIES:
+            raise SimulationError(
+                f"unknown degrade policy {policy!r} "
+                f"(want one of {_DEGRADE_POLICIES})"
+            )
+        previous = self._degrade
+        self._degrade = policy
+        if self.config.backend == "serial":
+            for worker in self._workers:
+                worker.degrade = policy
+            return previous
+        if self._proc_connections is None:
+            # Per-run spawn mode: the next run's workers are built from
+            # self._degrade, so there is nothing live to update.
+            return previous
+        for connection in self._proc_connections:
+            connection.send(("degrade", policy))
+        for shard, connection in enumerate(self._proc_connections):
+            if not connection.poll(self.config.worker_timeout):
+                raise EngineWorkerError(
+                    f"shard {shard} degrade ack timed out "
+                    f"({self.config.worker_timeout:g}s)"
+                )
+            tag, applied = connection.recv()
+            if tag != "degrade-ack" or applied != policy:
+                raise EngineWorkerError(
+                    f"shard {shard} replied ({tag!r}, {applied!r}) "
+                    f"to degrade {policy!r}"
+                )
+        return previous
+
+    @property
+    def degrade(self) -> Optional[str]:
+        """The live degrade policy (config value until set_degrade)."""
+        return self._degrade
+
     def _make_serial_worker(
         self, shard: int, injector: Optional[object] = None
     ) -> ShardWorker:
@@ -818,7 +895,7 @@ class ForwardingEngine:
             telemetry=self.metrics if config.telemetry else None,
             tracer=self.tracer,
             registry_factory=self.registry_factory,
-            degrade=config.degrade,
+            degrade=self._degrade,
             fault_plan=config.fault_plan,
             injector=injector,
             columnar=config.columnar,
@@ -1451,6 +1528,12 @@ class ForwardingEngine:
             report.dead_letter_total
         )
         metrics.counter("engine_shed_total").inc(report.packets_shed)
+        metrics.counter("engine_rate_limited_total").inc(
+            report.packets_rate_limited
+        )
+        metrics.counter("engine_quarantined_total").inc(
+            report.packets_quarantined
+        )
         metrics.counter("resilience_faults_injected_total").inc(
             report.faults_injected
         )

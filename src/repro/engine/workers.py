@@ -357,6 +357,10 @@ def _shard_worker_main(
       registry version, which invalidates the compiled-program cache
       and the flow cache on the next batch -- the zero-downtime
       hot-swap path).  Reply: ``("reconfig-ack", version)``.
+    - control: ``("degrade", policy)`` flips the worker's live degrade
+      policy (None or one of the PR 4 policy names).  Applied at emit
+      time after the walk, so no cache or program invalidation is
+      needed.  Reply: ``("degrade-ack", policy)``.
     - reply: ``(seq, indices, outcomes, busy_seconds, latency,
       cache_stats, injected, degraded)``; with a shared-memory
       channel ``outcomes`` becomes ``("shm", slot, meta)`` where
@@ -404,6 +408,10 @@ def _shard_worker_main(
         if request[0] == "reconfig":
             request[1].apply(worker.processor.registry)
             conn.send(("reconfig-ack", worker.processor.registry.version))
+            continue
+        if request[0] == "degrade":
+            worker.degrade = request[1]
+            conn.send(("degrade-ack", request[1]))
             continue
         if len(request) == 4:
             seq, indices, payloads, now = request

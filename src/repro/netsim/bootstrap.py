@@ -13,9 +13,8 @@ heterogeneous-configuration rules).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.netsim.nodes import DipRouterNode, HostNode
 
@@ -78,24 +77,16 @@ class CapabilityMap:
         """An AS announces (or updates) its supported FN set."""
         self._capabilities[as_id] = set(keys)
 
-    def advertise_router(
-        self, router: DipRouterNode, as_id: Optional[str] = None
-    ) -> None:
+    def advertise_router(self, router: DipRouterNode, as_id: str) -> None:
         """Advertise a router's registry as its AS's capability set.
 
-        ``as_id`` names the AS the router belongs to.  Omitting it
-        falls back to the historical behavior of using the router id as
-        the AS id — deprecated, because it conflates the two namespaces
-        and breaks AS-level path queries on multi-router ASes.
+        ``as_id`` names the AS the router belongs to; it is required.
+        The historical fallback of reusing the router id as the AS id
+        (deprecated through PR 8) is gone — it conflated the two
+        namespaces and broke AS-level path queries on multi-router
+        ASes.  Single-router call sites that relied on it should pass
+        ``as_id=router.node_id`` explicitly.
         """
-        if as_id is None:
-            warnings.warn(
-                "advertise_router() without as_id= conflates router id "
-                "with AS id; pass the AS explicitly",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            as_id = router.node_id
         self.add_member(router.node_id, as_id)
         self.advertise(as_id, router.processor.registry.supported_keys())
 

@@ -1,8 +1,9 @@
-"""Fault injection and resilience primitives for the engine.
+"""Fault injection, mitigation and resilience primitives for the engine.
 
-See :mod:`repro.resilience.faults` for the plan/injector model and
-DESIGN.md 3.9 for the fault taxonomy and the supervisor state machine
-they exercise.
+See :mod:`repro.resilience.faults` for the plan/injector model (the
+fault taxonomy and supervisor state machine of DESIGN.md 3.9) and
+:mod:`repro.resilience.mitigation` for the admission-side attack
+mitigation gate (DESIGN.md 3.14).
 """
 
 from repro.resilience.faults import (
@@ -23,8 +24,26 @@ from repro.resilience.faults import (
     WORKER_KINDS,
     corrupt_bytes,
 )
+from repro.resilience.mitigation import (
+    ADMIT,
+    QUARANTINED,
+    RATE_LIMITED,
+    VERDICTS,
+    MitigatedEngine,
+    MitigationConfig,
+    MitigationGate,
+    MitigationStats,
+)
 
 __all__ = [
+    "ADMIT",
+    "QUARANTINED",
+    "RATE_LIMITED",
+    "VERDICTS",
+    "MitigatedEngine",
+    "MitigationConfig",
+    "MitigationGate",
+    "MitigationStats",
     "CRASH",
     "CORRUPT",
     "DELAY",

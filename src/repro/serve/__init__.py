@@ -16,6 +16,9 @@ Everything below this package turns the run-to-completion
 
 from repro.serve.config import ServeConfig
 from repro.serve.core import (
+    QUARANTINED_REPLY,
+    RATE_LIMITED_REPLY,
+    REFUSAL_REPLIES,
     SHED_REPLY,
     ServeCore,
     decode_reply,
@@ -27,6 +30,9 @@ from repro.serve.state import (
 )
 
 __all__ = [
+    "QUARANTINED_REPLY",
+    "RATE_LIMITED_REPLY",
+    "REFUSAL_REPLIES",
     "SHED_REPLY",
     "ServeConfig",
     "ServeCore",

@@ -48,6 +48,12 @@ class ServeConfig:
     pit_eviction: str = "lru"
     content_count: int = 512
     seed: int = 7
+    # Admission-side attack mitigation (DESIGN.md 3.14): a
+    # MitigationGate in front of the ingress queue, refusing
+    # rate-limited / quarantined datagrams before they take a queue
+    # slot.  Off by default; ServeCore also accepts a full
+    # MitigationConfig override for non-default gate shapes.
+    mitigation: bool = False
     # Optional run bounds (smoke tests / scripted scenarios); None
     # means serve until signalled.
     max_seconds: Optional[float] = None

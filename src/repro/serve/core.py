@@ -20,9 +20,10 @@ only cross-thread state and sit behind one lock.
 Conservation (DESIGN.md 3.11, extending PR 4's law): every datagram
 ever submitted is *offered*; it is then exactly one of processed /
 dropped (ring backpressure) / dead-lettered (supervisor gave up) /
-shed (admission control refused it) / still pending.  ``summary()``
-reports the difference as ``unaccounted``, which must be 0 -- the
-``/healthz`` endpoint turns nonzero into HTTP 500.
+shed (admission control refused it) / rate-limited or quarantined
+(mitigation-gate verdicts, DESIGN.md 3.14) / still pending.
+``summary()`` reports the difference as ``unaccounted``, which must be
+0 -- the ``/healthz`` endpoint turns nonzero into HTTP 500.
 """
 
 from __future__ import annotations
@@ -44,9 +45,11 @@ from repro.telemetry.metrics import MetricsSnapshot, nearest_rank
 # Reply wire format: 1 status byte, 1 port-count byte, 2 bytes per
 # port (big endian), then the rewritten packet bytes (FORWARD) or the
 # delivered payload position (empty for everything else).  Status is
-# the Decision code below, or SHED_STATUS for an admission refusal --
-# the daemon answers every datagram, so the load generator can account
-# for each packet it sent without a side channel.
+# the Decision code below, or one of the admission-refusal codes --
+# SHED_STATUS (queue full), RATE_LIMITED_STATUS / QUARANTINED_STATUS
+# (mitigation gate verdicts) -- the daemon answers every datagram, so
+# the load generator can account for each packet it sent without a
+# side channel.
 _DECISION_CODES: Dict[str, int] = {
     Decision.CONTINUE.value: 0,
     Decision.FORWARD.value: 1,
@@ -57,8 +60,21 @@ _DECISION_CODES: Dict[str, int] = {
 }
 _CODE_NAMES = {code: name for name, code in _DECISION_CODES.items()}
 SHED_STATUS = 0xFF
+RATE_LIMITED_STATUS = 0xFE
+QUARANTINED_STATUS = 0xFD
 _CODE_NAMES[SHED_STATUS] = "shed"
+_CODE_NAMES[RATE_LIMITED_STATUS] = "rate-limited"
+_CODE_NAMES[QUARANTINED_STATUS] = "quarantined"
+_STATUS_CODES = {name: code for code, name in _CODE_NAMES.items()}
 SHED_REPLY = bytes((SHED_STATUS, 0))
+RATE_LIMITED_REPLY = bytes((RATE_LIMITED_STATUS, 0))
+QUARANTINED_REPLY = bytes((QUARANTINED_STATUS, 0))
+#: Canned reply for every non-queued submit_ex status.
+REFUSAL_REPLIES = {
+    "shed": SHED_REPLY,
+    "rate-limited": RATE_LIMITED_REPLY,
+    "quarantined": QUARANTINED_REPLY,
+}
 
 # Batch-latency history kept for the p99 the BENCH ledger reports;
 # bounded so a week-long daemon cannot grow it (the cap is logged in
@@ -70,9 +86,7 @@ def encode_reply(
     status: str, ports: Tuple[int, ...] = (), packet: Optional[bytes] = None
 ) -> bytes:
     """Render one reply (see the wire format note above)."""
-    code = (
-        SHED_STATUS if status == "shed" else _DECISION_CODES[status]
-    )
+    code = _STATUS_CODES[status]
     out = bytearray((code, len(ports)))
     for port in ports:
         out += int(port).to_bytes(2, "big")
@@ -118,6 +132,7 @@ class ServeCore:
         state_factory=None,
         registry_factory=None,
         cost_model=None,
+        mitigation_config=None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         if state_factory is None:
@@ -144,11 +159,33 @@ class ServeCore:
             registry_factory=registry_factory,
         )
         self.engine.start()
+        # The mitigation gate (DESIGN.md 3.14) sits in front of the
+        # ingress queue: refused datagrams never take a queue slot, so
+        # a flood cannot crowd legit arrivals out of max_inflight.
+        # Gate state is guarded by self._lock (submit runs on the
+        # event-loop thread); breaker transitions are actuated from
+        # flush(), the thread that owns the engine.
+        self.gate = None
+        if mitigation_config is not None or self.config.mitigation:
+            from repro.resilience.mitigation import (
+                MitigationConfig,
+                MitigationGate,
+            )
+
+            self.gate = MitigationGate(
+                mitigation_config
+                if mitigation_config is not None
+                else MitigationConfig(),
+                verify_state=state_factory(),
+            )
+        self._breaker_restore = None
         self.started_at = time.monotonic()
         self._lock = threading.Lock()
         self._queue: Deque[Tuple[object, bytes]] = deque()
         self._offered = 0
         self._shed = 0
+        self._rate_limited = 0
+        self._quarantined = 0
         self._replied = 0
         self._flushes = 0
         self._reconfigs = 0
@@ -160,15 +197,37 @@ class ServeCore:
     # ingress side (event-loop thread)
     # ------------------------------------------------------------------
     def submit(self, data: bytes, addr: object) -> bool:
-        """Offer one datagram; False means it was shed (reply with
-        :data:`SHED_REPLY`), True means it is pending a flush."""
+        """Offer one datagram; False means it was refused (shed, or a
+        mitigation verdict), True means it is pending a flush."""
+        return self.submit_ex(data, addr) == "queued"
+
+    def submit_ex(self, data: bytes, addr: object) -> str:
+        """Offer one datagram; returns its admission status.
+
+        ``"queued"`` means pending a flush; anything else is a refusal
+        the caller answers with ``REFUSAL_REPLIES[status]``:
+        ``"rate-limited"`` / ``"quarantined"`` are mitigation-gate
+        verdicts (checked first, so a flood never occupies the queue),
+        ``"shed"`` is the max_inflight admission bound.  Every status
+        is accounted, extending the conservation law to ``offered ==
+        processed + dropped + dead-lettered + shed + rate-limited +
+        quarantined + pending``.
+        """
         with self._lock:
             self._offered += 1
+            if self.gate is not None:
+                verdict = self.gate.admit(data)
+                if verdict == "rate-limited":
+                    self._rate_limited += 1
+                    return verdict
+                if verdict == "quarantined":
+                    self._quarantined += 1
+                    return verdict
             if len(self._queue) >= self.config.max_inflight:
                 self._shed += 1
-                return False
+                return "shed"
             self._queue.append((addr, data))
-            return True
+            return "queued"
 
     def pending(self) -> int:
         with self._lock:
@@ -202,6 +261,17 @@ class ServeCore:
             return []
         stamp = time.monotonic() if now is None else now
         report = self.engine.run(batch, now=stamp)
+        if self.gate is not None:
+            # Breaker transitions actuate here -- flush owns the
+            # engine thread, the gate (locked) only records verdicts.
+            with self._lock:
+                transition = self.gate.poll_breaker()
+                policy = self.gate.config.breaker_policy
+            if transition == "trip":
+                self._breaker_restore = self.engine.set_degrade(policy)
+            elif transition == "recover":
+                self.engine.set_degrade(self._breaker_restore)
+                self._breaker_restore = None
         if collect is not None:
             collect.extend(zip(addrs, report.outcomes))
         replies = [
@@ -266,11 +336,16 @@ class ServeCore:
             pending = len(self._queue)
             offered = self._offered
             shed = self._shed
+            rate_limited = self._rate_limited
+            quarantined = self._quarantined
             latencies = sorted(self._latencies)
             flushes = self._flushes
             replied = self._replied
             reconfigs = self._reconfigs
             generation = self._generation
+            mitigation = (
+                None if self.gate is None else self.gate.stats().to_dict()
+            )
         uptime = time.monotonic() - self.started_at
         processed = report.packets_processed
         dropped = report.packets_dropped_backpressure
@@ -281,10 +356,17 @@ class ServeCore:
             "dropped_backpressure": dropped,
             "dead_lettered": dead,
             "shed": shed,
+            # The metric-name alias: /healthz consumers grep for the
+            # same key /metrics exports (engine_shed_total's source).
+            "packets_shed": shed,
+            "rate_limited": rate_limited,
+            "quarantined": quarantined,
             "pending": pending,
             "unaccounted": (
-                offered - processed - dropped - dead - shed - pending
+                offered - processed - dropped - dead - shed
+                - rate_limited - quarantined - pending
             ),
+            "mitigation": mitigation,
             "replied": replied,
             "flushes": flushes,
             "reconfigs": reconfigs,
@@ -306,10 +388,17 @@ class ServeCore:
     def snapshot_metrics(self) -> MetricsSnapshot:
         """Engine counters (accumulated) plus the serve-level ledger."""
         with self._lock:
-            report = replace(self._report, packets_shed=self._shed)
+            report = replace(
+                self._report,
+                packets_shed=self._shed,
+                packets_rate_limited=self._rate_limited,
+                packets_quarantined=self._quarantined,
+            )
             counters = {
                 "serve_offered_total": self._offered,
                 "serve_shed_total": self._shed,
+                "serve_rate_limited_total": self._rate_limited,
+                "serve_quarantined_total": self._quarantined,
                 "serve_replies_total": self._replied,
                 "serve_flushes_total": self._flushes,
                 "serve_reconfigs_total": self._reconfigs,
@@ -321,6 +410,12 @@ class ServeCore:
                     time.monotonic() - self.started_at
                 ),
             }
-        return report.snapshot().merge(
+            gate_snapshot = (
+                None if self.gate is None else self.gate.stats().snapshot()
+            )
+        snapshot = report.snapshot().merge(
             MetricsSnapshot(counters=counters, gauges=gauges)
         )
+        if gate_snapshot is not None:
+            snapshot = snapshot.merge(gate_snapshot)
+        return snapshot

@@ -31,7 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.registry import RegistryMutation
 from repro.serve.config import ServeConfig
-from repro.serve.core import SHED_REPLY, ServeCore
+from repro.serve.core import REFUSAL_REPLIES, ServeCore
 from repro.telemetry.export import to_prometheus
 
 _HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -51,15 +51,17 @@ class _IngressProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         daemon = self.daemon
         daemon.received += 1
-        if daemon.core.submit(data, addr):
+        status = daemon.core.submit_ex(data, addr)
+        if status == "queued":
             daemon.wake.set()
             if daemon.core.pending() >= daemon.config.batch_max:
                 daemon.full.set()
         elif self.transport is not None:
-            # Shed is answered from the loop thread immediately: the
-            # whole point of accounted admission control is that the
-            # sender learns, in-band, that this packet was refused.
-            self.transport.sendto(SHED_REPLY, addr)
+            # Refusals (shed / rate-limited / quarantined) are answered
+            # from the loop thread immediately: the whole point of
+            # accounted admission control is that the sender learns,
+            # in-band, why this packet was refused.
+            self.transport.sendto(REFUSAL_REPLIES[status], addr)
         if (
             daemon.config.max_packets is not None
             and daemon.received >= daemon.config.max_packets

@@ -192,8 +192,59 @@ class TestStatsArithmetic:
         stats = cache.stats()
         assert stats == FlowCacheStats(
             hits=2, misses=1, bypasses=4, evictions=1,
-            invalidations=0, size=1, capacity=1,
+            invalidations=0, size=1, capacity=1, peak_size=1,
         )
+
+
+class TestAdversarialChurn:
+    """Cache-busting floods must be observable, not silent.
+
+    A spoofed-flow attack drives a never-repeating key stream through
+    the cache: every put displaces a live entry.  The eviction counter
+    and the peak_size capacity-pressure stat together are the attack
+    signature.
+    """
+
+    def test_key_churn_is_counted(self):
+        cache = FlowDecisionCache(capacity=8)
+        for index in range(100):
+            cache.put(("spoof", index), template(index))
+        stats = cache.stats()
+        assert stats.evictions == 100 - 8
+        assert stats.size == 8
+        # The table is pinned at its bound: full capacity pressure.
+        assert stats.peak_size == stats.capacity == 8
+
+    def test_peak_size_survives_invalidation(self):
+        cache = FlowDecisionCache(capacity=8)
+        for index in range(5):
+            cache.put(index, template(index))
+        cache.clear()
+        stats = cache.stats()
+        assert stats.size == 0
+        assert stats.peak_size == 5  # high-watermark is monotonic
+
+    def test_churn_counters_survive_roundtrips(self):
+        cache = FlowDecisionCache(capacity=4)
+        for index in range(20):
+            cache.put(index, template(index))
+        stats = cache.stats()
+        assert stats.evictions == 16 and stats.peak_size == 4
+        # merge / to_dict / from_dict all preserve the churn counters.
+        merged = stats.merge(stats)
+        assert merged.evictions == 32
+        assert merged.peak_size == 8  # summed-over-shards convention
+        assert FlowCacheStats.from_dict(stats.to_dict()) == stats
+        assert FlowCacheStats.from_dict(merged.as_dict()) == merged
+        # Deltas keep the absolute gauges (size/capacity/peak_size).
+        delta = merged - stats
+        assert delta.evictions == 16
+        assert delta.peak_size == merged.peak_size
+
+    def test_from_dict_accepts_pre_peak_size_snapshots(self):
+        old = FlowCacheStats(1, 2, 3, 4, 5, 6, 7).as_dict()
+        del old["peak_size"]
+        assert FlowCacheStats.from_dict(old).peak_size == 0
 
 
 class TestPurityClassification:

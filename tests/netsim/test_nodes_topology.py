@@ -222,10 +222,11 @@ class TestBootstrap:
             "AS64496"
         )
 
-    def test_advertise_router_without_as_id_deprecated(self):
+    def test_advertise_router_requires_as_id(self):
         topo, _consumer, router, _producer = line_topology()
         cap = CapabilityMap()
-        with pytest.warns(DeprecationWarning):
+        # The deprecated router-id-as-AS-id fallback is gone: the AS
+        # must be named explicitly.
+        with pytest.raises(TypeError):
             cap.advertise_router(router)
-        # The historical fallback still works: router id doubles as AS id.
-        assert OperationKey.MAC in cap.capabilities_of("router")
+        assert cap.capabilities_of("router") == set()

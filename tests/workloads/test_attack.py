@@ -1,0 +1,82 @@
+"""Attack workload generator tests: determinism, blend shape, and the
+engine/serve harness ledgers."""
+
+import pytest
+
+from repro.resilience import MitigationConfig
+from repro.workloads.attack import (
+    ATTACK_FAMILIES,
+    attack_wires,
+    legit_wires,
+    make_attack_blend,
+    run_attack_engine,
+    run_attack_serve,
+)
+
+
+def test_wire_streams_are_deterministic_per_seed_and_stream():
+    for family in ATTACK_FAMILIES:
+        assert attack_wires(family, 3, 20) == attack_wires(family, 3, 20)
+        assert attack_wires(family, 3, 20) != attack_wires(family, 4, 20)
+    assert legit_wires(3, 24) == legit_wires(3, 24)
+    assert legit_wires(3, 24, stream="a") != legit_wires(3, 24, stream="b")
+
+
+def test_unknown_family_raises():
+    with pytest.raises(ValueError):
+        attack_wires("teardrop", 0, 4)
+
+
+def test_blend_counts_and_label_alignment():
+    wires, labels = make_attack_blend(200, 0.3, seed=1)
+    assert len(wires) == len(labels) == 200
+    attack = sum(1 for label in labels if label != "legit")
+    assert attack == round(200 * 0.3)
+    # Legit order is preserved: filtering the blend's legit slots
+    # yields exactly the legit stream.
+    legit = [w for w, label in zip(wires, labels) if label == "legit"]
+    assert legit == legit_wires(1, 200 - attack, stream="blend")
+    # Attack packets spread through the stream, not one leading burst.
+    first_attack = labels.index(next(l for l in labels if l != "legit"))
+    assert any(label != "legit" for label in labels[100:])
+    assert first_attack < 100
+
+
+def test_blend_rejects_bad_fraction():
+    for fraction in (-0.1, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            make_attack_blend(10, fraction, seed=0)
+
+
+def test_engine_point_conserves_and_classifies():
+    point = run_attack_engine(0.4, 1200, seed=2)
+    assert point["unaccounted"] == 0
+    assert point["legit_offered"] + point["attack_offered"] == 1200
+    assert point["goodput"] == 1.0
+    # Unmitigated, the walk itself refuses the attack families.
+    assert point["attack_dropped"] + point["attack_error"] > 0
+
+
+def test_engine_point_mitigated_quarantines_at_the_gate():
+    point = run_attack_engine(
+        0.4, 1200, seed=2,
+        mitigation=MitigationConfig(sample_every=1, breaker_window=0),
+    )
+    assert point["unaccounted"] == 0
+    assert point["attack_quarantined_gate"] > 0
+    assert point["mitigation"]["quarantined"] > 0
+    assert point["goodput"] == 1.0
+
+
+def test_serve_point_conserves_under_flood():
+    point = run_attack_serve(0.9, seed=2, rounds=10)
+    assert point["unaccounted"] == 0
+    assert point["packets_shed"] > 0
+    assert point["goodput"] < 1.0
+
+
+def test_serve_point_mitigation_improves_goodput():
+    unmit = run_attack_serve(0.5, seed=2, rounds=15)
+    mit = run_attack_serve(0.5, seed=2, rounds=15, mitigated=True)
+    assert mit["goodput"] > unmit["goodput"]
+    assert mit["quarantined"] > 0
