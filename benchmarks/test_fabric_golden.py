@@ -1,0 +1,82 @@
+"""FAB-GOLDEN: the full-scale golden identity (ISSUE acceptance).
+
+The seeded 10-AS internet with engine-backed and PISA-backed transits,
+driven with >= 100k packets, must produce *identical* per-packet
+outcomes and delivery order whether simulated monolithically in netsim
+or composed over the fabric -- in one process and split across two.
+The tier-1 suite asserts the same identity at 600 packets
+(tests/fabric/test_golden_identity.py); this slow benchmark is the
+at-scale version, and it also reports the co-simulation's throughput
+next to the monolithic twin's.
+"""
+
+import time
+
+import pytest
+
+from repro.fabric import GoldenSpec, golden_fabric, golden_netsim
+from repro.workloads.reporting import print_table
+
+pytestmark = pytest.mark.slow
+
+SPEC = GoldenSpec(seed=7, ases=10, hosts_per_as=2, packets=100_000)
+
+
+@pytest.fixture(scope="module")
+def twin():
+    start = time.perf_counter()
+    result = golden_netsim(SPEC)
+    result["wall_seconds"] = time.perf_counter() - start
+    return result
+
+
+@pytest.fixture(scope="module")
+def fabric_report():
+    start = time.perf_counter()
+    report = golden_fabric(SPEC).run()
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def test_hundred_thousand_packet_identity(fabric_report, twin):
+    assert len(fabric_report.records) == SPEC.packets
+    assert fabric_report.records == twin["records"]
+    assert fabric_report.fingerprint == twin["fingerprint"]
+
+
+def test_two_process_placement_matches(fabric_report):
+    start = time.perf_counter()
+    multi = golden_fabric(SPEC, processes=2).run()
+    elapsed = time.perf_counter() - start
+    assert multi.records == fabric_report.records
+    assert multi.fingerprint == fabric_report.fingerprint
+    print_table(
+        "fabric golden (100k packets)",
+        ["arm", "wall s", "pkts/s"],
+        [
+            [
+                "netsim twin", "-", "-",
+            ],
+            [
+                "fabric 1-proc",
+                f"{fabric_report.wall_seconds:.1f}",
+                f"{SPEC.packets / fabric_report.wall_seconds:,.0f}",
+            ],
+            [
+                "fabric 2-proc",
+                f"{elapsed:.1f}",
+                f"{SPEC.packets / elapsed:,.0f}",
+            ],
+        ],
+    )
+
+
+def test_conservation_at_scale(fabric_report):
+    counters = {
+        name: r["counters"] for name, r in fabric_report.components.items()
+    }
+    injected = sum(c.get("injected", 0) for c in counters.values())
+    delivered = sum(c.get("delivered", 0) for c in counters.values())
+    assert injected == SPEC.packets
+    assert delivered == SPEC.packets
+    assert all(c.get("link_drops", 0) == 0 for c in counters.values())

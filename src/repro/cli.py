@@ -8,6 +8,7 @@ Usage::
     python -m repro keys                      # known operation keys
     python -m repro engine --metrics-out m.prom --trace-out t.jsonl
     python -m repro stats [--json]            # telemetry snapshot
+    python -m repro fabric --processes 2 --compare   # co-simulation spine
 
 ``decode`` accepts hex (with or without spaces); it prints the basic
 header, every FN triple, a locations hexdump, and -- when the FN keys
@@ -772,6 +773,134 @@ def cmd_topology(args, out) -> int:
     return 0
 
 
+def cmd_fabric(args, out) -> int:
+    """``repro fabric``: virtual-time co-simulation spine (DESIGN.md 3.15).
+
+    Runs the golden multi-AS scenario -- netsim stub islands around an
+    engine-backed and a PISA-backed transit -- as fabric components,
+    optionally across processes, and (with ``--compare``) checks the
+    per-packet delivery records against the monolithic netsim twin.
+    Exit code 1 means the twins diverged; the ``--json PATH`` artifact
+    then carries the mismatching records for diagnosis.
+    """
+    import time
+
+    from repro.fabric import (
+        GoldenSpec,
+        golden_fabric,
+        golden_netsim,
+        golden_traffic,
+        write_pcap,
+    )
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.workloads.reporting import emit_payload, format_table
+
+    try:
+        spec = GoldenSpec(
+            seed=args.seed,
+            ases=args.ases,
+            hosts_per_as=args.hosts_per_as,
+            packets=args.packets,
+            spacing=args.spacing,
+            latency=args.latency,
+            intra_latency=args.intra_latency,
+            cycle_time=args.cycle_time,
+        )
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+    if args.pcap_out:
+        count = write_pcap(
+            args.pcap_out,
+            (
+                (send.time, send.packet().encode())
+                for send in golden_traffic(spec)
+            ),
+        )
+        out.write(f"traffic written to {args.pcap_out} ({count} packets)\n")
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    report = golden_fabric(
+        spec,
+        processes=args.processes,
+        registry=registry,
+        scheduler_seed=args.scheduler_seed,
+    ).run()
+    elapsed = time.perf_counter() - start
+
+    payload = report.to_dict()
+    payload["spec"] = {
+        "seed": spec.seed,
+        "ases": spec.ases,
+        "hosts_per_as": spec.hosts_per_as,
+        "packets": spec.packets,
+        "spacing": spec.spacing,
+        "latency": spec.latency,
+        "intra_latency": spec.intra_latency,
+        "cycle_time": spec.cycle_time,
+    }
+    payload["wall_seconds"] = elapsed
+
+    identical = None
+    if args.compare:
+        twin = golden_netsim(spec)
+        identical = report.records == twin["records"]
+        compare = {
+            "identical": identical,
+            "fabric_fingerprint": report.fingerprint,
+            "twin_fingerprint": twin["fingerprint"],
+        }
+        if not identical:
+            mismatches = [
+                {"index": i, "fabric": list(ours), "twin": list(theirs)}
+                for i, (ours, theirs) in enumerate(
+                    zip(report.records, twin["records"])
+                )
+                if ours != theirs
+            ]
+            extra = len(report.records) - len(twin["records"])
+            compare["record_count_delta"] = extra
+            compare["mismatches"] = mismatches[:50]
+            compare["mismatch_total"] = len(mismatches)
+        payload["compare"] = compare
+
+    def render() -> None:
+        out.write(
+            f"fabric: {len(report.records)}/{spec.packets} packets "
+            f"delivered across {spec.ases} ASes in {elapsed:.2f}s "
+            f"({report.processes} process(es), {report.rounds} rounds)\n"
+        )
+        rows = [
+            [
+                name,
+                f"{report.clocks[name]:.4f}",
+                int(detail["counters"].get("delivered", 0)),
+                int(detail["counters"].get("forwarded", 0)),
+                int(detail["counters"].get("tx_errors", 0)),
+            ]
+            for name, detail in sorted(report.components.items())
+        ]
+        table = format_table(
+            ["component", "clock", "delivered", "forwarded", "tx err"], rows
+        )
+        for line in table.splitlines():
+            out.write(f"  {line}\n")
+        out.write(
+            f"  fingerprint {report.fingerprint[:16]}.., "
+            f"clock skew {report.clock_skew:.4f}s\n"
+        )
+        if identical is not None:
+            verdict = "IDENTICAL" if identical else "DIVERGED"
+            out.write(f"  vs in-process netsim twin: {verdict}\n")
+
+    written = emit_payload(args.json, lambda: payload, render, out=out)
+    if written:
+        out.write(f"  report written to {written}\n")
+    return 1 if identical is False else 0
+
+
 def _print_keys(out) -> int:
     from repro.core.registry import default_registry
 
@@ -1042,6 +1171,63 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         help="print the summary/detail/sweep payload as JSON",
     )
 
+    fabric = sub.add_parser(
+        "fabric",
+        help="run the golden multi-AS scenario over the virtual-time "
+        "co-simulation fabric; --compare checks it against the "
+        "monolithic netsim twin",
+    )
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument("--ases", type=int, default=10)
+    fabric.add_argument("--hosts-per-as", type=int, default=2)
+    fabric.add_argument("--packets", type=int, default=1000)
+    fabric.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for component placement (1 = in-process)",
+    )
+    fabric.add_argument(
+        "--spacing", type=float, default=1e-4,
+        help="virtual seconds between injected packets",
+    )
+    fabric.add_argument(
+        "--latency", type=float, default=5e-3,
+        help="inter-component channel latency (the lookahead)",
+    )
+    fabric.add_argument(
+        "--intra-latency", type=float, default=1e-3,
+        help="link delay inside each stub island",
+    )
+    fabric.add_argument(
+        "--cycle-time", type=float, default=1e-9,
+        help="seconds per PISA pipeline cycle (service latency)",
+    )
+    fabric.add_argument(
+        "--scheduler-seed",
+        type=int,
+        default=None,
+        help="shuffle component stepping order with this seed "
+        "(results must not change)",
+    )
+    fabric.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the monolithic netsim twin; exit 1 on divergence",
+    )
+    fabric.add_argument(
+        "--pcap-out",
+        metavar="PATH",
+        help="write the generated traffic schedule as a pcap",
+    )
+    fabric.add_argument(
+        "--json",
+        nargs="?",
+        const=True,
+        metavar="PATH",
+        help="print the run report as JSON (or write it to PATH)",
+    )
+
     conformance = sub.add_parser(
         "conformance",
         help="differential conformance: reference interpreter vs every "
@@ -1172,6 +1358,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_serve(args, out)
     if args.command == "topology":
         return cmd_topology(args, out)
+    if args.command == "fabric":
+        return cmd_fabric(args, out)
     if args.command == "conformance":
         return cmd_conformance(args, out)
     if args.command == "attack":

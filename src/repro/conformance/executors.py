@@ -371,6 +371,74 @@ def _run_serve(scenario, wires, cost_model) -> ExecutionResult:
     return ExecutionResult(outcomes, state=state)
 
 
+def _run_fabric(scenario, wires, cost_model) -> ExecutionResult:
+    """An engine-backed router driven over the co-simulation fabric.
+
+    The corpus rides a two-component fabric scenario: a source host
+    injects every wire at virtual time 0 (per-channel sequence numbers
+    preserve input order through the synchronizer), a fabric router
+    runs them through a :class:`~repro.engine.ForwardingEngine` whose
+    clock is the fabric's virtual clock, and every egress loops back to
+    the source over the reverse channel.  Zero-latency channels are
+    legal here because the source closes its outputs after flushing
+    (the acyclic-termination rule); every walk then executes at
+    ``now == 0.0``, so PIT/CS timestamps match the timeless reference
+    interpreter exactly.  What this executor proves: the fabric's
+    message protocol, conservative synchronizer and engine adapter are
+    decision-transparent -- byte-identical verdicts, state and all.
+    """
+    from repro.fabric.components import EngineRouterComponent, HostComponent
+    from repro.fabric.messages import KIND_DIP, Inject
+    from repro.fabric.runner import ChannelSpec, FabricRun
+
+    def make_source():
+        injections = [
+            Inject(0.0, "source", 0, KIND_DIP, bytes(wire), len(wire), seq)
+            for seq, wire in enumerate(wires)
+        ]
+        return HostComponent("source", injections)
+
+    def make_router():
+        component = EngineRouterComponent(
+            "router",
+            scenario.state_factory,
+            registry_factory=scenario.registry_factory,
+            cost_model=cost_model,
+            config=EngineConfig(num_shards=1, backend="serial", batch_size=16),
+            keep_outcomes=True,
+        )
+        # FIB egress ports are scenario-defined ints; loop every one of
+        # them back to the source over the single reverse channel.
+        component.default_out = 0
+        return component
+
+    run = FabricRun(
+        {"source": make_source, "router": make_router},
+        [
+            ChannelSpec("source", 0, "router", 0, 0.0),
+            ChannelSpec("router", 0, "source", 0, 0.0),
+        ],
+    )
+    run.run()
+    router = run.components["router"]
+    outcomes: List[Optional[WireOutcome]] = [
+        (
+            WireOutcome(
+                outcome.decision.value,
+                tuple(outcome.ports),
+                outcome.packet,
+                outcome.reason,
+            )
+            if outcome is not None
+            else None
+        )
+        for outcome in router.outcomes
+    ]
+    return ExecutionResult(
+        outcomes, state=state_fingerprint(router.state())
+    )
+
+
 def _run_dataplane(scenario, wires, cost_model) -> ExecutionResult:
     registry = scenario.registry()
     pipeline = DipPipeline(
@@ -481,6 +549,7 @@ DEFAULT_EXECUTORS: Tuple[ExecutorSpec, ...] = (
         skip_limit_failures=True,
     ),
     ExecutorSpec("serve", _run_serve),
+    ExecutorSpec("fabric", _run_fabric),
 )
 
 EXECUTOR_NAMES: Tuple[str, ...] = tuple(

@@ -17,6 +17,7 @@ packets through that walk at rate:
 """
 
 from repro.core.flowcache import FlowCacheStats, FlowDecisionCache
+from repro.engine.clock import ManualClock, timeless_clock, wall_clock
 from repro.engine.dispatch import FLOW_DISPATCH_KEYS, FlowDispatcher, flow_key
 from repro.engine.engine import (
     DeadLetter,
@@ -38,8 +39,11 @@ __all__ = [
     "FlowCacheStats",
     "FlowDecisionCache",
     "ForwardingEngine",
+    "ManualClock",
     "PacketOutcome",
     "ShardReport",
     "Ring",
     "RingStats",
+    "timeless_clock",
+    "wall_clock",
 ]

@@ -47,6 +47,7 @@ from repro.core.operations.base import Decision
 from repro.core.packet import DipPacket
 from repro.core.registry import RegistryMutation
 from repro.core.state import NodeState
+from repro.engine.clock import timeless_clock
 from repro.engine.dispatch import FlowDispatcher
 from repro.engine.rings import Ring, RingStats
 from repro.engine.shm import ShardChannel, make_channels, split_blob
@@ -606,11 +607,21 @@ class ForwardingEngine:
         cost_model: Optional[object] = None,
         config: Optional[EngineConfig] = None,
         registry_factory: Optional[Callable[[], object]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self.state_factory = state_factory
         self.cost_model = cost_model
         self.registry_factory = registry_factory
+        # The one time-base seam (repro.engine.clock): run() calls with
+        # no explicit ``now`` stamp batches from this zero-arg callable.
+        # Timeless (0.0) by default, wall_clock under the serving
+        # daemon, a ManualClock driven by fabric virtual time under
+        # co-simulation.  Lives parent-side only; workers receive the
+        # resolved float per batch, so picklability never matters.
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else timeless_clock
+        )
         self.dispatcher = FlowDispatcher(self.config.num_shards)
         # Live degrade policy: starts at the config's value and can be
         # flipped mid-lifetime by set_degrade() (the quarantine-rate
@@ -905,16 +916,19 @@ class ForwardingEngine:
     def run(
         self,
         packets: Sequence[Union[DipPacket, bytes]],
-        now: float = 0.0,
+        now: Optional[float] = None,
     ) -> EngineReport:
         """Push ``packets`` through the engine; outcomes keep input order.
 
         ``now`` is the simulation clock stamped on every batch walk
-        (PIT lifetimes, CS TTLs).  Run-to-completion callers leave it
-        at 0.0 -- timeless, which keeps conformance scenarios
-        deterministic; the serving daemon passes a monotonic clock per
-        flush so bounded state actually ages.
+        (PIT lifetimes, CS TTLs).  When omitted it is read from the
+        injected ``clock`` seam -- timeless 0.0 by default (the
+        conformance-friendly mode), wall time under the serving
+        daemon, fabric virtual time under co-simulation.  An explicit
+        ``now`` always wins over the clock.
         """
+        if now is None:
+            now = self.clock()
         with self.tracer.span("engine.run", packets=len(packets)):
             if self.config.backend == "serial":
                 return self._run_serial(packets, now)

@@ -66,6 +66,16 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class FabricError(SimulationError):
+    """The co-simulation fabric was miswired or stalled.
+
+    A stall means conservative synchronization cannot make progress --
+    in practice a zero-lookahead channel cycle, which the fabric
+    rejects rather than deadlocks on (zero-latency channels are legal
+    only on acyclic paths or with closed sources).
+    """
+
+
 class EngineError(ReproError):
     """The forwarding engine failed outside any single packet's walk."""
 

@@ -47,9 +47,17 @@ class Engine:
         self.schedule(when - self._now, callback, *args)
 
     def run(
-        self, until: Optional[float] = None, max_events: int = 1_000_000
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+        strict: bool = False,
     ) -> int:
         """Process events until the queue drains (or ``until``/budget).
+
+        ``strict`` stops *before* events at exactly ``until`` instead
+        of after them -- the co-simulation fabric runs islands up to a
+        conservative horizon, below which (strictly) no external frame
+        can still arrive, so an event at the horizon itself must wait.
 
         Returns the number of events processed by this call.
         """
@@ -60,7 +68,9 @@ class Engine:
         try:
             while self._queue and processed < max_events:
                 when, _seq, callback = self._queue[0]
-                if until is not None and when > until:
+                if until is not None and (
+                    when > until or (strict and when >= until)
+                ):
                     break
                 heapq.heappop(self._queue)
                 self._now = when
@@ -77,3 +87,12 @@ class Engine:
     def pending(self) -> int:
         """Events still queued."""
         return len(self._queue)
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the earliest queued event (None when empty).
+
+        The fabric's netsim adapter reads this to bound its output
+        promises without popping the queue.
+        """
+        return self._queue[0][0] if self._queue else None

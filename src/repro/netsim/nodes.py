@@ -105,12 +105,20 @@ class DipRouterNode(Node):
         state: Optional[NodeState] = None,
         registry: Optional[OperationRegistry] = None,
         cost_model: Optional[object] = None,
+        service_delay: Optional[Callable[[DipPacket], float]] = None,
     ) -> None:
         super().__init__(node_id, engine, trace)
         self.state = state if state is not None else NodeState(node_id=node_id)
         self.processor = RouterProcessor(
             self.state, registry=registry, cost_model=cost_model
         )
+        # Optional per-packet service latency (seconds) charged on the
+        # egress of a FORWARD, computed from the *incoming* packet --
+        # the PISA cycle model mapped to time.  None keeps the
+        # historical forward-at-receive-time behaviour, so the fabric's
+        # netsim twin and a PISA-backed fabric router charge identical
+        # latencies from one shared function.
+        self.service_delay = service_delay
         self.local_inbox: List[Tuple[DipPacket, int]] = []
         self._seen_control: Set[int] = set()
 
@@ -156,8 +164,24 @@ class DipRouterNode(Node):
                 "forward",
                 f"ports {result.ports}",
             )
+            delay = (
+                self.service_delay(packet)
+                if self.service_delay is not None
+                else 0.0
+            )
             for out_port in result.ports:
-                self.forward_frame(out_port, Frame.dip(result.packet), port)
+                if delay > 0.0:
+                    self.engine.schedule(
+                        delay,
+                        self.forward_frame,
+                        out_port,
+                        Frame.dip(result.packet),
+                        port,
+                    )
+                else:
+                    self.forward_frame(
+                        out_port, Frame.dip(result.packet), port
+                    )
         elif result.decision is Decision.DELIVER:
             self.stats.delivered += 1
             self.local_inbox.append((packet, port))

@@ -37,7 +37,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.operations.base import Decision
 from repro.core.registry import RegistryMutation
-from repro.engine import EngineConfig, EngineReport, ForwardingEngine
+from repro.engine import (
+    EngineConfig,
+    EngineReport,
+    ForwardingEngine,
+    wall_clock,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.state import serve_content_state_factory
 from repro.telemetry.metrics import MetricsSnapshot, nearest_rank
@@ -157,6 +162,7 @@ class ServeCore:
                 flow_cache=self.config.flow_cache,
             ),
             registry_factory=registry_factory,
+            clock=wall_clock,
         )
         self.engine.start()
         # The mitigation gate (DESIGN.md 3.14) sits in front of the
@@ -259,7 +265,7 @@ class ServeCore:
                 batch.append(data)
         if not batch:
             return []
-        stamp = time.monotonic() if now is None else now
+        stamp = self.engine.clock() if now is None else now
         report = self.engine.run(batch, now=stamp)
         if self.gate is not None:
             # Breaker transitions actuate here -- flush owns the

@@ -1,0 +1,317 @@
+"""Netsim islands on the fabric boundary: zero-latency links, tunneled
+border routers, and fault injection interacting with fabric Delivers.
+
+These are the edge cases of putting a :class:`Topology` behind a
+:class:`NetsimComponent` portal:
+
+- intra-island links of ``delay=0.0`` right at the boundary (the
+  portal link is itself zero-delay, so a zero-latency access link
+  makes the whole ingress path instantaneous in virtual time);
+- a :class:`BorderRouterNode` whose *tunnel* port is the fabric port:
+  the DIP packet crosses the fabric encapsulated as plain
+  ``KIND_IPV4`` bytes and is decapsulated by the far island's border
+  router (Section 2.4 incremental deployment, composed over the
+  fabric);
+- a scripted :class:`Link` fault (DROP_FRAME) inside an island, and
+  the conservation law the fabric counters must then satisfy:
+  injected == delivered + link_drops.
+"""
+
+import math
+
+import pytest
+
+from repro.core.state import NodeState
+from repro.fabric import (
+    ChannelSpec,
+    Deliver,
+    FabricRun,
+    NetsimComponent,
+    duplex,
+    payload_digest,
+)
+from repro.fabric.messages import KIND_DIP, Advance
+from repro.netsim.messages import KIND_IPV4
+from repro.netsim.nodes import BorderRouterNode, DipRouterNode, HostNode
+from repro.netsim.tunnel import decapsulate_dip, is_tunnel_packet
+from repro.realize import build_ipv4_packet
+from repro.resilience.faults import DROP_FRAME, Fault, FaultInjector, FaultPlan
+
+A_ADDR = 0x0A010001
+B_ADDR = 0x0A020001
+
+
+def _island(
+    name,
+    local,
+    remote,
+    *,
+    border=False,
+    access_delay=0.001,
+    fault_plan=None,
+):
+    """One-router one-host island with fabric port 0 on the router.
+
+    ``border=True`` swaps in a :class:`BorderRouterNode` and declares
+    the fabric-facing node port a tunnel.  ``fault_plan`` arms the
+    router->host access link with a scripted injector.
+    """
+    component = NetsimComponent(name)
+    topo = component.topology
+    state = NodeState(node_id=f"{name}-r")
+    state.fib_v4.insert(local, 32, 0)
+    state.fib_v4.insert(remote & 0xFFFF0000, 16, 1)
+    cls = BorderRouterNode if border else DipRouterNode
+    router = cls(f"{name}-r", topo.engine, trace=topo.trace, state=state)
+    topo.add(router)
+    host = HostNode(f"{name}-h", topo.engine, trace=topo.trace)
+    topo.add(host)
+    link = topo.connect(router, 0, host, 0, delay=access_delay)
+    if fault_plan is not None:
+        link.fault_injector = FaultInjector(fault_plan, shard=0)
+    component.record_host(host)
+    component.open_port(0, f"{name}-r", 1)
+    if border:
+        router.add_tunnel(1, local_v4=local, remote_v4=remote)
+    return component, router, host
+
+
+class TestZeroLatencyBoundary:
+    def test_zero_delay_access_link_is_instantaneous(self):
+        # access link 0.0 + portal link 0.0: an inbound Deliver at t
+        # reaches the island host at exactly t, and an egress send at t
+        # leaves the island at exactly t + channel latency.
+        component, _, host = _island(
+            "za", A_ADDR, B_ADDR, access_delay=0.0
+        )
+        component.add_input("peer", 0, rank=0)
+        component.add_output(0, "peer", 0, latency=0.25, rank=1)
+
+        inbound = build_ipv4_packet(A_ADDR, B_ADDR)
+        component.accept(
+            Deliver(1.0, "peer", "za", 0, KIND_DIP, inbound.encode(),
+                    inbound.size, 1)
+        )
+        component.schedule_send(
+            "za-h", 2.0, build_ipv4_packet(B_ADDR, A_ADDR)
+        )
+        component.accept(Advance("peer", "za", 0, math.inf))
+        component.step()
+
+        [(when, where, _)] = component.records()
+        assert (when, where) == (1.0, "za-h")
+        [msg] = component.take_outbox()
+        assert msg.time == pytest.approx(2.25)
+
+    def test_zero_latency_islands_still_terminate(self):
+        # Access links AND the fabric channel at 0.0 latency.  The
+        # channel must be one-directional: a zero-latency *cycle*
+        # between two never-closing islands is a genuine
+        # zero-lookahead deadlock (conservative sync cannot advance
+        # it, and the runner diagnoses it -- see test_sync).  Acyclic
+        # zero-latency wiring must still quiesce and deliver at the
+        # exact send instants.
+        def sender():
+            component, _, _ = _island(
+                "za", A_ADDR, B_ADDR, access_delay=0.0
+            )
+            for k in range(5):
+                component.schedule_send(
+                    "za-h",
+                    0.1 * (k + 1),
+                    build_ipv4_packet(B_ADDR, A_ADDR, payload=bytes([k])),
+                )
+            return component
+
+        def receiver():
+            component, _, _ = _island(
+                "zb", B_ADDR, A_ADDR, access_delay=0.0
+            )
+            return component
+
+        run = FabricRun(
+            {"za": sender, "zb": receiver},
+            [ChannelSpec("za", 0, "zb", 0, 0.0)],
+        )
+        report = run.run()
+        arrivals = [
+            t for t, where, _ in report.records if where == "zb-h"
+        ]
+        assert arrivals == pytest.approx([0.1 * (k + 1) for k in range(5)])
+
+    def test_zero_latency_duplex_islands_stall_with_diagnosis(self):
+        # The flip side: wire the same islands bidirectionally at 0.0
+        # and the conservative synchronizer must refuse rather than
+        # silently diverge or spin.
+        from repro.errors import FabricError
+
+        def build(name, local, remote):
+            def factory():
+                component, _, _ = _island(name, local, remote)
+                component.schedule_send(
+                    f"{name}-h", 0.1, build_ipv4_packet(remote, local)
+                )
+                return component
+
+            return factory
+
+        run = FabricRun(
+            {
+                "za": build("za", A_ADDR, B_ADDR),
+                "zb": build("zb", B_ADDR, A_ADDR),
+            },
+            duplex("za", 0, "zb", 0, 0.0),
+        )
+        with pytest.raises(FabricError, match="zero-lookahead cycle"):
+            run.run()
+
+
+class TestTunnelAcrossFabricBoundary:
+    def test_egress_crosses_the_fabric_encapsulated(self):
+        component, _, _ = _island("ta", A_ADDR, B_ADDR, border=True)
+        component.add_output(0, "tb", 0, latency=0.01, rank=0)
+        inner = build_ipv4_packet(B_ADDR, A_ADDR, payload=b"tunneled")
+        component.schedule_send("ta-h", 0.5, inner)
+        component.step()  # horizon inf: no inputs wired
+
+        [msg] = component.take_outbox()
+        assert msg.kind == KIND_IPV4
+        assert isinstance(msg.data, bytes)
+        assert is_tunnel_packet(msg.data)
+        decapsulated = decapsulate_dip(msg.data)
+        # The border router forwarded (and hop-decremented) the inner
+        # packet before encapsulating; everything else survives.
+        assert decapsulated.payload == b"tunneled"
+        assert decapsulated.header.locations == inner.header.locations
+        assert decapsulated.header.fns == inner.header.fns
+        assert decapsulated.header.hop_limit == inner.header.hop_limit - 1
+
+    def test_far_border_decapsulates_to_the_island_host(self):
+        component, router, host = _island("tb", B_ADDR, A_ADDR, border=True)
+        component.add_input("ta", 0, rank=0)
+        inner = build_ipv4_packet(B_ADDR, A_ADDR, payload=b"tunneled")
+        from repro.netsim.tunnel import encapsulate_dip
+
+        raw = encapsulate_dip(inner, A_ADDR, B_ADDR)
+        component.accept(
+            Deliver(1.0, "ta", "tb", 0, KIND_IPV4, raw, len(raw), 1)
+        )
+        component.accept(Advance("ta", "tb", 0, math.inf))
+        component.step()
+
+        [(packet, _result)] = host.inbox
+        assert packet.payload == b"tunneled"
+        assert packet.header.hop_limit == inner.header.hop_limit - 1
+        [(when, where, digest)] = component.records()
+        assert where == "tb-h"
+        assert when == pytest.approx(1.001)
+        assert digest == payload_digest(packet.encode())
+
+    def test_end_to_end_tunnel_over_the_fabric(self):
+        def build(name, local, remote):
+            def factory():
+                component, _, _ = _island(name, local, remote, border=True)
+                for k in range(8):
+                    component.schedule_send(
+                        f"{name}-h",
+                        0.01 * (k + 1),
+                        build_ipv4_packet(remote, local,
+                                          payload=bytes([k, k])),
+                    )
+                return component
+
+            return factory
+
+        run = FabricRun(
+            {
+                "ta": build("ta", A_ADDR, B_ADDR),
+                "tb": build("tb", B_ADDR, A_ADDR),
+            },
+            duplex("ta", 0, "tb", 0, 0.005),
+        )
+        report = run.run()
+        counters = {
+            name: r["counters"] for name, r in report.components.items()
+        }
+        assert counters["ta"]["delivered"] == 8
+        assert counters["tb"]["delivered"] == 8
+        assert len(report.records) == 16
+        # Delivery digests are of the *inner* DIP packets (after the
+        # two router hops' decrements): the tunnel encapsulation is
+        # invisible end to end.
+        expected = {
+            payload_digest(
+                build_ipv4_packet(
+                    dst, src, payload=bytes([k, k]), hop_limit=62
+                ).encode()
+            )
+            for k in range(8)
+            for dst, src in ((A_ADDR, B_ADDR), (B_ADDR, A_ADDR))
+        }
+        assert {digest for _, _, digest in report.records} == expected
+
+
+class TestLinkFaultsMeetFabricDelivers:
+    def _run(self, plan):
+        def sender():
+            component, _, _ = _island("fa", A_ADDR, B_ADDR)
+            for k in range(6):
+                component.schedule_send(
+                    "fa-h",
+                    0.01 * (k + 1),
+                    build_ipv4_packet(B_ADDR, A_ADDR, payload=bytes([k])),
+                )
+            return component
+
+        def receiver():
+            component, _, _ = _island(
+                "fb", B_ADDR, A_ADDR, fault_plan=plan
+            )
+            return component
+
+        return FabricRun(
+            {"fa": sender, "fb": receiver},
+            duplex("fa", 0, "fb", 0, 0.005),
+        ).run()
+
+    def test_scripted_drop_breaks_exactly_one_delivery(self):
+        # fb's router->host link drops its third transmit; every fabric
+        # Deliver still crosses, but the island loses one frame after
+        # the boundary.
+        report = self._run(
+            FaultPlan(faults=(Fault(kind=DROP_FRAME, batch=2),))
+        )
+        counters = {
+            name: r["counters"] for name, r in report.components.items()
+        }
+        assert counters["fa"]["injected"] == 6
+        assert counters["fb"]["delivered"] == 5
+        assert counters["fb"]["link_drops"] == 1
+        # The conservation law across the boundary:
+        assert (
+            counters["fa"]["injected"]
+            == counters["fb"]["delivered"] + counters["fb"]["link_drops"]
+        )
+        # The fault ate the third packet specifically.  Delivered
+        # packets crossed two router hops, so digest at hop_limit 62.
+        survivors = {
+            digest for _, where, digest in report.records if where == "fb-h"
+        }
+
+        def digest_of(k):
+            return payload_digest(
+                build_ipv4_packet(
+                    B_ADDR, A_ADDR, payload=bytes([k]), hop_limit=62
+                ).encode()
+            )
+
+        assert survivors == {digest_of(k) for k in (0, 1, 3, 4, 5)}
+        assert digest_of(2) not in survivors
+
+    def test_no_plan_conserves_everything(self):
+        report = self._run(FaultPlan())
+        counters = {
+            name: r["counters"] for name, r in report.components.items()
+        }
+        assert counters["fb"]["delivered"] == 6
+        assert counters["fb"]["link_drops"] == 0

@@ -374,3 +374,76 @@ class TestTopology:
     def test_bad_spec_exit_2(self):
         code, text = run_cli("topology", "--transit", "0")
         assert code == 2
+
+
+class TestFabric:
+    ARGS = (
+        "fabric", "--ases", "4", "--hosts-per-as", "1",
+        "--packets", "40", "--seed", "9",
+    )
+
+    def test_runs_and_reports(self):
+        code, text = run_cli(*self.ARGS)
+        assert code == 0
+        assert "40/40 packets delivered" in text
+        assert "fingerprint" in text
+        assert "t0" in text and "t1" in text
+
+    def test_compare_identical_exit_0(self):
+        code, text = run_cli(*self.ARGS, "--compare")
+        assert code == 0
+        assert "IDENTICAL" in text
+
+    def test_json_twin(self):
+        import json
+
+        code, text = run_cli(*self.ARGS, "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert len(payload["records"]) == 40
+        assert payload["processes"] == 1
+        assert payload["spec"]["ases"] == 4
+        assert payload["clock_skew"] >= 0.0
+
+    def test_json_artifact_with_compare(self, tmp_path):
+        import json
+
+        artifact = tmp_path / "fabric.json"
+        code, text = run_cli(
+            *self.ARGS, "--compare", "--json", str(artifact)
+        )
+        assert code == 0
+        assert "report written to" in text
+        payload = json.loads(artifact.read_text())
+        assert payload["compare"]["identical"] is True
+        assert (
+            payload["compare"]["fabric_fingerprint"]
+            == payload["compare"]["twin_fingerprint"]
+        )
+
+    def test_pcap_out_writes_replayable_capture(self, tmp_path):
+        from repro.fabric import read_pcap
+
+        pcap = tmp_path / "traffic.pcap"
+        code, text = run_cli(*self.ARGS, "--pcap-out", str(pcap))
+        assert code == 0
+        assert "traffic written" in text
+        frames = read_pcap(str(pcap))
+        assert len(frames) == 40
+        times = [t for t, _ in frames]
+        assert times == sorted(times)
+
+    def test_scheduler_seed_does_not_change_results(self):
+        import json
+
+        _, base = run_cli(*self.ARGS, "--json")
+        _, shuffled = run_cli(*self.ARGS, "--scheduler-seed", "77", "--json")
+        assert (
+            json.loads(base)["fingerprint"]
+            == json.loads(shuffled)["fingerprint"]
+        )
+
+    def test_bad_spec_exit_2(self):
+        code, text = run_cli("fabric", "--ases", "2")
+        assert code == 2
+        assert "error" in text
